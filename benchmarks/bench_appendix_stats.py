@@ -1,0 +1,25 @@
+"""E-A1 — appendix statistics on |Gr| (result-graph size) and |AFF|."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import appendix_statistics_experiment
+
+
+def test_appendix_statistics(benchmark, report):
+    record = run_once(
+        benchmark,
+        appendix_statistics_experiment,
+        scale=0.03,
+        seed=37,
+        num_patterns=5,
+        num_insertions=40,
+    )
+    report(record)
+    assert len(record.rows) == 2
+    gr_row, aff_row = record.rows
+    # Paper shape: result graphs are small relative to the data graph, and
+    # AFF2 is (much) smaller than AFF1.
+    assert gr_row["avg_nodes"] < 0.03 * 14829
+    assert aff_row["aff2"] <= aff_row["aff1"] or aff_row["aff1"] == 0

@@ -1,0 +1,26 @@
+"""E-Exp1 — the textual Exp-1 comparison: Match vs SubIso on YouTube."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import match_vs_subiso_experiment
+
+
+def test_exp1_match_vs_subiso(benchmark, report):
+    record = run_once(
+        benchmark,
+        match_vs_subiso_experiment,
+        scale=0.04,
+        seed=7,
+        num_patterns=10,
+        bound=1,
+    )
+    report(record)
+    rows = {row["algorithm"]: row for row in record.rows}
+    # Paper shape: Match finds (far) more matches per pattern node than
+    # SubIso, and fails on no more patterns than SubIso does.
+    assert rows["Match"]["avg_matches_per_pattern_node"] >= rows["SubIso"][
+        "avg_matches_per_pattern_node"
+    ]
+    assert rows["Match"]["failed_patterns"] <= rows["SubIso"]["failed_patterns"]

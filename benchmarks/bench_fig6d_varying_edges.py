@@ -1,0 +1,28 @@
+"""E-6d — Fig. 6(d): impact of adding pattern edges on matching."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import varying_edges_experiment
+
+
+def test_fig6d_varying_pattern_edges(benchmark, report):
+    record = run_once(
+        benchmark,
+        varying_edges_experiment,
+        num_nodes=1000,
+        num_edges=2000,
+        num_labels=100,
+        pattern_sizes=(4, 6, 8),
+        max_extra_edges=8,
+        patterns_per_point=2,
+        seed=11,
+    )
+    report(record)
+    assert len(record.rows) == 8
+    # Paper shape: adding pattern edges imposes extra constraints, so the
+    # number of matched pattern nodes can only trend downwards.
+    for size in (4, 6, 8):
+        series = [row[f"P({size},E,9)"] for row in record.rows]
+        assert series[0] >= series[-1]

@@ -1,0 +1,24 @@
+"""E-6e — Fig. 6(e): Match vs 2-hop vs BFS on the real-life dataset substitutes."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import real_life_efficiency_experiment
+
+
+def test_fig6e_real_life_datasets(benchmark, report):
+    record = run_once(
+        benchmark,
+        real_life_efficiency_experiment,
+        scale=0.04,
+        seed=17,
+        patterns_per_spec=2,
+    )
+    report(record)
+    assert len(record.rows) == 6  # 3 datasets x 2 pattern sizes
+    # Paper shape: the distance-matrix variant ("Match") is never slower than
+    # BFS by a large factor, and is the best on average.
+    match_avg = sum(row["Match_ms"] for row in record.rows) / len(record.rows)
+    bfs_avg = sum(row["BFS_ms"] for row in record.rows) / len(record.rows)
+    assert match_avg <= bfs_avg * 1.5

@@ -1,0 +1,33 @@
+"""E-6f/g/h — Fig. 6(f)-(h): scalability with |E| and pattern size on synthetic graphs."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import synthetic_scalability_experiment
+
+
+def test_fig6fgh_synthetic_scalability(benchmark, report):
+    record = run_once(
+        benchmark,
+        synthetic_scalability_experiment,
+        num_nodes=1000,
+        edge_counts=(1000, 2000, 3000),
+        num_labels=100,
+        pattern_sizes=(4, 6, 8, 10),
+        patterns_per_point=2,
+        seed=19,
+    )
+    report(record)
+    assert len(record.rows) == 12  # 3 edge counts x 4 pattern sizes
+    # Paper shape: Match (distance matrix) stays flat as |E| grows — its
+    # per-check cost is O(1) — so its time must not blow up between the
+    # sparsest and densest setting.
+    for size in (4, 6, 8, 10):
+        sparse = next(
+            row for row in record.rows if row["|E|"] == 1000 and f"P({size}," in row["pattern"]
+        )
+        dense = next(
+            row for row in record.rows if row["|E|"] == 3000 and f"P({size}," in row["pattern"]
+        )
+        assert dense["Match_ms"] <= max(10.0, sparse["Match_ms"] * 25)

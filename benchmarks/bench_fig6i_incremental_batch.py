@@ -1,0 +1,27 @@
+"""E-6i — Fig. 6(i): IncMatch vs Match for mixed batch updates."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import incremental_batch_experiment
+
+
+def test_fig6i_incremental_batch_updates(benchmark, report):
+    record = run_once(
+        benchmark,
+        incremental_batch_experiment,
+        scale=0.03,
+        seed=23,
+        sizes=(25, 50, 100, 200, 400),
+    )
+    report(record)
+    assert all(row["results_agree"] for row in record.rows)
+    # Paper shape: IncMatch wins for small |delta| and loses its advantage as
+    # |delta| grows (the paper's crossover is at a few percent of |E|; at this
+    # scale the crossover sits at roughly the same fraction of the edge set).
+    smallest, largest = record.rows[0], record.rows[-1]
+    assert smallest["IncMatch_s"] <= smallest["Match_s"]
+    assert smallest["speedup"] >= largest["speedup"]
+    # The total affected area grows with |delta|.
+    assert largest["AFF1"] >= smallest["AFF1"]

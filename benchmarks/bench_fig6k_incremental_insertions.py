@@ -1,0 +1,26 @@
+"""E-6k — Fig. 6(k): IncMatch vs Match for edge insertions."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import incremental_insertions_experiment
+
+
+def test_fig6k_incremental_insertions(benchmark, report):
+    record = run_once(
+        benchmark,
+        incremental_insertions_experiment,
+        scale=0.03,
+        seed=31,
+        sizes=(25, 50, 100, 200),
+    )
+    report(record)
+    assert all(row["results_agree"] for row in record.rows)
+    # Paper shape: the affected area per update grows with |delta| for
+    # insertions, and IncMatch wins for the smaller update lists before the
+    # advantage shrinks.
+    smallest, largest = record.rows[0], record.rows[-1]
+    assert smallest["IncMatch_s"] <= smallest["Match_s"]
+    assert smallest["speedup"] >= largest["speedup"]
+    assert largest["AFF_per_update"] >= smallest["AFF_per_update"] * 0.5

@@ -1,0 +1,27 @@
+"""E-9 — Fig. 9 (appendix): number of matches for various bounds k."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import bound_sweep_experiment
+
+
+def test_fig9_bound_sweep(benchmark, report):
+    record = run_once(
+        benchmark,
+        bound_sweep_experiment,
+        num_nodes=1000,
+        num_edges=2000,
+        num_labels=100,
+        pattern_sizes=(4, 8, 12),
+        bounds=(4, 6, 8, 10, 12),
+        patterns_per_point=2,
+        seed=13,
+    )
+    report(record)
+    assert len(record.rows) == 5
+    # Paper shape: increasing the bound k induces more matches, up to saturation.
+    for size in (4, 8, 12):
+        series = [row[f"P({size},{size - 1},k)"] for row in record.rows]
+        assert series[-1] >= series[0]

@@ -1,0 +1,18 @@
+"""E-T1 — the Section-5 dataset table (|V| / |E| of Matter, PBlog, YouTube)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import dataset_table_experiment
+
+
+def test_dataset_table(benchmark, report):
+    record = run_once(benchmark, dataset_table_experiment, scale=0.05, seed=3)
+    report(record)
+    assert {row["dataset"] for row in record.rows} == {"Matter", "PBlog", "YouTube"}
+    for row in record.rows:
+        # The substitutes track the paper's density (edges per node) loosely.
+        paper_density = row["paper_edges"] / row["paper_nodes"]
+        generated_density = row["generated_edges"] / row["generated_nodes"]
+        assert generated_density >= 0.4 * paper_density

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Continuously monitoring a pattern over an evolving graph (Section 4).
+
+Social networks and recommendation graphs change constantly; recomputing a
+match from scratch after every edit is wasteful.  This example keeps the
+maximum match of a DAG pattern up to date with :class:`IncrementalMatcher`
+while a stream of random edge insertions and deletions is applied, and
+compares the incremental cost against re-running the batch algorithm
+(including the distance-matrix rebuild it needs).
+
+Run with:  python examples/incremental_monitoring.py [scale] [num_batches]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import DistanceMatrix, PatternGenerator, match
+from repro.datasets import youtube_graph
+from repro.matching import IncrementalMatcher
+from repro.workloads.updates import mixed_updates
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.03
+    num_batches = int(sys.argv[2]) if len(sys.argv) > 2 else 5
+    batch_size = 20
+
+    graph = youtube_graph(scale=scale, seed=23)
+    generator = PatternGenerator(graph, seed=23, predicate_attributes=("category",))
+    pattern = generator.generate_dag(4, 4, 3)
+
+    print(f"graph: {graph}")
+    print(f"pattern: {pattern} (DAG: {pattern.is_dag()})")
+
+    start = time.perf_counter()
+    matcher = IncrementalMatcher(pattern, graph)
+    setup_seconds = time.perf_counter() - start
+    print(f"initial match: {len(matcher.match)} pairs "
+          f"(computed in {setup_seconds:.2f}s, matrix included)")
+    print()
+
+    header = f"{'batch':>5}  {'|δ|':>4}  {'inc (s)':>8}  {'batch (s)':>9}  {'AFF1':>6}  {'ΔS':>4}  {'|S|':>5}  agree"
+    print(header)
+    print("-" * len(header))
+
+    total_incremental = 0.0
+    total_batch = 0.0
+    for batch_index in range(num_batches):
+        updates = mixed_updates(graph, batch_size, seed=100 + batch_index)
+
+        start = time.perf_counter()
+        area = matcher.apply(updates)
+        incremental_seconds = time.perf_counter() - start
+
+        # Batch baseline: rerun Match on a copy of the (already updated) graph.
+        snapshot = graph.copy()
+        start = time.perf_counter()
+        batch_result = match(pattern, snapshot, DistanceMatrix(snapshot))
+        batch_seconds = time.perf_counter() - start
+
+        total_incremental += incremental_seconds
+        total_batch += batch_seconds
+        agree = matcher.match == batch_result
+        print(
+            f"{batch_index:>5}  {len(updates):>4}  {incremental_seconds:>8.3f}  "
+            f"{batch_seconds:>9.3f}  {area.aff1_size:>6}  {area.aff2_core_size:>4}  "
+            f"{len(matcher.match):>5}  {'yes' if agree else 'NO'}"
+        )
+
+    print("-" * len(header))
+    print(f"total incremental time: {total_incremental:.2f}s")
+    print(f"total batch time:       {total_batch:.2f}s")
+    if total_incremental < total_batch:
+        print(f"IncMatch was {total_batch / total_incremental:.1f}x faster overall.")
+    else:
+        print("The update batches were large enough that recomputation was cheaper —")
+        print("exactly the crossover behaviour the paper reports for large |δ|.")
+
+
+if __name__ == "__main__":
+    main()

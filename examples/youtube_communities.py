@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Identifying video communities in a YouTube-like recommendation graph.
+
+Reproduces the workflow of the paper's effectiveness experiment (Exp-1 /
+Fig. 6(a)): generate the YouTube dataset substitute, run the paper's sample
+patterns plus randomly generated ones, compare the number of matches that
+bounded simulation and subgraph isomorphism (VF2) find, and summarise the
+result graphs.
+
+Run with:  python examples/youtube_communities.py [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import DistanceMatrix, PatternGenerator, match
+from repro.datasets import youtube_graph
+from repro.graph.statistics import compute_statistics
+from repro.isomorphism import vf2_isomorphisms
+from repro.matching import build_result_graph
+from repro.workloads.patterns import youtube_sample_patterns
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.05
+    graph = youtube_graph(scale=scale, seed=7)
+    stats = compute_statistics(graph)
+    print(f"YouTube substitute: |V|={stats.num_nodes}, |E|={stats.num_edges}, "
+          f"max in-degree={stats.max_in_degree}")
+    print()
+
+    oracle = DistanceMatrix(graph)
+
+    print("--- The paper's sample patterns (Example 2.3 and Fig. 6a) ---")
+    for pattern in youtube_sample_patterns():
+        result = match(pattern, graph, oracle)
+        if not result:
+            print(f"{pattern.name}: no match at this scale")
+            continue
+        result_graph = build_result_graph(pattern, graph, result, oracle)
+        embeddings = list(vf2_isomorphisms(pattern, graph, max_matches=500))
+        iso_pairs = {(u, v) for emb in embeddings for u, v in emb.items()}
+        print(
+            f"{pattern.name}: {len(result)} match pairs "
+            f"(avg {result.average_matches_per_pattern_node():.1f} videos per pattern node), "
+            f"result graph {result_graph.number_of_nodes()} nodes / "
+            f"{result_graph.number_of_edges()} edges; "
+            f"VF2 finds {len(iso_pairs)} distinct pairs"
+        )
+    print()
+
+    print("--- Randomly generated patterns anchored on video categories ---")
+    generator = PatternGenerator(graph, seed=11, predicate_attributes=("category",))
+    for index in range(3):
+        pattern = generator.generate(4, 4, 3)
+        result = match(pattern, graph, oracle)
+        predicates = "; ".join(str(pattern.predicate(u)) for u in pattern.nodes())
+        status = f"{len(result)} pairs" if result else "no match"
+        print(f"P{index} ({predicates}): {status}")
+    print()
+    print("Bounded simulation identifies whole communities (many videos per")
+    print("pattern node); isomorphism returns at most one video per node per")
+    print("embedding and misses communities whose shape is not edge-to-edge.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists only so
+that ``pip install -e .`` works on environments without the ``wheel``
+package (legacy ``setup.py develop`` code path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,140 @@
+"""repro — bounded graph simulation.
+
+A from-scratch Python reproduction of *"Graph Pattern Matching: From
+Intractable to Polynomial Time"* (Fan, Li, Ma, Tang, Wu, Wu — PVLDB 3(1),
+2010): pattern graphs with search conditions and bounded connectivity,
+cubic-time bounded-simulation matching, incremental matching under edge
+updates, the distance substrates they rely on, the subgraph-isomorphism
+baselines of the evaluation, and an experiment harness that regenerates the
+paper's tables and figures.
+
+Quickstart
+----------
+>>> from repro import DataGraph, Pattern, match
+>>> g = DataGraph()
+>>> g.add_node("boss", label="B")
+>>> g.add_node("mgr", label="AM")
+>>> g.add_node("worker", label="FW")
+>>> g.add_edge("boss", "mgr")
+>>> g.add_edge("mgr", "worker")
+>>> p = Pattern()
+>>> p.add_node("B", "B")
+>>> p.add_node("FW", "FW")
+>>> p.add_edge("B", "FW", 2)          # within two hops
+>>> result = match(p, g)
+>>> sorted(result.matches("FW"))
+['worker']
+"""
+
+from repro.exceptions import (
+    CyclicPatternError,
+    DatasetError,
+    DistanceOracleError,
+    DuplicateEdgeError,
+    DuplicateNodeError,
+    EdgeNotFoundError,
+    ExperimentError,
+    GraphError,
+    IncrementalError,
+    InvalidBoundError,
+    MatchingError,
+    NodeNotFoundError,
+    NoMatchError,
+    PatternError,
+    PredicateError,
+    ReproError,
+    SerializationError,
+)
+from repro.distance import (
+    INF,
+    BFSDistanceOracle,
+    DistanceMatrix,
+    DistanceOracle,
+    EdgeUpdate,
+    TwoHopOracle,
+    update_matrix_batch,
+    update_matrix_delete,
+    update_matrix_insert,
+)
+from repro.graph import (
+    UNBOUNDED,
+    Atom,
+    DataGraph,
+    Pattern,
+    PatternGenerator,
+    Predicate,
+    compute_statistics,
+    generate_pattern,
+    generate_patterns,
+    random_data_graph,
+    scale_free_graph,
+    small_world_graph,
+)
+from repro.matching import (
+    AffectedArea,
+    IncrementalMatcher,
+    MatchResult,
+    ResultGraph,
+    build_result_graph,
+    graph_simulation,
+    match,
+    match_colored,
+    matches,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # graphs & patterns
+    "DataGraph",
+    "Pattern",
+    "Predicate",
+    "Atom",
+    "UNBOUNDED",
+    "random_data_graph",
+    "scale_free_graph",
+    "small_world_graph",
+    "PatternGenerator",
+    "generate_pattern",
+    "generate_patterns",
+    "compute_statistics",
+    # distances
+    "INF",
+    "DistanceOracle",
+    "DistanceMatrix",
+    "BFSDistanceOracle",
+    "TwoHopOracle",
+    "EdgeUpdate",
+    "update_matrix_insert",
+    "update_matrix_delete",
+    "update_matrix_batch",
+    # matching
+    "match",
+    "matches",
+    "match_colored",
+    "graph_simulation",
+    "MatchResult",
+    "ResultGraph",
+    "build_result_graph",
+    "IncrementalMatcher",
+    "AffectedArea",
+    # exceptions
+    "ReproError",
+    "GraphError",
+    "NodeNotFoundError",
+    "EdgeNotFoundError",
+    "DuplicateNodeError",
+    "DuplicateEdgeError",
+    "PatternError",
+    "PredicateError",
+    "InvalidBoundError",
+    "MatchingError",
+    "NoMatchError",
+    "IncrementalError",
+    "CyclicPatternError",
+    "DistanceOracleError",
+    "DatasetError",
+    "ExperimentError",
+    "SerializationError",
+]

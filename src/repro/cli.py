@@ -1,0 +1,190 @@
+"""Command-line interface for the bounded-simulation matcher.
+
+The CLI makes the library usable without writing Python: graphs and patterns
+are exchanged as the JSON documents produced by :mod:`repro.graph.io`, and
+the paper's experiments can be (re)run by name.
+
+Subcommands
+-----------
+``match``
+    Compute the maximum bounded-simulation match of a pattern in a data
+    graph and print it (optionally as JSON, optionally with the result
+    graph summary).
+
+``generate``
+    Generate a synthetic data graph (uniform random, scale-free,
+    small-world, or one of the dataset substitutes) and write it as JSON.
+
+``stats``
+    Print summary statistics of a graph file.
+
+``experiment``
+    Run one of the paper's experiment drivers (``fig6a`` … ``fig9``,
+    ``table-datasets``, ``appendix-stats``) or ``all``.
+
+Examples
+--------
+::
+
+    python -m repro generate --kind youtube --scale 0.02 --out youtube.json
+    python -m repro stats youtube.json
+    python -m repro match --graph youtube.json --pattern pattern.json
+    python -m repro experiment fig9
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.datasets import DATASET_BUILDERS
+from repro.distance.bfs import BFSDistanceOracle
+from repro.distance.matrix import DistanceMatrix
+from repro.distance.twohop import TwoHopOracle
+from repro.experiments import ALL_EXPERIMENTS, run_experiment
+from repro.graph.generators import random_data_graph, scale_free_graph, small_world_graph
+from repro.graph.io import load_graph_json, load_pattern_json, save_graph_json
+from repro.graph.statistics import compute_statistics
+from repro.matching.bounded import match
+from repro.matching.result_graph import build_result_graph
+
+__all__ = ["main", "build_parser"]
+
+_ORACLES = {
+    "matrix": DistanceMatrix,
+    "bfs": BFSDistanceOracle,
+    "2hop": TwoHopOracle,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bounded graph simulation (Fan et al., VLDB 2010) — reproduction CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    match_parser = subparsers.add_parser("match", help="match a pattern against a data graph")
+    match_parser.add_argument("--graph", required=True, help="data graph JSON file")
+    match_parser.add_argument("--pattern", required=True, help="pattern JSON file")
+    match_parser.add_argument(
+        "--oracle",
+        choices=sorted(_ORACLES),
+        default="matrix",
+        help="distance substrate (default: matrix)",
+    )
+    match_parser.add_argument(
+        "--json", action="store_true", help="print the match as JSON instead of text"
+    )
+    match_parser.add_argument(
+        "--result-graph", action="store_true", help="also print the result-graph summary"
+    )
+
+    generate_parser = subparsers.add_parser("generate", help="generate a synthetic data graph")
+    generate_parser.add_argument(
+        "--kind",
+        choices=["random", "scale-free", "small-world", "youtube", "matter", "pblog"],
+        default="random",
+    )
+    generate_parser.add_argument("--nodes", type=int, default=1000)
+    generate_parser.add_argument("--edges", type=int, default=3000)
+    generate_parser.add_argument("--labels", type=int, default=20)
+    generate_parser.add_argument("--scale", type=float, default=0.05,
+                                 help="scale for the dataset substitutes")
+    generate_parser.add_argument("--seed", type=int, default=42)
+    generate_parser.add_argument("--out", required=True, help="output JSON file")
+
+    stats_parser = subparsers.add_parser("stats", help="print statistics of a graph file")
+    stats_parser.add_argument("graph", help="data graph JSON file")
+
+    experiment_parser = subparsers.add_parser(
+        "experiment", help="run one of the paper's experiments"
+    )
+    experiment_parser.add_argument(
+        "name", choices=sorted(ALL_EXPERIMENTS) + ["all"], help="experiment id or 'all'"
+    )
+    return parser
+
+
+def _command_match(args: argparse.Namespace) -> int:
+    graph = load_graph_json(args.graph)
+    pattern = load_pattern_json(args.pattern)
+    oracle = _ORACLES[args.oracle](graph)
+    result = match(pattern, graph, oracle)
+
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    elif result.is_empty:
+        print("no match: the pattern is not matched by the graph")
+    else:
+        print(f"maximum match: {len(result)} pairs")
+        for pattern_node in pattern.nodes():
+            nodes = ", ".join(sorted(str(v) for v in result.matches(pattern_node)))
+            print(f"  {pattern_node} -> {{{nodes}}}")
+
+    if args.result_graph and result:
+        result_graph = build_result_graph(pattern, graph, result, oracle)
+        print(
+            f"result graph: {result_graph.number_of_nodes()} nodes, "
+            f"{result_graph.number_of_edges()} edges"
+        )
+    return 0 if result else 1
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    if args.kind == "random":
+        graph = random_data_graph(args.nodes, args.edges, num_labels=args.labels, seed=args.seed)
+    elif args.kind == "scale-free":
+        out_degree = max(1, args.edges // max(1, args.nodes))
+        graph = scale_free_graph(args.nodes, out_degree=out_degree,
+                                 num_labels=args.labels, seed=args.seed)
+    elif args.kind == "small-world":
+        neighbors = max(1, args.edges // max(1, args.nodes))
+        graph = small_world_graph(args.nodes, neighbors=neighbors,
+                                  num_labels=args.labels, seed=args.seed)
+    else:
+        builder_name = {"youtube": "YouTube", "matter": "Matter", "pblog": "PBlog"}[args.kind]
+        graph = DATASET_BUILDERS[builder_name](scale=args.scale, seed=args.seed)
+    save_graph_json(graph, args.out)
+    print(f"wrote {graph.number_of_nodes()} nodes / {graph.number_of_edges()} edges to {args.out}")
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    graph = load_graph_json(args.graph)
+    stats = compute_statistics(graph)
+    for key, value in stats.as_row().items():
+        print(f"{key:>14}: {value}")
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    if args.name == "all":
+        for name, driver in ALL_EXPERIMENTS.items():
+            run_experiment(driver)
+            print()
+        return 0
+    run_experiment(ALL_EXPERIMENTS[args.name])
+    return 0
+
+
+_COMMANDS = {
+    "match": _command_match,
+    "generate": _command_generate,
+    "stats": _command_stats,
+    "experiment": _command_experiment,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

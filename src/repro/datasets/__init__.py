@@ -1,0 +1,19 @@
+"""Substitutes for the paper's real-life datasets (Matter, PBlog, YouTube)."""
+
+from repro.datasets.synthetic_real import (
+    DATASET_BUILDERS,
+    PAPER_SIZES,
+    load_dataset,
+    matter_graph,
+    pblog_graph,
+    youtube_graph,
+)
+
+__all__ = [
+    "PAPER_SIZES",
+    "DATASET_BUILDERS",
+    "load_dataset",
+    "youtube_graph",
+    "matter_graph",
+    "pblog_graph",
+]

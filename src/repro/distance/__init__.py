@@ -1,0 +1,30 @@
+"""Distance substrates: the matrix ``M``, BFS, 2-hop labels, and incremental APSP."""
+
+from repro.distance.bfs import BFSDistanceOracle
+from repro.distance.incremental import (
+    AffectedPairs,
+    EdgeUpdate,
+    apply_updates,
+    merge_affected,
+    update_matrix_batch,
+    update_matrix_delete,
+    update_matrix_insert,
+)
+from repro.distance.matrix import DistanceMatrix
+from repro.distance.oracle import INF, DistanceOracle
+from repro.distance.twohop import TwoHopOracle
+
+__all__ = [
+    "INF",
+    "DistanceOracle",
+    "DistanceMatrix",
+    "BFSDistanceOracle",
+    "TwoHopOracle",
+    "EdgeUpdate",
+    "AffectedPairs",
+    "update_matrix_insert",
+    "update_matrix_delete",
+    "update_matrix_batch",
+    "merge_affected",
+    "apply_updates",
+]

@@ -1,0 +1,126 @@
+"""On-demand BFS distance oracle (the paper's ``BFS`` variant of Match).
+
+Instead of precomputing the full distance matrix, this oracle runs a
+(bounded) breadth-first search whenever a query arrives and memoises the
+result per source / target node.  It trades the ``O(|V| (|V| + |E|))``
+precomputation and ``O(|V|^2)`` memory of the matrix for slower individual
+queries — the trade-off Exp-2 of the paper evaluates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.graph.datagraph import DataGraph, NodeId
+from repro.distance.oracle import INF, DistanceOracle
+
+__all__ = ["BFSDistanceOracle"]
+
+
+class BFSDistanceOracle(DistanceOracle):
+    """Answers distance queries with memoised breadth-first searches.
+
+    Parameters
+    ----------
+    graph:
+        The data graph.
+    cache:
+        When ``True`` (default) full BFS frontiers are cached per node.  The
+        cache is invalidated automatically when the graph's version changes.
+    """
+
+    def __init__(self, graph: DataGraph, *, cache: bool = True) -> None:
+        super().__init__(graph)
+        self._cache_enabled = cache
+        self._forward: Dict[NodeId, Dict[NodeId, int]] = {}
+        self._backward: Dict[NodeId, Dict[NodeId, int]] = {}
+        self._graph_version = graph.version
+
+    # ------------------------------------------------------------------
+    # cache management
+    # ------------------------------------------------------------------
+
+    def refresh(self) -> None:
+        """Drop all memoised searches."""
+        self._forward.clear()
+        self._backward.clear()
+        self._graph_version = self._graph.version
+
+    def _check_version(self) -> None:
+        if self._graph_version != self._graph.version:
+            self.refresh()
+
+    def _forward_distances(self, source: NodeId) -> Dict[NodeId, int]:
+        self._check_version()
+        if not self._cache_enabled:
+            return self._graph.bfs_distances(source)
+        distances = self._forward.get(source)
+        if distances is None:
+            distances = self._graph.bfs_distances(source)
+            self._forward[source] = distances
+        return distances
+
+    def _backward_distances(self, target: NodeId) -> Dict[NodeId, int]:
+        self._check_version()
+        if not self._cache_enabled:
+            return self._graph.bfs_distances(target, reverse=True)
+        distances = self._backward.get(target)
+        if distances is None:
+            distances = self._graph.bfs_distances(target, reverse=True)
+            self._backward[target] = distances
+        return distances
+
+    # ------------------------------------------------------------------
+    # DistanceOracle interface
+    # ------------------------------------------------------------------
+
+    def distance(self, source: NodeId, target: NodeId) -> float:
+        return self._forward_distances(source).get(target, INF)
+
+    def descendants_within(self, source: NodeId, bound: Optional[int]) -> Set[NodeId]:
+        distances = self._forward_distances(source)
+        result = {
+            node
+            for node, dist in distances.items()
+            if dist >= 1 and (bound is None or dist <= bound)
+        }
+        if self._on_cycle_within(source, bound, distances):
+            result.add(source)
+        return result
+
+    def ancestors_within(self, target: NodeId, bound: Optional[int]) -> Set[NodeId]:
+        distances = self._backward_distances(target)
+        result = {
+            node
+            for node, dist in distances.items()
+            if dist >= 1 and (bound is None or dist <= bound)
+        }
+        if self._on_cycle_within_backward(target, bound, distances):
+            result.add(target)
+        return result
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _on_cycle_within(
+        self, node: NodeId, bound: Optional[int], forward: Dict[NodeId, int]
+    ) -> bool:
+        """Cycle test using the already computed forward distances from *node*."""
+        limit = None if bound is None else bound - 1
+        for predecessor in self._graph.predecessors(node):
+            dist = forward.get(predecessor)
+            if dist is not None and (limit is None or dist <= limit):
+                return True
+        return False
+
+    def _on_cycle_within_backward(
+        self, node: NodeId, bound: Optional[int], backward: Dict[NodeId, int]
+    ) -> bool:
+        """Cycle test using the already computed backward distances to *node*."""
+        limit = None if bound is None else bound - 1
+        for successor in self._graph.successors(node):
+            dist = backward.get(successor)
+            if dist is not None and (limit is None or dist <= limit):
+                return True
+        return False

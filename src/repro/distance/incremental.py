@@ -1,0 +1,331 @@
+"""Incremental maintenance of the all-pairs distance matrix.
+
+Section 4 of the paper relies on two procedures:
+
+* ``UpdateM``  — repair the distance matrix ``M`` after a *single* edge
+  insertion or deletion, returning the set ``AFF1`` of node pairs whose
+  distance changed (Ramalingam & Reps 1996, per-sink repair);
+* ``UpdateBM`` — the batch counterpart for a list ``δ`` of updates (an
+  extension of the SWSF-FP algorithm of Ramalingam & Reps).
+
+The implementations below operate on :class:`repro.distance.matrix.DistanceMatrix`
+*and* the underlying graph: the edge change is applied to the graph and the
+matrix is repaired in place.  Each call returns a mapping
+
+    ``{(source, sink): (old_distance, new_distance)}``
+
+— exactly the paper's ``AFF1`` — which the incremental matching algorithms
+consume.  Distances use :data:`repro.distance.oracle.INF` for "unreachable".
+
+The deletion repair is the standard two-phase affected-only procedure: the
+first phase identifies, per affected sink, the sources whose *every* old
+shortest path used the deleted edge; the second phase re-settles exactly
+those sources with a Dijkstra-style priority queue seeded from unaffected
+neighbours.  The insertion repair uses the classic
+``d(x, y) <- min(d(x, y), d(x, s) + 1 + d(t, y))`` relaxation restricted to
+ancestors of ``s`` × descendants of ``t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import DistanceOracleError
+from repro.graph.datagraph import DataGraph, NodeId
+from repro.distance.matrix import DistanceMatrix
+from repro.distance.oracle import INF
+from repro.utils.priority_queue import AddressablePriorityQueue
+
+__all__ = [
+    "EdgeUpdate",
+    "AffectedPairs",
+    "update_matrix_insert",
+    "update_matrix_delete",
+    "update_matrix_batch",
+    "merge_affected",
+    "apply_updates",
+]
+
+#: ``AFF1``: node pairs mapped to their (old, new) distances.
+AffectedPairs = Dict[Tuple[NodeId, NodeId], Tuple[float, float]]
+
+
+@dataclass(frozen=True)
+class EdgeUpdate:
+    """A single edge insertion or deletion in an update stream ``δ``."""
+
+    kind: str  #: either ``"insert"`` or ``"delete"``
+    source: NodeId
+    target: NodeId
+
+    INSERT = "insert"
+    DELETE = "delete"
+
+    def __post_init__(self) -> None:
+        if self.kind not in (self.INSERT, self.DELETE):
+            raise ValueError(f"kind must be 'insert' or 'delete', got {self.kind!r}")
+
+    @classmethod
+    def insert(cls, source: NodeId, target: NodeId) -> "EdgeUpdate":
+        """Build an insertion update."""
+        return cls(cls.INSERT, source, target)
+
+    @classmethod
+    def delete(cls, source: NodeId, target: NodeId) -> "EdgeUpdate":
+        """Build a deletion update."""
+        return cls(cls.DELETE, source, target)
+
+    @property
+    def is_insert(self) -> bool:
+        """``True`` for insertions."""
+        return self.kind == self.INSERT
+
+    @property
+    def is_delete(self) -> bool:
+        """``True`` for deletions."""
+        return self.kind == self.DELETE
+
+    def inverse(self) -> "EdgeUpdate":
+        """The update that undoes this one."""
+        kind = self.DELETE if self.is_insert else self.INSERT
+        return EdgeUpdate(kind, self.source, self.target)
+
+
+# ----------------------------------------------------------------------
+# UpdateM — edge insertion
+# ----------------------------------------------------------------------
+
+def update_matrix_insert(
+    matrix: DistanceMatrix, source: NodeId, target: NodeId
+) -> AffectedPairs:
+    """Insert edge ``(source, target)`` into the graph and repair *matrix*.
+
+    Returns the affected pairs ``AFF1``.  Inserting an edge that already
+    exists is a no-op and returns an empty mapping.
+    """
+    graph = matrix.graph
+    if not graph.has_node(source) or not graph.has_node(target):
+        raise DistanceOracleError(
+            f"cannot insert edge ({source!r}, {target!r}): unknown endpoint"
+        )
+    if graph.has_edge(source, target):
+        return {}
+    graph.add_edge(source, target)
+    matrix.ensure_node(source)
+    matrix.ensure_node(target)
+
+    affected: AffectedPairs = {}
+    # Every new shortest path created by the edge decomposes as
+    # x ->* source -> target ->* y.  A sink y can only be affected (for any
+    # source) when the distance from `source` itself improves, i.e. when
+    # 1 + dist(target, y) < dist(source, y); restricting the relaxation to
+    # those sinks keeps the cost proportional to the affected area
+    # (|ancestors(source)| x |affected sinks|) rather than to
+    # |ancestors| x |descendants|.
+    source_row = matrix.row(source)
+    into_source = list(matrix.column(source).items())   # (x, dist(x, source))
+    affected_sinks = [
+        (y, dist_from_target)
+        for y, dist_from_target in matrix.row(target).items()
+        if dist_from_target + 1 < source_row.get(y, INF)
+    ]
+    for y, dist_from_target in affected_sinks:
+        column_y = matrix.column(y)
+        for x, dist_to_source in into_source:
+            candidate = dist_to_source + 1 + dist_from_target
+            old = column_y.get(x, INF)
+            if candidate < old:
+                affected[(x, y)] = (old, candidate)
+                matrix.set_distance(x, y, candidate)
+    matrix.mark_synchronized()
+    return affected
+
+
+# ----------------------------------------------------------------------
+# UpdateM — edge deletion
+# ----------------------------------------------------------------------
+
+def update_matrix_delete(
+    matrix: DistanceMatrix, source: NodeId, target: NodeId
+) -> AffectedPairs:
+    """Delete edge ``(source, target)`` from the graph and repair *matrix*.
+
+    Returns the affected pairs ``AFF1``.  Deleting a missing edge is a no-op.
+    """
+    graph = matrix.graph
+    if not graph.has_node(source) or not graph.has_node(target):
+        raise DistanceOracleError(
+            f"cannot delete edge ({source!r}, {target!r}): unknown endpoint"
+        )
+    if not graph.has_edge(source, target):
+        return {}
+    graph.remove_edge(source, target)
+
+    affected: AffectedPairs = {}
+    # Candidate affected sinks: the deleted edge lay on a shortest path from
+    # `source` to y, i.e. dist(source, y) == 1 + dist(target, y).
+    source_row = dict(matrix.row(source))
+    target_row = dict(matrix.row(target))
+    candidate_sinks = [
+        y
+        for y, dist_from_target in target_row.items()
+        if source_row.get(y, INF) == dist_from_target + 1
+    ]
+    for sink in candidate_sinks:
+        _repair_sink_after_deletion(matrix, sink, source, affected)
+    matrix.mark_synchronized()
+    return affected
+
+
+def _repair_sink_after_deletion(
+    matrix: DistanceMatrix, sink: NodeId, edge_tail: NodeId, affected: AffectedPairs
+) -> None:
+    """Two-phase repair of the distances into *sink* after an edge deletion.
+
+    Phase 1 collects the set of sources whose *every* old shortest path to
+    *sink* used the deleted edge (those are exactly the sources whose
+    distance changes); phase 2 re-settles them from unaffected neighbours
+    with a Dijkstra-style priority queue.  Only affected entries and their
+    immediate frontier are touched — the Ramalingam–Reps bounded behaviour.
+
+    The deleted edge must already be removed from the graph; the matrix must
+    still hold the pre-deletion distances for this sink.
+    """
+    graph = matrix.graph
+    column = matrix.column(sink)  # live dict: old distances into sink
+
+    def old_distance(node: NodeId) -> float:
+        if node == sink:
+            return 0
+        return column.get(node, INF)
+
+    affected_sources: Set[NodeId] = set()
+
+    def is_unsupported(node: NodeId) -> bool:
+        """No successor outside the affected set still certifies the old distance."""
+        current = old_distance(node)
+        if current == INF or node == sink:
+            return False
+        for succ in graph.successors(node):
+            if succ in affected_sources:
+                continue
+            if old_distance(succ) + 1 <= current:
+                return False
+        return True
+
+    # ---- Phase 1: grow the affected set outwards from the edge tail ----
+    # Only the tail of the deleted edge can lose support directly (every
+    # other node's adjacency and successor distances are unchanged); any
+    # other node becomes affected only if all of its shortest-path
+    # successors are affected.
+    worklist: List[NodeId] = []
+    if edge_tail != sink and is_unsupported(edge_tail):
+        affected_sources.add(edge_tail)
+        worklist.append(edge_tail)
+
+    index = 0
+    while index < len(worklist):
+        node = worklist[index]
+        index += 1
+        for pred in graph.predecessors(node):
+            if pred in affected_sources or pred == sink:
+                continue
+            # Only predecessors whose shortest path went through `node` can
+            # become unsupported.
+            if old_distance(pred) != old_distance(node) + 1:
+                continue
+            if is_unsupported(pred):
+                affected_sources.add(pred)
+                worklist.append(pred)
+
+    if not affected_sources:
+        return
+
+    # ---- Phase 2: re-settle affected sources ---------------------------
+    old_values = {node: old_distance(node) for node in affected_sources}
+    queue = AddressablePriorityQueue()
+    for node in affected_sources:
+        best = INF
+        for succ in graph.successors(node):
+            if succ in affected_sources:
+                continue
+            support = old_distance(succ)
+            if support == INF:
+                continue
+            if support + 1 < best:
+                best = support + 1
+        if best < INF:
+            queue.push(node, best)
+
+    settled: Dict[NodeId, float] = {}
+    while not queue.empty():
+        node, dist = queue.pop()
+        settled[node] = dist
+        for pred in graph.predecessors(node):
+            if pred in affected_sources and pred not in settled:
+                queue.push_if_smaller(pred, dist + 1)
+
+    for node in affected_sources:
+        new_value = settled.get(node, INF)
+        old_value = old_values[node]
+        if new_value != old_value:
+            affected[(node, sink)] = (old_value, new_value)
+            matrix.set_distance(node, sink, new_value)
+
+
+# ----------------------------------------------------------------------
+# UpdateBM — batch updates
+# ----------------------------------------------------------------------
+
+def update_matrix_batch(
+    matrix: DistanceMatrix, updates: Sequence[EdgeUpdate]
+) -> AffectedPairs:
+    """Apply the update list ``δ`` to the graph and repair *matrix*.
+
+    The updates are applied in order; the returned ``AFF1`` maps each pair
+    whose distance differs between the state before the first update and the
+    state after the last one to its (old, new) distances.  Pairs whose
+    distance changes transiently but ends up unchanged are *not* reported,
+    matching the semantics ``IncMatch`` needs.
+    """
+    net: AffectedPairs = {}
+    for update in updates:
+        if update.is_insert:
+            step = update_matrix_insert(matrix, update.source, update.target)
+        else:
+            step = update_matrix_delete(matrix, update.source, update.target)
+        net = merge_affected(net, step)
+    return net
+
+
+def merge_affected(first: AffectedPairs, second: AffectedPairs) -> AffectedPairs:
+    """Compose two AFF1 mappings applied in sequence.
+
+    The old distance comes from the earliest record, the new distance from
+    the latest; pairs whose distance returns to its original value drop out.
+    """
+    merged: AffectedPairs = dict(first)
+    for pair, (old, new) in second.items():
+        if pair in merged:
+            original_old = merged[pair][0]
+            if original_old == new:
+                del merged[pair]
+            else:
+                merged[pair] = (original_old, new)
+        else:
+            merged[pair] = (old, new)
+    return merged
+
+
+def apply_updates(graph: DataGraph, updates: Iterable[EdgeUpdate]) -> None:
+    """Apply *updates* to *graph* without touching any distance structure.
+
+    Useful for building the "after" graph that batch recomputation baselines
+    (and tests) compare against.
+    """
+    for update in updates:
+        if update.is_insert:
+            graph.add_edge(update.source, update.target, create_nodes=True, strict=False)
+        else:
+            graph.remove_edge(update.source, update.target, strict=False)

@@ -1,0 +1,162 @@
+"""All-pairs distance matrix (the paper's matrix ``M``).
+
+Algorithm ``Match`` (Fig. 4, line 1) precomputes the distance between every
+pair of nodes so that each bounded-connectivity check is O(1).  The matrix is
+computed with one BFS per node — ``O(|V| (|V| + |E|))`` for unweighted graphs,
+matching the paper's analysis — and stored sparsely (only finite entries).
+
+Both a forward index (``row(u) = {v: dist(u, v)}``) and a reverse index
+(``column(v) = {u: dist(u, v)}``) are maintained: the matching algorithm needs
+descendant queries (rows) and ancestor queries (columns) with equal frequency.
+The incremental procedures ``UpdateM`` / ``UpdateBM`` (see
+:mod:`repro.distance.incremental`) mutate this structure in place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.exceptions import DistanceOracleError
+from repro.graph.datagraph import DataGraph, NodeId
+from repro.distance.oracle import INF, DistanceOracle
+
+__all__ = ["DistanceMatrix"]
+
+
+class DistanceMatrix(DistanceOracle):
+    """Precomputed all-pairs shortest-path distances with O(1) lookups.
+
+    Parameters
+    ----------
+    graph:
+        The data graph.  The matrix snapshots the graph at construction time;
+        call :meth:`refresh` after arbitrary mutations, or use the incremental
+        update procedures for edge insertions/deletions.
+    """
+
+    def __init__(self, graph: DataGraph) -> None:
+        super().__init__(graph)
+        self._rows: Dict[NodeId, Dict[NodeId, int]] = {}
+        self._columns: Dict[NodeId, Dict[NodeId, int]] = {}
+        self._graph_version = -1
+        self.refresh()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def refresh(self) -> None:
+        """Recompute the full matrix from the current graph (one BFS per node)."""
+        self._rows = {}
+        self._columns = {node: {} for node in self._graph.nodes()}
+        for source in self._graph.nodes():
+            row = self._graph.bfs_distances(source)
+            self._rows[source] = row
+            for target, dist in row.items():
+                self._columns[target][source] = dist
+        self._graph_version = self._graph.version
+
+    @property
+    def in_sync(self) -> bool:
+        """``True`` when the matrix was built/updated for the graph's current version."""
+        return self._graph_version == self._graph.version
+
+    def mark_synchronized(self) -> None:
+        """Declare the matrix up to date with the graph (used by incremental updates)."""
+        self._graph_version = self._graph.version
+
+    # ------------------------------------------------------------------
+    # DistanceOracle interface
+    # ------------------------------------------------------------------
+
+    def distance(self, source: NodeId, target: NodeId) -> float:
+        """O(1) shortest-path distance lookup."""
+        row = self._rows.get(source)
+        if row is None:
+            if not self._graph.has_node(source):
+                raise DistanceOracleError(f"unknown node {source!r}")
+            return INF if source != target else 0
+        return row.get(target, INF)
+
+    def descendants_within(self, source: NodeId, bound: Optional[int]) -> Set[NodeId]:
+        row = self._rows.get(source, {})
+        result = {
+            node
+            for node, dist in row.items()
+            if dist >= 1 and (bound is None or dist <= bound)
+        }
+        if self._on_cycle_within(source, bound):
+            result.add(source)
+        return result
+
+    def ancestors_within(self, target: NodeId, bound: Optional[int]) -> Set[NodeId]:
+        column = self._columns.get(target, {})
+        result = {
+            node
+            for node, dist in column.items()
+            if dist >= 1 and (bound is None or dist <= bound)
+        }
+        if self._on_cycle_within(target, bound):
+            result.add(target)
+        return result
+
+    def _on_cycle_within(self, node: NodeId, bound: Optional[int]) -> bool:
+        """Whether *node* lies on a directed cycle of length <= *bound*."""
+        limit = None if bound is None else bound - 1
+        for successor in self._graph.successors(node):
+            dist = self.distance(successor, node)
+            if dist != INF and (limit is None or dist <= limit):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # raw access used by the incremental procedures
+    # ------------------------------------------------------------------
+
+    def row(self, source: NodeId) -> Dict[NodeId, int]:
+        """The finite distances out of *source* (live dict — do not mutate)."""
+        return self._rows.setdefault(source, {source: 0})
+
+    def column(self, target: NodeId) -> Dict[NodeId, int]:
+        """The finite distances into *target* (live dict — do not mutate)."""
+        return self._columns.setdefault(target, {})
+
+    def set_distance(self, source: NodeId, target: NodeId, value: float) -> None:
+        """Set ``dist(source, target)``; :data:`INF` removes the entry."""
+        if value == INF:
+            self._rows.get(source, {}).pop(target, None)
+            self._columns.get(target, {}).pop(source, None)
+            return
+        self._rows.setdefault(source, {})[target] = int(value)
+        self._columns.setdefault(target, {})[source] = int(value)
+
+    def ensure_node(self, node: NodeId) -> None:
+        """Make sure *node* has (possibly empty) row/column entries."""
+        self._rows.setdefault(node, {node: 0})
+        self._columns.setdefault(node, {})
+        self._columns[node].setdefault(node, 0)
+
+    def finite_pairs(self) -> Iterator[Tuple[NodeId, NodeId, int]]:
+        """Iterate over all finite ``(source, target, distance)`` triples."""
+        for source, row in self._rows.items():
+            for target, dist in row.items():
+                yield source, target, dist
+
+    def num_finite_pairs(self) -> int:
+        """The number of finite entries (a proxy for memory use)."""
+        return sum(len(row) for row in self._rows.values())
+
+    def copy(self) -> "DistanceMatrix":
+        """Return a deep copy sharing the same graph reference."""
+        clone = object.__new__(DistanceMatrix)
+        DistanceOracle.__init__(clone, self._graph)
+        clone._rows = {source: dict(row) for source, row in self._rows.items()}
+        clone._columns = {target: dict(col) for target, col in self._columns.items()}
+        clone._graph_version = self._graph_version
+        return clone
+
+    def equals(self, other: "DistanceMatrix") -> bool:
+        """Structural equality of the finite entries (used by tests)."""
+        mine = {(s, t): d for s, t, d in self.finite_pairs()}
+        theirs = {(s, t): d for s, t, d in other.finite_pairs()}
+        return mine == theirs

@@ -1,0 +1,123 @@
+"""Distance oracle abstraction.
+
+Bounded simulation maps every pattern edge to a *nonempty* path in the data
+graph whose length must respect the edge bound (Section 2.2).  The matching
+algorithm therefore needs, for a data node ``v`` and a bound ``k``:
+
+* the set of nodes reachable from ``v`` via a nonempty path of length at most
+  ``k`` (``descendants_within``);
+* symmetrically, the nodes that reach ``v`` (``ancestors_within``);
+* membership tests (``within``).
+
+The paper evaluates three ways of answering these queries (Exp-2): a
+precomputed distance matrix, on-demand BFS, and 2-hop reachability labels
+used as a pruning filter.  All three implement the :class:`DistanceOracle`
+interface defined here, so the matching code in :mod:`repro.matching` is
+oblivious to the choice.
+
+Self-loops deserve care: the ordinary distance ``dist(v, v)`` is 0, but the
+*nonempty* distance from ``v`` to itself is the length of the shortest cycle
+through ``v`` (infinite when ``v`` is not on a cycle).  The helpers here
+implement that adjustment once for all oracles.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Optional, Set
+
+from repro.graph.datagraph import DataGraph, NodeId
+
+__all__ = ["INF", "DistanceOracle"]
+
+#: Distance value representing "unreachable".
+INF = math.inf
+
+
+class DistanceOracle(ABC):
+    """Answers (bounded) distance and reachability queries over a data graph.
+
+    Subclasses must implement :meth:`distance`, :meth:`descendants_within`
+    and :meth:`ancestors_within`; the nonempty-path logic is shared here.
+    """
+
+    def __init__(self, graph: DataGraph) -> None:
+        self._graph = graph
+
+    @property
+    def graph(self) -> DataGraph:
+        """The data graph this oracle answers queries about."""
+        return self._graph
+
+    # ------------------------------------------------------------------
+    # abstract core
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def distance(self, source: NodeId, target: NodeId) -> float:
+        """Shortest-path distance (number of edges) from *source* to *target*.
+
+        Returns 0 when ``source == target`` and :data:`INF` when *target* is
+        unreachable.
+        """
+
+    @abstractmethod
+    def descendants_within(self, source: NodeId, bound: Optional[int]) -> Set[NodeId]:
+        """Nodes reachable from *source* via a nonempty path of length <= *bound*.
+
+        ``bound=None`` means unbounded.  *source* itself belongs to the result
+        only when it lies on a cycle of length within the bound.
+        """
+
+    @abstractmethod
+    def ancestors_within(self, target: NodeId, bound: Optional[int]) -> Set[NodeId]:
+        """Nodes that reach *target* via a nonempty path of length <= *bound*."""
+
+    # ------------------------------------------------------------------
+    # shared derived queries
+    # ------------------------------------------------------------------
+
+    def nonempty_distance(self, source: NodeId, target: NodeId) -> float:
+        """Length of the shortest *nonempty* path from *source* to *target*.
+
+        Equal to :meth:`distance` when the endpoints differ; for
+        ``source == target`` it is the length of the shortest cycle through
+        the node (``1 + min(distance(w, source))`` over successors ``w``).
+        """
+        if source != target:
+            return self.distance(source, target)
+        best = INF
+        for successor in self._graph.successors(source):
+            candidate = self.distance(successor, source)
+            if candidate + 1 < best:
+                best = candidate + 1
+        return best
+
+    def within(self, source: NodeId, target: NodeId, bound: Optional[int]) -> bool:
+        """``True`` when a nonempty path of length <= *bound* goes from *source* to *target*.
+
+        ``bound=None`` only requires the path to exist.
+        """
+        dist = self.nonempty_distance(source, target)
+        if dist == INF:
+            return False
+        return bound is None or dist <= bound
+
+    def reaches(self, source: NodeId, target: NodeId) -> bool:
+        """``True`` when a nonempty path from *source* to *target* exists."""
+        return self.within(source, target, None)
+
+    # ------------------------------------------------------------------
+    # cache / staleness control
+    # ------------------------------------------------------------------
+
+    def refresh(self) -> None:
+        """Recompute any internal state from the current graph.
+
+        The default implementation does nothing; oracles that precompute
+        structures override this.
+        """
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} over {self._graph!r}>"

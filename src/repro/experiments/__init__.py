@@ -1,0 +1,69 @@
+"""Experiment drivers reproducing every table and figure of the evaluation."""
+
+from repro.experiments.exp_datasets import (
+    appendix_statistics_experiment,
+    dataset_table_experiment,
+)
+from repro.experiments.exp_effectiveness import (
+    bound_sweep_experiment,
+    match_vs_subiso_experiment,
+    match_vs_vf2_experiment,
+    result_graph_experiment,
+    varying_edges_experiment,
+)
+from repro.experiments.exp_efficiency import (
+    real_life_efficiency_experiment,
+    synthetic_scalability_experiment,
+)
+from repro.experiments.exp_incremental import (
+    incremental_batch_experiment,
+    incremental_deletions_experiment,
+    incremental_insertions_experiment,
+)
+from repro.experiments.harness import ExperimentRecord, run_experiment, timed
+from repro.experiments.reporting import Table, save_rows_json
+
+__all__ = [
+    "ExperimentRecord",
+    "run_experiment",
+    "timed",
+    "Table",
+    "save_rows_json",
+    "dataset_table_experiment",
+    "appendix_statistics_experiment",
+    "result_graph_experiment",
+    "match_vs_subiso_experiment",
+    "match_vs_vf2_experiment",
+    "varying_edges_experiment",
+    "bound_sweep_experiment",
+    "real_life_efficiency_experiment",
+    "synthetic_scalability_experiment",
+    "incremental_batch_experiment",
+    "incremental_deletions_experiment",
+    "incremental_insertions_experiment",
+]
+
+#: Registry used by the benchmark harness and the ``run_all`` helper: one
+#: entry per paper table / figure.
+ALL_EXPERIMENTS = {
+    "table-datasets": dataset_table_experiment,
+    "fig6a": result_graph_experiment,
+    "exp1-subiso": match_vs_subiso_experiment,
+    "fig6b-6c": match_vs_vf2_experiment,
+    "fig6d": varying_edges_experiment,
+    "fig6e": real_life_efficiency_experiment,
+    "fig6fgh": synthetic_scalability_experiment,
+    "fig6i": incremental_batch_experiment,
+    "fig6j": incremental_deletions_experiment,
+    "fig6k": incremental_insertions_experiment,
+    "fig9": bound_sweep_experiment,
+    "appendix-stats": appendix_statistics_experiment,
+}
+
+
+def run_all(quiet: bool = False):
+    """Run every registered experiment (at its default, laptop-sized scale)."""
+    records = {}
+    for name, driver in ALL_EXPERIMENTS.items():
+        records[name] = run_experiment(driver, quiet=quiet)
+    return records

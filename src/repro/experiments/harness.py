@@ -1,0 +1,83 @@
+"""Shared experiment plumbing: timing, averaging, and run records.
+
+Every figure-reproducing driver in this package follows the same recipe the
+paper describes in Section 5: generate (or load) a data graph, generate a
+suite of patterns per configuration, run each algorithm on every pattern,
+and report the average.  The helpers here keep the drivers small.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.experiments.reporting import Table
+
+__all__ = ["timed", "average", "ExperimentRecord", "run_experiment"]
+
+
+def timed(func: Callable[..., Any], *args: Any, **kwargs: Any) -> Tuple[Any, float]:
+    """Call ``func(*args, **kwargs)`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def average(values: Iterable[float]) -> float:
+    """The arithmetic mean of *values* (0.0 for an empty sequence)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return statistics.fmean(values)
+
+
+@dataclass
+class ExperimentRecord:
+    """The outcome of one experiment driver run."""
+
+    #: Experiment identifier (e.g. ``"fig6b"``).
+    experiment: str
+    #: Human-readable title (matches the paper figure/table).
+    title: str
+    #: Result rows — one per x-axis point / configuration.
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    #: The paper's qualitative expectation, printed alongside the measurements.
+    paper_expectation: str = ""
+    #: Free-form notes (scales used, substitutions, caveats).
+    notes: str = ""
+
+    def add_row(self, **row: Any) -> None:
+        """Append a result row."""
+        self.rows.append(row)
+
+    def to_table(self) -> Table:
+        """Render the record as a printable table."""
+        note_parts = []
+        if self.paper_expectation:
+            note_parts.append(f"paper expectation: {self.paper_expectation}")
+        if self.notes:
+            note_parts.append(self.notes)
+        return Table.from_rows(
+            f"{self.experiment}: {self.title}", self.rows, note=" | ".join(note_parts)
+        )
+
+    def print(self) -> None:
+        """Print the record's table."""
+        self.to_table().print()
+
+
+def run_experiment(
+    driver: Callable[..., ExperimentRecord],
+    /,
+    *args: Any,
+    quiet: bool = False,
+    **kwargs: Any,
+) -> ExperimentRecord:
+    """Run an experiment driver and (unless *quiet*) print its table."""
+    record = driver(*args, **kwargs)
+    if not quiet:
+        record.print()
+    return record

@@ -1,0 +1,82 @@
+"""Graph substrates: data graphs, pattern graphs, predicates, and generators."""
+
+from repro.graph.builders import (
+    collaboration_graph,
+    collaboration_graph_g3,
+    collaboration_pattern,
+    drug_trafficking_graph,
+    drug_trafficking_pattern,
+    paper_example_pairs,
+    social_matching_graph,
+    social_matching_pair,
+    social_matching_pattern,
+)
+from repro.graph.datagraph import DataGraph, Edge, NodeId
+from repro.graph.generators import (
+    attach_attributes,
+    layered_dag,
+    random_attributes,
+    random_data_graph,
+    scale_free_graph,
+    small_world_graph,
+)
+from repro.graph.io import (
+    graph_from_dict,
+    graph_to_dict,
+    load_edge_list,
+    load_graph_json,
+    load_pattern_json,
+    save_edge_list,
+    save_graph_json,
+    save_pattern_json,
+)
+from repro.graph.pattern import UNBOUNDED, Pattern, normalize_bound
+from repro.graph.pattern_generator import (
+    PatternGenerator,
+    generate_pattern,
+    generate_patterns,
+)
+from repro.graph.predicates import TRUE, Atom, Predicate, parse_predicate
+from repro.graph.statistics import GraphStatistics, compute_statistics, degree_histogram
+
+__all__ = [
+    "DataGraph",
+    "Edge",
+    "NodeId",
+    "Pattern",
+    "UNBOUNDED",
+    "normalize_bound",
+    "Atom",
+    "Predicate",
+    "TRUE",
+    "parse_predicate",
+    "random_data_graph",
+    "random_attributes",
+    "attach_attributes",
+    "scale_free_graph",
+    "small_world_graph",
+    "layered_dag",
+    "PatternGenerator",
+    "generate_pattern",
+    "generate_patterns",
+    "GraphStatistics",
+    "compute_statistics",
+    "degree_histogram",
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_graph_json",
+    "load_graph_json",
+    "save_pattern_json",
+    "load_pattern_json",
+    "save_edge_list",
+    "load_edge_list",
+    "drug_trafficking_pattern",
+    "drug_trafficking_graph",
+    "social_matching_pattern",
+    "social_matching_graph",
+    "social_matching_pair",
+    "collaboration_pattern",
+    "collaboration_graph",
+    "collaboration_graph_g3",
+    "paper_example_pairs",
+]

@@ -1,0 +1,263 @@
+"""Hand-built graphs and patterns from the paper's running examples.
+
+These builders reproduce the figures used throughout the paper and are used
+heavily by the test suite and the examples:
+
+* :func:`drug_trafficking_pattern` / :func:`drug_trafficking_graph` —
+  Example 1.1, Fig. 1 (pattern ``P0`` and data graph ``G0``);
+* :func:`social_matching_pattern` / :func:`social_matching_graph` —
+  Example 2.1/2.2, Fig. 2 (``P1`` and ``G1``);
+* :func:`collaboration_pattern` / :func:`collaboration_graph` —
+  Example 2.1/2.2, Fig. 2 (``P2`` and ``G2``), plus :func:`collaboration_graph_g3`
+  (``G3`` = ``G2`` without the edge (DB, Gen), which no longer matches ``P2``).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.graph.datagraph import DataGraph
+from repro.graph.pattern import Pattern
+from repro.graph.predicates import Predicate
+
+__all__ = [
+    "drug_trafficking_pattern",
+    "drug_trafficking_graph",
+    "social_matching_pattern",
+    "social_matching_graph",
+    "social_matching_pair",
+    "collaboration_pattern",
+    "collaboration_graph",
+    "collaboration_graph_g3",
+    "paper_example_pairs",
+]
+
+
+# ----------------------------------------------------------------------
+# Example 1.1 / Fig. 1 — drug trafficking organisation
+# ----------------------------------------------------------------------
+
+def drug_trafficking_pattern() -> Pattern:
+    """The pattern ``P0`` of Fig. 1: boss, assistant managers, secretary, field workers.
+
+    The secretary predicate uses the ``role`` attribute rather than the node
+    label because in ``G0`` the same person is both an assistant manager
+    (label ``AM``) and the secretary — the paper's point (1) in Example 1.1.
+    """
+    pattern = Pattern(name="P0")
+    pattern.add_node("B", "B")
+    pattern.add_node("AM", "AM")
+    pattern.add_node("S", Predicate.equals("role", "S"))
+    pattern.add_node("FW", "FW")
+    pattern.add_edge("B", "AM", 1)
+    pattern.add_edge("B", "S", 1)
+    pattern.add_edge("AM", "FW", 3)
+    pattern.add_edge("S", "FW", 1)
+    pattern.add_edge("AM", "B", 1)   # AMs report directly to the boss
+    pattern.add_edge("FW", "AM", 3)  # FWs report to AMs directly or indirectly
+    return pattern
+
+
+def drug_trafficking_graph(num_managers: int = 3) -> DataGraph:
+    """The data graph ``G0`` of Fig. 1 with *num_managers* assistant managers.
+
+    ``A1 .. A(m-1)`` are AMs heading three-level worker hierarchies; ``Am`` is
+    both an AM and the secretary and supervises the top-level workers
+    directly (1 hop), as in the figure.
+    """
+    if num_managers < 2:
+        raise ValueError("the example requires at least two assistant managers")
+    graph = DataGraph(name="G0")
+    graph.add_node("B", label="B")
+
+    secretary = f"A{num_managers}"
+    for index in range(1, num_managers + 1):
+        manager = f"A{index}"
+        labels = {"label": "AM"}
+        if manager == secretary:
+            labels = {"label": "AM", "role": "S"}
+        graph.add_node(manager, **labels)
+        graph.add_edge("B", manager)
+        graph.add_edge(manager, "B")
+
+    # Each non-secretary AM heads a 3-level chain of field workers; workers
+    # report back up the chain so "FW reports to AM within 3 hops" holds.
+    worker_counter = 0
+    top_level_workers = []
+    for index in range(1, num_managers):
+        manager = f"A{index}"
+        chain = []
+        for level in range(3):
+            worker_counter += 1
+            worker = f"W{worker_counter}"
+            graph.add_node(worker, label="FW", level=level + 1)
+            chain.append(worker)
+        top_level_workers.append(chain[0])
+        graph.add_edge(manager, chain[0])
+        graph.add_edge(chain[0], chain[1])
+        graph.add_edge(chain[1], chain[2])
+        graph.add_edge(chain[2], chain[1])
+        graph.add_edge(chain[1], chain[0])
+        graph.add_edge(chain[0], manager)
+
+    # The secretary (Am) conveys messages to the top-level field workers.
+    for worker in top_level_workers:
+        graph.add_edge(secretary, worker)
+        graph.add_edge(worker, secretary)
+
+    # The secretary is also an AM: it must match the AM node, whose pattern
+    # edge (AM, FW) within 3 hops is satisfied via the top-level workers.
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Example 2.1 / 2.2, Fig. 2 — social matching (P1 / G1)
+# ----------------------------------------------------------------------
+
+def social_matching_pattern() -> Pattern:
+    """The pattern ``P1`` of Fig. 2 (start-up team search)."""
+    pattern = Pattern(name="P1")
+    pattern.add_node("A", "A")
+    pattern.add_node("SE", "SE")
+    pattern.add_node("HR", "HR")
+    pattern.add_node("DM", Predicate.label("DM") & Predicate.equals("hobby", "golf"))
+    pattern.add_edge("A", "SE", 2)
+    pattern.add_edge("A", "HR", 2)
+    pattern.add_edge("SE", "DM", 1)
+    pattern.add_edge("HR", "DM", 2)
+    pattern.add_edge("DM", "A", "*")
+    return pattern
+
+
+def social_matching_graph() -> DataGraph:
+    """The data graph ``G1`` of Fig. 2.
+
+    The person holding both the HR and SE roles (the paper's ``(HR, SE)``
+    node) is modelled with boolean capability attributes ``hr`` / ``se`` so
+    that a single data node can match two different pattern nodes, which is
+    the point of Example 2.2.  :func:`social_matching_pair` returns the
+    matching ``P1`` whose SE / HR predicates test those capabilities.
+    """
+    graph = DataGraph(name="G1")
+    graph.add_node("A", label="A")
+    graph.add_node("HR1", label="HR", se=False, hr=True)
+    graph.add_node("SE1", label="SE", se=True, hr=False)
+    graph.add_node("HR_SE", label="HR,SE", se=True, hr=True)
+    graph.add_node("DM_l", label="DM", hobby="golf")
+    graph.add_node("DM_r", label="DM", hobby="golf")
+    # A reaches SE-capable and HR-capable people within 2 hops.
+    graph.add_edge("A", "HR1")
+    graph.add_edge("HR1", "HR_SE")
+    graph.add_edge("A", "SE1")
+    graph.add_edge("SE1", "HR_SE")
+    # DMs are within 1 hop of SEs and 2 hops of HRs.
+    graph.add_edge("SE1", "DM_l")
+    graph.add_edge("HR_SE", "DM_r")
+    graph.add_edge("HR1", "DM_l")
+    # DMs are connected back to A through chains of friends.
+    graph.add_edge("DM_l", "SE1")
+    graph.add_edge("DM_r", "HR_SE")
+    graph.add_edge("HR_SE", "A")
+    graph.add_edge("SE1", "A")
+    return graph
+
+
+def social_matching_pair() -> Tuple[Pattern, DataGraph]:
+    """``(P1, G1)`` with predicates adjusted so dual-role nodes match both roles.
+
+    The SE / HR predicates use the boolean capability attributes ``se`` /
+    ``hr`` so that the combined-role node matches both pattern nodes, exactly
+    as in Example 2.2 where ``(HR, SE)`` matches both ``SE`` and ``HR``.
+    """
+    pattern = Pattern(name="P1")
+    pattern.add_node("A", "A")
+    pattern.add_node("SE", Predicate.equals("se", True))
+    pattern.add_node("HR", Predicate.equals("hr", True))
+    pattern.add_node("DM", Predicate.label("DM") & Predicate.equals("hobby", "golf"))
+    pattern.add_edge("A", "SE", 2)
+    pattern.add_edge("A", "HR", 2)
+    pattern.add_edge("SE", "DM", 1)
+    pattern.add_edge("HR", "DM", 2)
+    pattern.add_edge("DM", "A", "*")
+    return pattern, social_matching_graph()
+
+
+# ----------------------------------------------------------------------
+# Example 2.1 / 2.2, Fig. 2 — research collaboration (P2 / G2 / G3)
+# ----------------------------------------------------------------------
+
+def collaboration_pattern() -> Pattern:
+    """The pattern ``P2`` of Fig. 2 (cross-field collaboration search)."""
+    pattern = Pattern(name="P2")
+    pattern.add_node("CS", Predicate.equals("dept", "CS"))
+    pattern.add_node("Bio", Predicate.equals("dept", "Bio"))
+    pattern.add_node("Med", Predicate.equals("dept", "Med"))
+    pattern.add_node("Soc", Predicate.equals("dept", "Soc"))
+    pattern.add_edge("CS", "Bio", 2)
+    pattern.add_edge("CS", "Soc", 3)
+    pattern.add_edge("CS", "Med", "*")
+    pattern.add_edge("Bio", "Soc", 2)
+    pattern.add_edge("Bio", "Med", 3)
+    pattern.add_edge("Med", "CS", "*")
+    pattern.add_edge("Soc", "CS", "*")
+    return pattern
+
+
+def collaboration_graph() -> DataGraph:
+    """The data graph ``G2`` of Fig. 2.
+
+    The expected maximum match (Example 2.2) maps CS → {DB}, Bio → {Gen, Eco},
+    Med → {Med}, Soc → {Soc}; AI fails because it cannot reach Soc within 3
+    hops.
+    """
+    graph = DataGraph(name="G2")
+    graph.add_node("DB", label="DB", dept="CS")
+    graph.add_node("AI", label="AI", dept="CS")
+    graph.add_node("Gen", label="Gen", dept="Bio")
+    graph.add_node("Eco", label="Eco", dept="Bio")
+    graph.add_node("Chem", label="Chem", dept="Chem")
+    graph.add_node("Med", label="Med", dept="Med")
+    graph.add_node("Soc", label="Soc", dept="Soc")
+
+    # DB collaborates with genetics directly; genetics with ecology; the
+    # biology researchers are connected to sociology and medicine within the
+    # required bounds, and medicine / sociology are connected back to DB.
+    graph.add_edge("DB", "Gen")
+    graph.add_edge("Gen", "Eco")
+    graph.add_edge("Eco", "Gen")
+    graph.add_edge("Gen", "Soc")
+    graph.add_edge("Eco", "Soc")
+    graph.add_edge("Gen", "Chem")
+    graph.add_edge("Chem", "Med")
+    graph.add_edge("Eco", "Med")
+    graph.add_edge("Med", "DB")
+    graph.add_edge("Soc", "DB")
+    graph.add_edge("DB", "Med")
+
+    # AI is a CS node but its only outgoing collaborations go through Chem,
+    # so it cannot reach Soc within 3 hops.
+    graph.add_edge("AI", "Chem")
+    graph.add_edge("Med", "AI")
+    return graph
+
+
+def collaboration_graph_g3() -> DataGraph:
+    """``G3`` of Example 2.2: ``G2`` with the edge (DB, Gen) removed (no match)."""
+    graph = collaboration_graph()
+    graph.name = "G3"
+    graph.remove_edge("DB", "Gen")
+    return graph
+
+
+def paper_example_pairs():
+    """Return the three (pattern, graph) pairs used in the paper's examples.
+
+    Returns a list of ``(name, pattern, graph, expects_match)`` tuples.
+    """
+    p1, g1 = social_matching_pair()
+    return [
+        ("P0/G0", drug_trafficking_pattern(), drug_trafficking_graph(), True),
+        ("P1/G1", p1, g1, True),
+        ("P2/G2", collaboration_pattern(), collaboration_graph(), True),
+        ("P2/G3", collaboration_pattern(), collaboration_graph_g3(), False),
+    ]

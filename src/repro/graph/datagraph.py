@@ -1,0 +1,491 @@
+"""Attributed directed data graphs.
+
+The paper's data graph is ``G = (V, E, f_A)`` where ``f_A(u)`` maps each node
+to a tuple of attribute/value pairs (Section 2.1).  :class:`DataGraph` stores
+the node set, forward and reverse adjacency, and per-node attribute dicts.
+
+Design notes
+------------
+* Node identifiers may be any hashable value (ints, strings, tuples).
+* Both successor and predecessor adjacency are maintained so that the
+  matching and incremental algorithms can walk edges in either direction in
+  O(degree) time.
+* Mutation is supported (`add_edge`, `remove_edge`, ...) because the
+  incremental algorithms of Section 4 operate on evolving graphs.  A
+  monotonically increasing :attr:`version` counter lets caches (distance
+  oracles) detect staleness.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.exceptions import (
+    DuplicateEdgeError,
+    DuplicateNodeError,
+    EdgeNotFoundError,
+    NodeNotFoundError,
+)
+
+__all__ = ["DataGraph", "NodeId", "Edge"]
+
+NodeId = Hashable
+Edge = Tuple[NodeId, NodeId]
+
+
+class DataGraph:
+    """A directed graph whose nodes carry attribute dictionaries.
+
+    Parameters
+    ----------
+    name:
+        Optional human-readable name (used in experiment reports).
+
+    Examples
+    --------
+    >>> g = DataGraph(name="toy")
+    >>> g.add_node("a", label="AM")
+    >>> g.add_node("b", label="FW", seniority=2)
+    >>> g.add_edge("a", "b")
+    >>> g.number_of_nodes(), g.number_of_edges()
+    (2, 1)
+    >>> sorted(g.successors("a"))
+    ['b']
+    """
+
+    __slots__ = ("name", "_succ", "_pred", "_attrs", "_edge_colors", "_num_edges", "_version")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._succ: Dict[NodeId, Set[NodeId]] = {}
+        self._pred: Dict[NodeId, Set[NodeId]] = {}
+        self._attrs: Dict[NodeId, Dict[str, Any]] = {}
+        # Optional edge colours (relationship types): only coloured edges are stored.
+        self._edge_colors: Dict[Edge, Any] = {}
+        self._num_edges = 0
+        self._version = 0
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every mutation (for cache invalidation)."""
+        return self._version
+
+    def number_of_nodes(self) -> int:
+        """The number of nodes ``|V|``."""
+        return len(self._succ)
+
+    def number_of_edges(self) -> int:
+        """The number of edges ``|E|``."""
+        return self._num_edges
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._succ
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._succ)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<DataGraph{label} |V|={self.number_of_nodes()} "
+            f"|E|={self.number_of_edges()}>"
+        )
+
+    # ------------------------------------------------------------------
+    # nodes
+    # ------------------------------------------------------------------
+
+    def nodes(self) -> Iterator[NodeId]:
+        """Iterate over node ids."""
+        return iter(self._succ)
+
+    def node_list(self) -> List[NodeId]:
+        """Return the node ids as a list (stable insertion order)."""
+        return list(self._succ)
+
+    def has_node(self, node: NodeId) -> bool:
+        """Return ``True`` when *node* is in the graph."""
+        return node in self._succ
+
+    def add_node(self, node: NodeId, **attributes: Any) -> None:
+        """Add *node* with the given attributes.
+
+        Raises
+        ------
+        DuplicateNodeError
+            If the node already exists.  Use :meth:`set_attributes` to update
+            attributes of an existing node.
+        """
+        if node in self._succ:
+            raise DuplicateNodeError(node)
+        self._succ[node] = set()
+        self._pred[node] = set()
+        self._attrs[node] = dict(attributes)
+        self._version += 1
+
+    def ensure_node(self, node: NodeId, **attributes: Any) -> None:
+        """Add *node* if absent; merge *attributes* into it either way."""
+        if node not in self._succ:
+            self.add_node(node, **attributes)
+        elif attributes:
+            self._attrs[node].update(attributes)
+            self._version += 1
+
+    def remove_node(self, node: NodeId) -> None:
+        """Remove *node* and all incident edges.
+
+        Raises
+        ------
+        NodeNotFoundError
+            If the node is not present.
+        """
+        self._require_node(node)
+        for succ in list(self._succ[node]):
+            self._pred[succ].discard(node)
+            self._num_edges -= 1
+        for pred in list(self._pred[node]):
+            self._succ[pred].discard(node)
+            self._num_edges -= 1
+        del self._succ[node]
+        del self._pred[node]
+        del self._attrs[node]
+        self._version += 1
+
+    def attributes(self, node: NodeId) -> Mapping[str, Any]:
+        """Return the attribute mapping ``f_A(node)`` (read-only view semantics).
+
+        The returned dict is the live mapping; callers must not mutate it
+        directly — use :meth:`set_attributes`.
+        """
+        self._require_node(node)
+        return self._attrs[node]
+
+    def attribute(self, node: NodeId, name: str, default: Any = None) -> Any:
+        """Return one attribute of *node*, or *default* when missing."""
+        self._require_node(node)
+        return self._attrs[node].get(name, default)
+
+    def set_attributes(self, node: NodeId, **attributes: Any) -> None:
+        """Merge *attributes* into the attributes of *node*."""
+        self._require_node(node)
+        self._attrs[node].update(attributes)
+        self._version += 1
+
+    # ------------------------------------------------------------------
+    # edges
+    # ------------------------------------------------------------------
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over edges as ``(source, target)`` pairs."""
+        for source, targets in self._succ.items():
+            for target in targets:
+                yield (source, target)
+
+    def edge_list(self) -> List[Edge]:
+        """Return all edges as a list."""
+        return list(self.edges())
+
+    def has_edge(self, source: NodeId, target: NodeId) -> bool:
+        """Return ``True`` when the edge ``(source, target)`` exists."""
+        targets = self._succ.get(source)
+        return targets is not None and target in targets
+
+    def add_edge(
+        self,
+        source: NodeId,
+        target: NodeId,
+        *,
+        create_nodes: bool = False,
+        strict: bool = True,
+        color: Any = None,
+    ) -> bool:
+        """Add the edge ``(source, target)``.
+
+        Parameters
+        ----------
+        create_nodes:
+            When ``True``, missing endpoints are created with empty attributes.
+        strict:
+            When ``True`` (default), adding an existing edge raises
+            :class:`DuplicateEdgeError`; otherwise the call is a no-op and
+            returns ``False``.
+        color:
+            Optional edge colour (relationship type) — Remark (4) of the
+            paper.  ``None`` leaves the edge uncoloured.
+
+        Returns
+        -------
+        bool
+            ``True`` when a new edge was added.
+        """
+        if create_nodes:
+            self.ensure_node(source)
+            self.ensure_node(target)
+        else:
+            self._require_node(source)
+            self._require_node(target)
+        if target in self._succ[source]:
+            if strict:
+                raise DuplicateEdgeError(source, target)
+            return False
+        self._succ[source].add(target)
+        self._pred[target].add(source)
+        if color is not None:
+            self._edge_colors[(source, target)] = color
+        self._num_edges += 1
+        self._version += 1
+        return True
+
+    def remove_edge(self, source: NodeId, target: NodeId, *, strict: bool = True) -> bool:
+        """Remove the edge ``(source, target)``.
+
+        With ``strict=True`` a missing edge raises :class:`EdgeNotFoundError`;
+        otherwise the call returns ``False``.
+        """
+        self._require_node(source)
+        self._require_node(target)
+        if target not in self._succ[source]:
+            if strict:
+                raise EdgeNotFoundError(source, target)
+            return False
+        self._succ[source].discard(target)
+        self._pred[target].discard(source)
+        self._edge_colors.pop((source, target), None)
+        self._num_edges -= 1
+        self._version += 1
+        return True
+
+    def add_edges_from(self, edges: Iterable[Edge], *, create_nodes: bool = True) -> int:
+        """Add many edges; duplicates are ignored.  Returns the number added."""
+        added = 0
+        for source, target in edges:
+            if self.add_edge(source, target, create_nodes=create_nodes, strict=False):
+                added += 1
+        return added
+
+    # ------------------------------------------------------------------
+    # edge colours (relationship types — Remark (4) of the paper)
+    # ------------------------------------------------------------------
+
+    def edge_color(self, source: NodeId, target: NodeId) -> Any:
+        """The colour of the edge ``(source, target)`` (``None`` when uncoloured).
+
+        Raises
+        ------
+        EdgeNotFoundError
+            If the edge does not exist.
+        """
+        if not self.has_edge(source, target):
+            raise EdgeNotFoundError(source, target)
+        return self._edge_colors.get((source, target))
+
+    def set_edge_color(self, source: NodeId, target: NodeId, color: Any) -> None:
+        """Set (or clear, with ``None``) the colour of an existing edge."""
+        if not self.has_edge(source, target):
+            raise EdgeNotFoundError(source, target)
+        if color is None:
+            self._edge_colors.pop((source, target), None)
+        else:
+            self._edge_colors[(source, target)] = color
+        self._version += 1
+
+    def edge_colors(self) -> Set[Any]:
+        """The set of distinct colours used by edges of this graph."""
+        return set(self._edge_colors.values())
+
+    def colored_subgraph(self, color: Any, name: str = "") -> "DataGraph":
+        """The graph restricted to edges of *color* (all nodes are kept).
+
+        This is the substrate for colour-aware bounded simulation: a pattern
+        edge with a colour must map to a path whose edges all carry that
+        colour, i.e. to a bounded path of the coloured subgraph.
+        """
+        sub = DataGraph(name=name or f"{self.name}[{color!r}]")
+        for node, attrs in self._attrs.items():
+            sub.add_node(node, **attrs)
+        for (source, target), edge_color in self._edge_colors.items():
+            if edge_color == color:
+                sub.add_edge(source, target, color=edge_color)
+        return sub
+
+    # ------------------------------------------------------------------
+    # adjacency
+    # ------------------------------------------------------------------
+
+    def successors(self, node: NodeId) -> Set[NodeId]:
+        """The set of direct successors (children) of *node*."""
+        self._require_node(node)
+        return self._succ[node]
+
+    def predecessors(self, node: NodeId) -> Set[NodeId]:
+        """The set of direct predecessors (parents) of *node*."""
+        self._require_node(node)
+        return self._pred[node]
+
+    def out_degree(self, node: NodeId) -> int:
+        """The number of outgoing edges of *node*."""
+        self._require_node(node)
+        return len(self._succ[node])
+
+    def in_degree(self, node: NodeId) -> int:
+        """The number of incoming edges of *node*."""
+        self._require_node(node)
+        return len(self._pred[node])
+
+    def degree(self, node: NodeId) -> int:
+        """Total degree (in + out) of *node*."""
+        return self.in_degree(node) + self.out_degree(node)
+
+    # ------------------------------------------------------------------
+    # traversal helpers
+    # ------------------------------------------------------------------
+
+    def bfs_distances(
+        self,
+        source: NodeId,
+        *,
+        max_depth: Optional[int] = None,
+        reverse: bool = False,
+    ) -> Dict[NodeId, int]:
+        """Breadth-first distances from *source*.
+
+        Parameters
+        ----------
+        max_depth:
+            When given, the search stops after this many hops.
+        reverse:
+            When ``True`` the search follows predecessor edges, yielding the
+            distances *to* ``source`` from each reached node.
+
+        Returns
+        -------
+        dict
+            ``{node: hops}`` for every reachable node, including
+            ``source: 0``.
+        """
+        self._require_node(source)
+        adjacency = self._pred if reverse else self._succ
+        distances: Dict[NodeId, int] = {source: 0}
+        frontier = [source]
+        depth = 0
+        while frontier:
+            if max_depth is not None and depth >= max_depth:
+                break
+            depth += 1
+            next_frontier: List[NodeId] = []
+            for node in frontier:
+                for neighbor in adjacency[node]:
+                    if neighbor not in distances:
+                        distances[neighbor] = depth
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        return distances
+
+    def reachable_from(self, source: NodeId) -> Set[NodeId]:
+        """The set of nodes reachable from *source* (including itself)."""
+        return set(self.bfs_distances(source))
+
+    def descendants_within(self, source: NodeId, hops: Optional[int]) -> Set[NodeId]:
+        """Nodes reachable from *source* via a nonempty path of at most *hops* edges.
+
+        ``hops=None`` means unbounded.  ``source`` itself is included only if
+        it lies on a cycle of length within the bound.
+        """
+        distances = self.bfs_distances(source, max_depth=hops)
+        result = {node for node, dist in distances.items() if dist >= 1}
+        # A nonempty path back to the source exists iff some predecessor of
+        # the source was reached within hops - 1.
+        limit = None if hops is None else hops - 1
+        for pred in self._pred[source]:
+            dist = distances.get(pred)
+            if dist is not None and (limit is None or dist <= limit):
+                result.add(source)
+                break
+        return result
+
+    def ancestors_within(self, target: NodeId, hops: Optional[int]) -> Set[NodeId]:
+        """Nodes that reach *target* via a nonempty path of at most *hops* edges."""
+        distances = self.bfs_distances(target, max_depth=hops, reverse=True)
+        result = {node for node, dist in distances.items() if dist >= 1}
+        limit = None if hops is None else hops - 1
+        for succ in self._succ[target]:
+            dist = distances.get(succ)
+            if dist is not None and (limit is None or dist <= limit):
+                result.add(target)
+                break
+        return result
+
+    # ------------------------------------------------------------------
+    # copies and conversions
+    # ------------------------------------------------------------------
+
+    def copy(self, name: Optional[str] = None) -> "DataGraph":
+        """Return a deep-enough copy (attribute dicts are copied shallowly per node)."""
+        clone = DataGraph(name=self.name if name is None else name)
+        for node, attrs in self._attrs.items():
+            clone.add_node(node, **attrs)
+        for source, target in self.edges():
+            clone.add_edge(source, target, color=self._edge_colors.get((source, target)))
+        return clone
+
+    def subgraph(self, nodes: Iterable[NodeId], name: str = "") -> "DataGraph":
+        """Return the induced subgraph on *nodes*."""
+        keep = set(nodes)
+        for node in keep:
+            self._require_node(node)
+        sub = DataGraph(name=name or f"{self.name}-subgraph")
+        for node in keep:
+            sub.add_node(node, **self._attrs[node])
+        for node in keep:
+            for succ in self._succ[node]:
+                if succ in keep:
+                    sub.add_edge(node, succ, color=self._edge_colors.get((node, succ)))
+        return sub
+
+    def to_edge_list(self) -> List[Edge]:
+        """Alias of :meth:`edge_list` kept for symmetry with ``from_edge_list``."""
+        return self.edge_list()
+
+    @classmethod
+    def from_edge_list(
+        cls,
+        edges: Iterable[Edge],
+        attributes: Optional[Mapping[NodeId, Mapping[str, Any]]] = None,
+        name: str = "",
+    ) -> "DataGraph":
+        """Build a graph from an edge list and an optional attribute mapping."""
+        graph = cls(name=name)
+        attributes = attributes or {}
+        for node, attrs in attributes.items():
+            graph.ensure_node(node, **attrs)
+        for source, target in edges:
+            graph.ensure_node(source)
+            graph.ensure_node(target)
+            graph.add_edge(source, target, strict=False)
+        return graph
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _require_node(self, node: NodeId) -> None:
+        if node not in self._succ:
+            raise NodeNotFoundError(node)

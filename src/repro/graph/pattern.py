@@ -1,0 +1,426 @@
+"""Pattern graphs with node predicates and bounded edges.
+
+Section 2.1 of the paper defines a pattern as ``P = (V_p, E_p, f_v, f_e)``:
+
+* ``f_v(u)`` — a predicate (conjunction of ``A op a`` atoms) per node;
+* ``f_e(u, u')`` — per edge either a positive integer ``k`` (the mapped path
+  must have length at most ``k``) or ``*`` (unbounded).
+
+:class:`Pattern` stores both, offers DAG/cycle inspection (needed by the
+incremental algorithms, which require DAG patterns for insertions), and
+conversion helpers.  The special case of *traditional* patterns — label-only
+predicates and every bound equal to 1 — corresponds to plain graph
+simulation / subgraph isomorphism and is exposed via :meth:`is_traditional`.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.exceptions import (
+    DuplicateEdgeError,
+    DuplicateNodeError,
+    EdgeNotFoundError,
+    InvalidBoundError,
+    NodeNotFoundError,
+    PatternError,
+)
+from repro.graph.predicates import Predicate, PredicateLike, parse_predicate
+
+__all__ = ["Pattern", "UNBOUNDED", "normalize_bound", "PatternNodeId"]
+
+PatternNodeId = Hashable
+
+#: Marker for an unbounded pattern edge (the paper's ``*``).
+UNBOUNDED: None = None
+
+BoundLike = Union[int, str, None]
+
+
+def normalize_bound(bound: BoundLike) -> Optional[int]:
+    """Normalise the accepted bound spellings.
+
+    ``'*'``, ``None`` and ``float('inf')`` denote an unbounded edge and are
+    normalised to ``None``; positive integers are returned unchanged.
+
+    Raises
+    ------
+    InvalidBoundError
+        For zero, negative, or otherwise malformed bounds.
+    """
+    if bound is None or bound == "*":
+        return UNBOUNDED
+    if isinstance(bound, float) and bound == float("inf"):
+        return UNBOUNDED
+    if isinstance(bound, bool) or not isinstance(bound, int):
+        raise InvalidBoundError(bound)
+    if bound < 1:
+        raise InvalidBoundError(bound)
+    return bound
+
+
+class Pattern:
+    """A pattern graph ``P = (V_p, E_p, f_v, f_e)``.
+
+    Examples
+    --------
+    Build the paper's social-matching pattern ``P1`` (Fig. 2)::
+
+        p = Pattern(name="P1")
+        p.add_node("A", "A")
+        p.add_node("SE", "SE")
+        p.add_node("HR", "HR")
+        p.add_node("DM", Predicate.label("DM") & Predicate.equals("hobby", "golf"))
+        p.add_edge("A", "SE", 2)
+        p.add_edge("A", "HR", 2)
+        p.add_edge("SE", "DM", 1)
+        p.add_edge("HR", "DM", 2)
+        p.add_edge("DM", "A", "*")
+    """
+
+    __slots__ = ("name", "_succ", "_pred", "_predicates", "_bounds", "_colors", "_num_edges")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._succ: Dict[PatternNodeId, Set[PatternNodeId]] = {}
+        self._pred: Dict[PatternNodeId, Set[PatternNodeId]] = {}
+        self._predicates: Dict[PatternNodeId, Predicate] = {}
+        self._bounds: Dict[Tuple[PatternNodeId, PatternNodeId], Optional[int]] = {}
+        # Optional edge colours (relationship types) — Remark (4) of the paper.
+        self._colors: Dict[Tuple[PatternNodeId, PatternNodeId], Any] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # nodes
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: PatternNodeId, predicate: PredicateLike = None) -> None:
+        """Add a pattern node with *predicate* (see :func:`parse_predicate`).
+
+        A bare string predicate such as ``'DM'`` is interpreted as a label
+        equality, mirroring the paper's shorthand ``f_v(u) = A``.
+        """
+        if node in self._succ:
+            raise DuplicateNodeError(node)
+        self._succ[node] = set()
+        self._pred[node] = set()
+        self._predicates[node] = parse_predicate(predicate)
+
+    def has_node(self, node: PatternNodeId) -> bool:
+        """Return ``True`` when *node* is a pattern node."""
+        return node in self._succ
+
+    def remove_node(self, node: PatternNodeId) -> None:
+        """Remove *node* and its incident pattern edges."""
+        self._require_node(node)
+        for succ in list(self._succ[node]):
+            self.remove_edge(node, succ)
+        for pred in list(self._pred[node]):
+            self.remove_edge(pred, node)
+        del self._succ[node]
+        del self._pred[node]
+        del self._predicates[node]
+
+    def nodes(self) -> Iterator[PatternNodeId]:
+        """Iterate over pattern node ids."""
+        return iter(self._succ)
+
+    def node_list(self) -> List[PatternNodeId]:
+        """Return pattern node ids as a list."""
+        return list(self._succ)
+
+    def predicate(self, node: PatternNodeId) -> Predicate:
+        """The predicate ``f_v(node)``."""
+        self._require_node(node)
+        return self._predicates[node]
+
+    def set_predicate(self, node: PatternNodeId, predicate: PredicateLike) -> None:
+        """Replace the predicate of *node*."""
+        self._require_node(node)
+        self._predicates[node] = parse_predicate(predicate)
+
+    def number_of_nodes(self) -> int:
+        """``|V_p|``."""
+        return len(self._succ)
+
+    def number_of_edges(self) -> int:
+        """``|E_p|``."""
+        return self._num_edges
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __contains__(self, node: PatternNodeId) -> bool:
+        return node in self._succ
+
+    def __iter__(self) -> Iterator[PatternNodeId]:
+        return iter(self._succ)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<Pattern{label} |Vp|={self.number_of_nodes()} "
+            f"|Ep|={self.number_of_edges()}>"
+        )
+
+    # ------------------------------------------------------------------
+    # edges
+    # ------------------------------------------------------------------
+
+    def add_edge(
+        self,
+        source: PatternNodeId,
+        target: PatternNodeId,
+        bound: BoundLike = 1,
+        *,
+        color: Any = None,
+    ) -> None:
+        """Add the pattern edge ``(source, target)`` with *bound* (default 1).
+
+        ``bound`` may be a positive integer, ``'*'`` or ``None`` (unbounded).
+        An optional *color* restricts the bounded path to data edges of the
+        same relationship type (see :mod:`repro.matching.colored`).
+        """
+        self._require_node(source)
+        self._require_node(target)
+        if target in self._succ[source]:
+            raise DuplicateEdgeError(source, target)
+        normalized = normalize_bound(bound)
+        self._succ[source].add(target)
+        self._pred[target].add(source)
+        self._bounds[(source, target)] = normalized
+        if color is not None:
+            self._colors[(source, target)] = color
+        self._num_edges += 1
+
+    def remove_edge(self, source: PatternNodeId, target: PatternNodeId) -> None:
+        """Remove the pattern edge ``(source, target)``."""
+        self._require_node(source)
+        self._require_node(target)
+        if target not in self._succ[source]:
+            raise EdgeNotFoundError(source, target)
+        self._succ[source].discard(target)
+        self._pred[target].discard(source)
+        del self._bounds[(source, target)]
+        self._colors.pop((source, target), None)
+        self._num_edges -= 1
+
+    def has_edge(self, source: PatternNodeId, target: PatternNodeId) -> bool:
+        """Return ``True`` when the pattern edge exists."""
+        targets = self._succ.get(source)
+        return targets is not None and target in targets
+
+    def edges(self) -> Iterator[Tuple[PatternNodeId, PatternNodeId]]:
+        """Iterate over pattern edges."""
+        return iter(list(self._bounds))
+
+    def edge_list(self) -> List[Tuple[PatternNodeId, PatternNodeId]]:
+        """Return pattern edges as a list."""
+        return list(self._bounds)
+
+    def bound(self, source: PatternNodeId, target: PatternNodeId) -> Optional[int]:
+        """The bound ``f_e(source, target)``: a positive int, or ``None`` for ``*``."""
+        try:
+            return self._bounds[(source, target)]
+        except KeyError:
+            raise EdgeNotFoundError(source, target) from None
+
+    def set_bound(
+        self, source: PatternNodeId, target: PatternNodeId, bound: BoundLike
+    ) -> None:
+        """Replace the bound of an existing pattern edge."""
+        if (source, target) not in self._bounds:
+            raise EdgeNotFoundError(source, target)
+        self._bounds[(source, target)] = normalize_bound(bound)
+
+    def color(self, source: PatternNodeId, target: PatternNodeId) -> Any:
+        """The colour of an existing pattern edge (``None`` when uncoloured)."""
+        if (source, target) not in self._bounds:
+            raise EdgeNotFoundError(source, target)
+        return self._colors.get((source, target))
+
+    def edge_colors(self) -> Set[Any]:
+        """The set of distinct colours used by pattern edges."""
+        return set(self._colors.values())
+
+    def has_colored_edges(self) -> bool:
+        """``True`` when some pattern edge carries a colour."""
+        return bool(self._colors)
+
+    def successors(self, node: PatternNodeId) -> Set[PatternNodeId]:
+        """Children of *node* in the pattern."""
+        self._require_node(node)
+        return self._succ[node]
+
+    def predecessors(self, node: PatternNodeId) -> Set[PatternNodeId]:
+        """Parents of *node* in the pattern."""
+        self._require_node(node)
+        return self._pred[node]
+
+    def out_degree(self, node: PatternNodeId) -> int:
+        """Number of outgoing pattern edges of *node*."""
+        self._require_node(node)
+        return len(self._succ[node])
+
+    def in_degree(self, node: PatternNodeId) -> int:
+        """Number of incoming pattern edges of *node*."""
+        self._require_node(node)
+        return len(self._pred[node])
+
+    # ------------------------------------------------------------------
+    # structural queries
+    # ------------------------------------------------------------------
+
+    def is_dag(self) -> bool:
+        """Return ``True`` when the pattern has no directed cycle.
+
+        The incremental insertion algorithm ``Match⁺`` and the batch
+        ``IncMatch`` require DAG patterns (Theorem 4.1).
+        """
+        try:
+            self.topological_order()
+        except PatternError:
+            return False
+        return True
+
+    def topological_order(self) -> List[PatternNodeId]:
+        """Return nodes in a topological order.
+
+        Raises
+        ------
+        PatternError
+            If the pattern contains a directed cycle.
+        """
+        in_degree = {node: len(self._pred[node]) for node in self._succ}
+        queue = [node for node, deg in in_degree.items() if deg == 0]
+        order: List[PatternNodeId] = []
+        while queue:
+            node = queue.pop()
+            order.append(node)
+            for succ in self._succ[node]:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    queue.append(succ)
+        if len(order) != len(self._succ):
+            raise PatternError("pattern contains a directed cycle")
+        return order
+
+    def reverse_topological_order(self) -> List[PatternNodeId]:
+        """Topological order reversed (children before parents)."""
+        return list(reversed(self.topological_order()))
+
+    def is_traditional(self) -> bool:
+        """``True`` when every bound is 1 and every predicate is a single label atom.
+
+        Traditional patterns are the special case where bounded simulation
+        coincides with plain graph simulation (Remark (2), Section 2.2).
+        """
+        if any(bound != 1 for bound in self._bounds.values()):
+            return False
+        for predicate in self._predicates.values():
+            atoms = predicate.atoms
+            if len(atoms) != 1:
+                return False
+            atom = atoms[0]
+            if atom.op != "=" or atom.attribute != Predicate.LABEL_ATTRIBUTE:
+                return False
+        return True
+
+    def max_bound(self) -> Optional[int]:
+        """The largest finite bound, or ``None`` when the pattern has no finite bound."""
+        finite = [b for b in self._bounds.values() if b is not None]
+        return max(finite) if finite else None
+
+    def has_unbounded_edge(self) -> bool:
+        """``True`` when some edge carries the ``*`` bound."""
+        return any(bound is None for bound in self._bounds.values())
+
+    # ------------------------------------------------------------------
+    # copies and conversions
+    # ------------------------------------------------------------------
+
+    def copy(self, name: Optional[str] = None) -> "Pattern":
+        """Return a structural copy of the pattern."""
+        clone = Pattern(name=self.name if name is None else name)
+        for node in self._succ:
+            clone.add_node(node, self._predicates[node])
+        for (source, target), bound in self._bounds.items():
+            clone.add_edge(
+                source,
+                target,
+                bound if bound is not None else "*",
+                color=self._colors.get((source, target)),
+            )
+        return clone
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialise to a JSON-friendly dict (see :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "nodes": [
+                {"id": node, "predicate": self._predicates[node].to_list()}
+                for node in self._succ
+            ],
+            "edges": [
+                {
+                    "source": source,
+                    "target": target,
+                    "bound": "*" if bound is None else bound,
+                    "color": self._colors.get((source, target)),
+                }
+                for (source, target), bound in self._bounds.items()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Pattern":
+        """Reconstruct a pattern from :meth:`to_dict` output."""
+        pattern = cls(name=data.get("name", ""))
+        try:
+            for item in data["nodes"]:
+                pattern.add_node(item["id"], Predicate.from_list(item["predicate"]))
+            for item in data["edges"]:
+                pattern.add_edge(
+                    item["source"],
+                    item["target"],
+                    item["bound"],
+                    color=item.get("color"),
+                )
+        except KeyError as exc:
+            raise PatternError(f"pattern dict is missing key {exc}") from None
+        return pattern
+
+    @classmethod
+    def from_edges(
+        cls,
+        node_predicates: Mapping[PatternNodeId, PredicateLike],
+        edges: Iterable[Tuple[PatternNodeId, PatternNodeId, BoundLike]],
+        name: str = "",
+    ) -> "Pattern":
+        """Convenience constructor from a predicate mapping and bounded-edge triples."""
+        pattern = cls(name=name)
+        for node, predicate in node_predicates.items():
+            pattern.add_node(node, predicate)
+        for source, target, bound in edges:
+            pattern.add_edge(source, target, bound)
+        return pattern
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _require_node(self, node: PatternNodeId) -> None:
+        if node not in self._succ:
+            raise NodeNotFoundError(node)

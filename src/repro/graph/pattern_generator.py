@@ -1,0 +1,260 @@
+"""Pattern generator (Appendix, "More about pattern generator").
+
+The paper's generator takes four parameters — the number of pattern nodes
+``|V_p|``, the number of pattern edges ``|E_p|``, an upper bound ``k`` on
+path lengths, and a data graph ``G`` — and is biased towards *positive*
+patterns, i.e. patterns that ``G`` matches:
+
+1. Pattern nodes are generated one at a time.  The first node is anchored on
+   a random data node; each later node picks an already generated pattern
+   node as a *base*, walks at most ``k'`` hops in ``G`` from the base's
+   anchor to a new anchor, and adds a pattern edge from the base to the new
+   node with bound ``k'`` (or ``*`` with a configurable probability).
+   ``k'`` is drawn from ``[k - c, k]`` for a small constant ``c``.
+2. Once the spanning tree of ``|V_p| - 1`` edges exists (positive by
+   construction when all edges are bounded), extra edges between random
+   pattern-node pairs are added until ``|E_p|`` edges exist; these extra
+   edges do not preserve positiveness.
+
+Pattern node predicates are derived from the anchor's attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import GraphError, PatternError
+from repro.graph.datagraph import DataGraph, NodeId
+from repro.graph.pattern import Pattern
+from repro.graph.predicates import Predicate
+from repro.utils.rng import RandomLike, make_rng
+from repro.utils.validation import ensure_non_negative_int, ensure_positive_int
+
+__all__ = ["PatternGenerator", "generate_pattern", "generate_patterns"]
+
+
+class PatternGenerator:
+    """Generates patterns anchored on a data graph (positive-biased).
+
+    Parameters
+    ----------
+    graph:
+        The data graph patterns are anchored on.
+    bound_slack:
+        The constant ``c`` of the appendix: edge bounds are drawn from
+        ``[max(1, k - bound_slack), k]``.
+    unbounded_probability:
+        Probability that a generated edge receives the ``*`` bound instead of
+        a finite one.
+    predicate_attributes:
+        The attribute names copied from anchors into node predicates.  When
+        ``None``, a single attribute is used: ``label`` if present on the
+        anchor, otherwise the anchor's first attribute.
+    seed:
+        Seed or ``random.Random`` driving all choices.
+    """
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        *,
+        bound_slack: int = 2,
+        unbounded_probability: float = 0.0,
+        predicate_attributes: Optional[Sequence[str]] = None,
+        seed: RandomLike = None,
+    ) -> None:
+        if graph.number_of_nodes() == 0:
+            raise GraphError("cannot generate patterns over an empty data graph")
+        ensure_non_negative_int(bound_slack, "bound_slack")
+        if not 0.0 <= unbounded_probability <= 1.0:
+            raise PatternError(
+                f"unbounded_probability must be in [0, 1], got {unbounded_probability}"
+            )
+        self.graph = graph
+        self.bound_slack = bound_slack
+        self.unbounded_probability = unbounded_probability
+        self.predicate_attributes = (
+            tuple(predicate_attributes) if predicate_attributes is not None else None
+        )
+        self._rng = make_rng(seed)
+        self._nodes = graph.node_list()
+
+    # ------------------------------------------------------------------
+
+    def generate(
+        self,
+        num_nodes: int,
+        num_edges: int,
+        bound: int,
+        *,
+        name: str = "",
+    ) -> Pattern:
+        """Generate one pattern ``P(|V_p|, |E_p|, k)``.
+
+        ``num_edges`` must be at least ``num_nodes - 1`` (the spanning tree);
+        extra edges beyond the tree are added between random node pairs.
+        """
+        ensure_positive_int(num_nodes, "num_nodes")
+        ensure_non_negative_int(num_edges, "num_edges")
+        ensure_positive_int(bound, "bound")
+        if num_nodes > 1 and num_edges < num_nodes - 1:
+            raise PatternError(
+                f"num_edges must be >= num_nodes - 1 to build a connected pattern "
+                f"(got {num_edges} < {num_nodes - 1})"
+            )
+
+        pattern = Pattern(name=name or f"P({num_nodes},{num_edges},{bound})")
+        anchors: Dict[Any, NodeId] = {}
+
+        # Step 1: spanning tree anchored on data-graph walks.
+        first_anchor = self._rng.choice(self._nodes)
+        pattern.add_node(0, self._predicate_for(first_anchor))
+        anchors[0] = first_anchor
+
+        for index in range(1, num_nodes):
+            base = self._rng.randrange(index)
+            base_anchor = anchors[base]
+            hop_bound = self._draw_bound(bound)
+            anchor = self._walk_from(base_anchor, hop_bound)
+            if anchor is None:
+                # The base anchor has no outgoing path; re-anchor on a random
+                # node and use an unconstrained structural edge bound.
+                anchor = self._rng.choice(self._nodes)
+            pattern.add_node(index, self._predicate_for(anchor))
+            anchors[index] = anchor
+            pattern.add_edge(base, index, self._maybe_unbounded(hop_bound))
+
+        # Step 2: extra edges between random pattern-node pairs.
+        extra_needed = num_edges - pattern.number_of_edges()
+        attempts = 0
+        max_attempts = 50 * max(1, extra_needed)
+        while extra_needed > 0 and attempts < max_attempts:
+            attempts += 1
+            source = self._rng.randrange(num_nodes)
+            target = self._rng.randrange(num_nodes)
+            if source == target or pattern.has_edge(source, target):
+                continue
+            pattern.add_edge(source, target, self._maybe_unbounded(self._draw_bound(bound)))
+            extra_needed -= 1
+        return pattern
+
+    def generate_many(
+        self,
+        count: int,
+        num_nodes: int,
+        num_edges: int,
+        bound: int,
+    ) -> List[Pattern]:
+        """Generate *count* independent patterns with the same parameters."""
+        ensure_positive_int(count, "count")
+        return [
+            self.generate(num_nodes, num_edges, bound, name=f"P{index}({num_nodes},{num_edges},{bound})")
+            for index in range(count)
+        ]
+
+    def generate_dag(
+        self,
+        num_nodes: int,
+        num_edges: int,
+        bound: int,
+        *,
+        name: str = "",
+        max_retries: int = 200,
+    ) -> Pattern:
+        """Generate a pattern guaranteed to be a DAG (for incremental experiments).
+
+        Extra (non-tree) edges are only added from lower- to higher-indexed
+        nodes, which keeps the pattern acyclic by construction.
+        """
+        for _ in range(max_retries):
+            pattern = self.generate(num_nodes, num_nodes - 1 if num_nodes > 1 else 0, bound, name=name)
+            extra_needed = num_edges - pattern.number_of_edges()
+            attempts = 0
+            while extra_needed > 0 and attempts < 50 * max(1, extra_needed):
+                attempts += 1
+                source = self._rng.randrange(num_nodes)
+                target = self._rng.randrange(num_nodes)
+                if source >= target or pattern.has_edge(source, target):
+                    continue
+                pattern.add_edge(source, target, self._maybe_unbounded(self._draw_bound(bound)))
+                extra_needed -= 1
+            if pattern.is_dag():
+                return pattern
+        raise PatternError("failed to generate a DAG pattern within the retry budget")
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _predicate_for(self, anchor: NodeId) -> Predicate:
+        attributes: Mapping[str, Any] = self.graph.attributes(anchor)
+        if not attributes:
+            return Predicate()
+        if self.predicate_attributes is not None:
+            selected = {
+                attr: attributes[attr]
+                for attr in self.predicate_attributes
+                if attr in attributes
+            }
+            return Predicate.from_dict(selected) if selected else Predicate()
+        if Predicate.LABEL_ATTRIBUTE in attributes:
+            return Predicate.equals(
+                Predicate.LABEL_ATTRIBUTE, attributes[Predicate.LABEL_ATTRIBUTE]
+            )
+        first_attr = next(iter(attributes))
+        return Predicate.equals(first_attr, attributes[first_attr])
+
+    def _draw_bound(self, bound: int) -> int:
+        lower = max(1, bound - self.bound_slack)
+        return self._rng.randint(lower, bound)
+
+    def _maybe_unbounded(self, bound: int):
+        if self.unbounded_probability and self._rng.random() < self.unbounded_probability:
+            return "*"
+        return bound
+
+    def _walk_from(self, start: NodeId, max_hops: int) -> Optional[NodeId]:
+        """Random walk of 1..max_hops steps from *start*; returns the end node.
+
+        Returns ``None`` when *start* has no outgoing edge.
+        """
+        current = start
+        steps = self._rng.randint(1, max_hops)
+        moved = False
+        for _ in range(steps):
+            successors = list(self.graph.successors(current))
+            if not successors:
+                break
+            current = self._rng.choice(successors)
+            moved = True
+        if not moved:
+            return None
+        return current
+
+
+def generate_pattern(
+    graph: DataGraph,
+    num_nodes: int,
+    num_edges: int,
+    bound: int,
+    *,
+    seed: RandomLike = None,
+    **kwargs: Any,
+) -> Pattern:
+    """One-shot convenience wrapper around :class:`PatternGenerator`."""
+    return PatternGenerator(graph, seed=seed, **kwargs).generate(num_nodes, num_edges, bound)
+
+
+def generate_patterns(
+    graph: DataGraph,
+    count: int,
+    num_nodes: int,
+    num_edges: int,
+    bound: int,
+    *,
+    seed: RandomLike = None,
+    **kwargs: Any,
+) -> List[Pattern]:
+    """Generate *count* patterns with one shared generator (and RNG stream)."""
+    generator = PatternGenerator(graph, seed=seed, **kwargs)
+    return generator.generate_many(count, num_nodes, num_edges, bound)

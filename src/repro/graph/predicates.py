@@ -1,0 +1,328 @@
+"""Node predicates for pattern graphs.
+
+Section 2.1 of the paper defines, for each pattern node ``u``, a predicate
+``f_v(u)`` that is a conjunction of atomic formulas of the form ``A op a``
+where ``A`` is an attribute name, ``a`` a constant, and ``op`` one of
+``<, <=, =, !=, >, >=``.  A data node ``v`` satisfies the predicate when every
+atom holds on the attributes ``f_A(v)`` of ``v`` (missing attributes never
+satisfy an atom).
+
+This module provides:
+
+* :class:`Atom` — a single comparison ``A op a``;
+* :class:`Predicate` — a conjunction of atoms, with a small expression parser
+  (``'category = Music & rate > 3'``) and convenience constructors;
+* :data:`TRUE` — the empty conjunction satisfied by every node, handy for
+  wildcard pattern nodes.
+"""
+
+from __future__ import annotations
+
+import operator
+import re
+from typing import Any, Callable, Dict, Iterable, Iterator, Mapping, Sequence, Tuple, Union
+
+from repro.exceptions import PredicateError
+
+__all__ = ["Atom", "Predicate", "TRUE", "parse_predicate"]
+
+_OPERATORS: Dict[str, Callable[[Any, Any], bool]] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+# Canonical spelling used for repr / serialisation.
+_CANONICAL_OP = {
+    "<": "<",
+    "<=": "<=",
+    "=": "=",
+    "==": "=",
+    "!=": "!=",
+    ">": ">",
+    ">=": ">=",
+}
+
+# Longest operators first so that '<=' is not tokenised as '<' + '='.
+_ATOM_RE = re.compile(
+    r"^\s*(?P<attr>[A-Za-z_][A-Za-z0-9_.\- ]*?)\s*"
+    r"(?P<op><=|>=|!=|==|=|<|>)\s*"
+    r"(?P<value>.+?)\s*$"
+)
+
+
+def _coerce_literal(text: str) -> Any:
+    """Interpret *text* as an int, float, bool, or (possibly quoted) string."""
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in {"'", '"'}:
+        return text[1:-1]
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+class Atom:
+    """A single atomic formula ``attribute op value``.
+
+    Parameters
+    ----------
+    attribute:
+        The attribute name looked up in the data node's attribute mapping.
+    op:
+        One of ``<, <=, =, ==, !=, >, >=`` (``=`` and ``==`` are synonyms).
+    value:
+        The constant the attribute is compared against.
+    """
+
+    __slots__ = ("attribute", "op", "value", "_func")
+
+    def __init__(self, attribute: str, op: str, value: Any) -> None:
+        if not isinstance(attribute, str) or not attribute:
+            raise PredicateError(f"attribute name must be a non-empty string, got {attribute!r}")
+        if op not in _OPERATORS:
+            raise PredicateError(
+                f"unknown comparison operator {op!r}; expected one of {sorted(_OPERATORS)}"
+            )
+        self.attribute = attribute
+        self.op = _CANONICAL_OP[op]
+        self.value = value
+        self._func = _OPERATORS[op]
+
+    def evaluate(self, attributes: Mapping[str, Any]) -> bool:
+        """Return ``True`` when *attributes* satisfies this atom.
+
+        A node whose attributes do not define :attr:`attribute` never
+        satisfies the atom, matching the paper's definition ("``v.A = a'`` is
+        defined in ``f_A(v)`` and moreover ``a' op a``").
+        """
+        if self.attribute not in attributes:
+            return False
+        actual = attributes[self.attribute]
+        try:
+            return bool(self._func(actual, self.value))
+        except TypeError:
+            # Incomparable types (e.g. str vs int): equality/inequality still
+            # have a sensible answer, ordering comparisons do not hold.
+            if self.op == "=":
+                return actual == self.value
+            if self.op == "!=":
+                return actual != self.value
+            return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Atom):
+            return NotImplemented
+        return (
+            self.attribute == other.attribute
+            and self.op == other.op
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.attribute, self.op, self.value))
+
+    def __repr__(self) -> str:
+        return f"Atom({self.attribute!r}, {self.op!r}, {self.value!r})"
+
+    def __str__(self) -> str:
+        value = self.value
+        if isinstance(value, str):
+            value = f"'{value}'"
+        return f"{self.attribute} {self.op} {value}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialise the atom to a JSON-friendly dict."""
+        return {"attribute": self.attribute, "op": self.op, "value": self.value}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Atom":
+        """Reconstruct an atom from :meth:`to_dict` output."""
+        try:
+            return cls(data["attribute"], data["op"], data["value"])
+        except KeyError as exc:
+            raise PredicateError(f"atom dict is missing key {exc}") from None
+
+    @classmethod
+    def parse(cls, text: str) -> "Atom":
+        """Parse a single ``'attr op value'`` string into an :class:`Atom`."""
+        match = _ATOM_RE.match(text)
+        if match is None:
+            raise PredicateError(f"cannot parse atomic formula from {text!r}")
+        attribute = match.group("attr").strip()
+        op = match.group("op")
+        value = _coerce_literal(match.group("value"))
+        return cls(attribute, op, value)
+
+
+class Predicate:
+    """A conjunction of :class:`Atom` formulas.
+
+    The empty conjunction (``Predicate()``) is satisfied by every data node
+    and serves as the wildcard predicate.  Predicates are immutable and
+    hashable, so they can be reused across pattern nodes.
+
+    Examples
+    --------
+    >>> p = Predicate.label("DM") & Predicate.equals("hobby", "golf")
+    >>> p.evaluate({"label": "DM", "hobby": "golf"})
+    True
+    >>> Predicate.parse("category = Music & rate > 3")
+    Predicate('category = 'Music' & rate > 3')
+    """
+
+    __slots__ = ("_atoms",)
+
+    #: Attribute name used by :meth:`label` — the paper's "node label" is the
+    #: single attribute carried by nodes of traditional patterns.
+    LABEL_ATTRIBUTE = "label"
+
+    def __init__(self, atoms: Iterable[Atom] = ()) -> None:
+        atoms = tuple(atoms)
+        for atom in atoms:
+            if not isinstance(atom, Atom):
+                raise PredicateError(f"expected Atom instances, got {type(atom).__name__}")
+        self._atoms = atoms
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def label(cls, value: Any, attribute: str = LABEL_ATTRIBUTE) -> "Predicate":
+        """A predicate requiring ``attribute = value`` (default attribute ``label``)."""
+        return cls((Atom(attribute, "=", value),))
+
+    @classmethod
+    def equals(cls, attribute: str, value: Any) -> "Predicate":
+        """A predicate requiring ``attribute = value``."""
+        return cls((Atom(attribute, "=", value),))
+
+    @classmethod
+    def from_atoms(cls, *atoms: Atom) -> "Predicate":
+        """Build a predicate from explicit atoms."""
+        return cls(atoms)
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, Any]) -> "Predicate":
+        """Build an equality conjunction from a ``{attribute: value}`` mapping."""
+        return cls(tuple(Atom(attr, "=", value) for attr, value in mapping.items()))
+
+    @classmethod
+    def parse(cls, text: str) -> "Predicate":
+        """Parse ``'A op a & B op b & ...'`` into a predicate.
+
+        An empty or all-whitespace string yields the wildcard predicate.
+        """
+        text = text.strip()
+        if not text or text == "*":
+            return TRUE
+        parts = [part for part in re.split(r"\s*(?:&|\bAND\b|\band\b|∧)\s*", text) if part]
+        return cls(tuple(Atom.parse(part) for part in parts))
+
+    # -- behaviour --------------------------------------------------------
+
+    @property
+    def atoms(self) -> Tuple[Atom, ...]:
+        """The atoms of the conjunction, in declaration order."""
+        return self._atoms
+
+    @property
+    def is_wildcard(self) -> bool:
+        """``True`` for the empty conjunction, which every node satisfies."""
+        return not self._atoms
+
+    def evaluate(self, attributes: Mapping[str, Any]) -> bool:
+        """Return ``True`` when *attributes* satisfies every atom."""
+        return all(atom.evaluate(attributes) for atom in self._atoms)
+
+    __call__ = evaluate
+
+    def attributes_referenced(self) -> Tuple[str, ...]:
+        """The distinct attribute names referenced, in first-use order."""
+        seen: Dict[str, None] = {}
+        for atom in self._atoms:
+            seen.setdefault(atom.attribute, None)
+        return tuple(seen)
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        if not isinstance(other, Predicate):
+            return NotImplemented
+        return Predicate(self._atoms + other._atoms)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._atoms)
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Predicate):
+            return NotImplemented
+        return self._atoms == other._atoms
+
+    def __hash__(self) -> int:
+        return hash(self._atoms)
+
+    def __str__(self) -> str:
+        if self.is_wildcard:
+            return "*"
+        return " & ".join(str(atom) for atom in self._atoms)
+
+    def __repr__(self) -> str:
+        return f"Predicate({str(self)!r})"
+
+    def to_list(self) -> list:
+        """Serialise to a JSON-friendly list of atom dicts."""
+        return [atom.to_dict() for atom in self._atoms]
+
+    @classmethod
+    def from_list(cls, data: Sequence[Mapping[str, Any]]) -> "Predicate":
+        """Reconstruct a predicate from :meth:`to_list` output."""
+        return cls(tuple(Atom.from_dict(item) for item in data))
+
+
+#: The wildcard predicate: satisfied by every data node.
+TRUE = Predicate()
+
+PredicateLike = Union[Predicate, str, Mapping[str, Any], None]
+
+
+def parse_predicate(spec: PredicateLike) -> Predicate:
+    """Normalise the many accepted predicate spellings into a :class:`Predicate`.
+
+    Accepted forms:
+
+    * an existing :class:`Predicate` (returned unchanged);
+    * ``None`` — the wildcard predicate;
+    * a string — either a bare label (``'DM'``) or an expression
+      (``'category = Music & rate > 3'``);
+    * a mapping — an equality conjunction over its items.
+    """
+    if spec is None:
+        return TRUE
+    if isinstance(spec, Predicate):
+        return spec
+    if isinstance(spec, Mapping):
+        return Predicate.from_dict(spec)
+    if isinstance(spec, str):
+        if _ATOM_RE.match(spec) and any(op in spec for op in ("<", ">", "=", "!")):
+            return Predicate.parse(spec)
+        spec = spec.strip()
+        if not spec or spec == "*":
+            return TRUE
+        return Predicate.label(spec)
+    raise PredicateError(
+        f"cannot build a predicate from {type(spec).__name__}: {spec!r}"
+    )

@@ -1,0 +1,143 @@
+"""Descriptive statistics over data graphs.
+
+Used by the experiment harness to report the dataset-size table of Section 5
+and by the dataset substitutes to verify that generated graphs have the
+intended size and degree shape.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.graph.datagraph import DataGraph
+
+__all__ = ["GraphStatistics", "compute_statistics", "degree_histogram"]
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """Summary statistics of a :class:`DataGraph`."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    max_out_degree: int
+    max_in_degree: int
+    avg_out_degree: float
+    num_sources: int          #: nodes with in-degree 0
+    num_sinks: int            #: nodes with out-degree 0
+    num_attributes: int       #: distinct attribute names across all nodes
+    num_attribute_values: int  #: distinct (attribute, value) pairs
+    largest_scc_size: int     #: size of the largest strongly connected component
+
+    def as_row(self) -> Dict[str, object]:
+        """Return the statistics as a flat dict for tabular reporting."""
+        return {
+            "dataset": self.name,
+            "|V|": self.num_nodes,
+            "|E|": self.num_edges,
+            "max out-deg": self.max_out_degree,
+            "max in-deg": self.max_in_degree,
+            "avg out-deg": round(self.avg_out_degree, 2),
+            "sources": self.num_sources,
+            "sinks": self.num_sinks,
+            "attrs": self.num_attributes,
+            "attr values": self.num_attribute_values,
+            "largest SCC": self.largest_scc_size,
+        }
+
+
+def degree_histogram(graph: DataGraph, *, direction: str = "out") -> Dict[int, int]:
+    """Return ``{degree: count}`` for the requested *direction* (``out`` or ``in``)."""
+    if direction not in {"out", "in"}:
+        raise ValueError(f"direction must be 'out' or 'in', got {direction!r}")
+    counter: Counter = Counter()
+    for node in graph.nodes():
+        degree = graph.out_degree(node) if direction == "out" else graph.in_degree(node)
+        counter[degree] += 1
+    return dict(counter)
+
+
+def _strongly_connected_components(graph: DataGraph) -> List[List]:
+    """Tarjan's algorithm (iterative) returning the list of SCCs."""
+    index_counter = 0
+    indices: Dict[object, int] = {}
+    lowlinks: Dict[object, int] = {}
+    on_stack: Dict[object, bool] = {}
+    stack: List[object] = []
+    components: List[List] = []
+
+    for root in graph.nodes():
+        if root in indices:
+            continue
+        work: List[Tuple[object, object]] = [(root, iter(graph.successors(root)))]
+        indices[root] = lowlinks[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in indices:
+                    indices[succ] = lowlinks[succ] = index_counter
+                    index_counter += 1
+                    stack.append(succ)
+                    on_stack[succ] = True
+                    work.append((succ, iter(graph.successors(succ))))
+                    advanced = True
+                    break
+                if on_stack.get(succ):
+                    lowlinks[node] = min(lowlinks[node], indices[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+            if lowlinks[node] == indices[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def compute_statistics(graph: DataGraph) -> GraphStatistics:
+    """Compute :class:`GraphStatistics` for *graph*."""
+    num_nodes = graph.number_of_nodes()
+    num_edges = graph.number_of_edges()
+    out_degrees = [graph.out_degree(node) for node in graph.nodes()]
+    in_degrees = [graph.in_degree(node) for node in graph.nodes()]
+
+    attribute_names = set()
+    attribute_values = set()
+    for node in graph.nodes():
+        for attr, value in graph.attributes(node).items():
+            attribute_names.add(attr)
+            try:
+                attribute_values.add((attr, value))
+            except TypeError:
+                attribute_values.add((attr, repr(value)))
+
+    components = _strongly_connected_components(graph) if num_nodes else []
+
+    return GraphStatistics(
+        name=graph.name or "graph",
+        num_nodes=num_nodes,
+        num_edges=num_edges,
+        max_out_degree=max(out_degrees, default=0),
+        max_in_degree=max(in_degrees, default=0),
+        avg_out_degree=(num_edges / num_nodes) if num_nodes else 0.0,
+        num_sources=sum(1 for degree in in_degrees if degree == 0),
+        num_sinks=sum(1 for degree in out_degrees if degree == 0),
+        num_attributes=len(attribute_names),
+        num_attribute_values=len(attribute_values),
+        largest_scc_size=max((len(c) for c in components), default=0),
+    )

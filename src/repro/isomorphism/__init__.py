@@ -1,0 +1,25 @@
+"""Subgraph-isomorphism baselines (``SubIso`` and ``VF2``) used in Exp-1."""
+
+from repro.isomorphism.common import (
+    IsomorphismMapping,
+    compatibility_sets,
+    mapping_to_subgraph,
+)
+from repro.isomorphism.ullmann import (
+    count_isomorphisms,
+    find_isomorphism,
+    ullmann_isomorphisms,
+)
+from repro.isomorphism.vf2 import vf2_count, vf2_find, vf2_isomorphisms
+
+__all__ = [
+    "IsomorphismMapping",
+    "compatibility_sets",
+    "mapping_to_subgraph",
+    "ullmann_isomorphisms",
+    "find_isomorphism",
+    "count_isomorphisms",
+    "vf2_isomorphisms",
+    "vf2_find",
+    "vf2_count",
+]

@@ -1,0 +1,90 @@
+"""Shared helpers for the subgraph-isomorphism baselines.
+
+The paper compares bounded simulation against matching via subgraph
+isomorphism (``SubIso`` à la Ullmann, and ``VF2``).  Both baselines operate
+on the same attributed directed graphs and patterns as the rest of the
+library: a pattern node is *compatible* with a data node when the data
+node's attributes satisfy the pattern node's predicate, and a pattern edge
+must map to a single data edge (isomorphism is inherently edge-to-edge, so
+edge bounds are ignored by these baselines — exactly the restriction the
+paper criticises).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Set, Tuple
+
+from repro.graph.datagraph import DataGraph, NodeId
+from repro.graph.pattern import Pattern, PatternNodeId
+
+__all__ = [
+    "IsomorphismMapping",
+    "compatibility_sets",
+    "is_isomorphism_extension",
+    "mapping_to_subgraph",
+]
+
+#: An injective mapping from pattern nodes to data nodes.
+IsomorphismMapping = Dict[PatternNodeId, NodeId]
+
+
+def compatibility_sets(
+    pattern: Pattern, graph: DataGraph
+) -> Dict[PatternNodeId, Set[NodeId]]:
+    """Candidate data nodes per pattern node (predicate + degree filter).
+
+    A data node is compatible with a pattern node when it satisfies the
+    node's predicate and has at least the pattern node's out- and in-degree
+    (a standard, sound pruning rule for isomorphism search).
+    """
+    candidates: Dict[PatternNodeId, Set[NodeId]] = {}
+    for u in pattern.nodes():
+        predicate = pattern.predicate(u)
+        out_needed = pattern.out_degree(u)
+        in_needed = pattern.in_degree(u)
+        candidates[u] = {
+            v
+            for v in graph.nodes()
+            if predicate.evaluate(graph.attributes(v))
+            and graph.out_degree(v) >= out_needed
+            and graph.in_degree(v) >= in_needed
+        }
+    return candidates
+
+
+def is_isomorphism_extension(
+    pattern: Pattern,
+    graph: DataGraph,
+    mapping: Mapping[PatternNodeId, NodeId],
+    pattern_node: PatternNodeId,
+    data_node: NodeId,
+) -> bool:
+    """Check the edge constraints of adding ``pattern_node -> data_node``.
+
+    Only edges between *pattern_node* and pattern nodes already present in
+    *mapping* are checked — the standard incremental feasibility test of
+    backtracking isomorphism search.
+    """
+    if data_node in mapping.values():
+        return False
+    for successor in pattern.successors(pattern_node):
+        if successor in mapping and not graph.has_edge(data_node, mapping[successor]):
+            return False
+    for predecessor in pattern.predecessors(pattern_node):
+        if predecessor in mapping and not graph.has_edge(mapping[predecessor], data_node):
+            return False
+    return True
+
+
+def mapping_to_subgraph(
+    pattern: Pattern, graph: DataGraph, mapping: Mapping[PatternNodeId, NodeId]
+) -> DataGraph:
+    """Materialise the matched subgraph induced by an isomorphism mapping."""
+    subgraph = DataGraph(name="iso-match")
+    for pattern_node, data_node in mapping.items():
+        if not subgraph.has_node(data_node):
+            subgraph.add_node(data_node, **dict(graph.attributes(data_node)))
+    for u1, u2 in pattern.edges():
+        v1, v2 = mapping[u1], mapping[u2]
+        subgraph.add_edge(v1, v2, strict=False)
+    return subgraph

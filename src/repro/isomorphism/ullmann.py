@@ -1,0 +1,137 @@
+"""``SubIso``: Ullmann-style backtracking subgraph isomorphism (Ullmann 1976).
+
+The paper's Exp-1 compares ``Match`` against ``SubIso``, a baseline that
+finds subgraphs of ``G`` isomorphic to the pattern ``P``: an injective
+mapping ``f`` from pattern nodes to data nodes such that node predicates are
+satisfied and every pattern edge maps to a data edge.
+
+The implementation follows Ullmann's refinement idea: candidate sets per
+pattern node are repeatedly pruned (a candidate survives only if, for every
+pattern neighbour of its pattern node, it has a data neighbour among that
+neighbour's candidates), then a depth-first search assigns pattern nodes in
+order of fewest candidates, re-running the pruning after every assignment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.graph.datagraph import DataGraph, NodeId
+from repro.graph.pattern import Pattern, PatternNodeId
+from repro.isomorphism.common import (
+    IsomorphismMapping,
+    compatibility_sets,
+    is_isomorphism_extension,
+)
+
+__all__ = ["ullmann_isomorphisms", "find_isomorphism", "count_isomorphisms"]
+
+
+def _refine(
+    pattern: Pattern,
+    graph: DataGraph,
+    candidates: Dict[PatternNodeId, Set[NodeId]],
+) -> bool:
+    """Ullmann's refinement: prune candidates until a fixpoint.
+
+    Returns ``False`` when some candidate set empties (no isomorphism can
+    exist under the current partial assignment).
+    """
+    changed = True
+    while changed:
+        changed = False
+        for u in pattern.nodes():
+            survivors: Set[NodeId] = set()
+            for v in candidates[u]:
+                ok = True
+                for u_succ in pattern.successors(u):
+                    if not any(w in candidates[u_succ] for w in graph.successors(v)):
+                        ok = False
+                        break
+                if ok:
+                    for u_pred in pattern.predecessors(u):
+                        if not any(
+                            w in candidates[u_pred] for w in graph.predecessors(v)
+                        ):
+                            ok = False
+                            break
+                if ok:
+                    survivors.add(v)
+            if len(survivors) != len(candidates[u]):
+                candidates[u] = survivors
+                changed = True
+            if not survivors:
+                return False
+    return True
+
+
+def ullmann_isomorphisms(
+    pattern: Pattern,
+    graph: DataGraph,
+    *,
+    max_matches: Optional[int] = None,
+) -> Iterator[IsomorphismMapping]:
+    """Enumerate subgraph-isomorphism mappings of *pattern* into *graph*.
+
+    Parameters
+    ----------
+    max_matches:
+        Stop after yielding this many mappings (isomorphism enumeration can
+        be exponential; the experiments cap it).
+
+    Yields
+    ------
+    dict
+        Injective ``{pattern node: data node}`` mappings.
+    """
+    if pattern.number_of_nodes() == 0 or pattern.number_of_nodes() > graph.number_of_nodes():
+        return
+
+    candidates = compatibility_sets(pattern, graph)
+    if not _refine(pattern, graph, candidates):
+        return
+
+    order = sorted(pattern.nodes(), key=lambda u: len(candidates[u]))
+    yielded = 0
+
+    def backtrack(
+        index: int, mapping: IsomorphismMapping, current: Dict[PatternNodeId, Set[NodeId]]
+    ) -> Iterator[IsomorphismMapping]:
+        nonlocal yielded
+        if max_matches is not None and yielded >= max_matches:
+            return
+        if index == len(order):
+            yielded += 1
+            yield dict(mapping)
+            return
+        u = order[index]
+        for v in sorted(current[u], key=repr):
+            if max_matches is not None and yielded >= max_matches:
+                return
+            if not is_isomorphism_extension(pattern, graph, mapping, u, v):
+                continue
+            mapping[u] = v
+            narrowed = {key: set(value) for key, value in current.items()}
+            narrowed[u] = {v}
+            for other, values in narrowed.items():
+                if other != u and other not in mapping:
+                    values.discard(v)
+            if _refine(pattern, graph, narrowed):
+                yield from backtrack(index + 1, mapping, narrowed)
+            del mapping[u]
+
+    yield from backtrack(0, {}, candidates)
+
+
+def find_isomorphism(pattern: Pattern, graph: DataGraph) -> Optional[IsomorphismMapping]:
+    """Return one isomorphism mapping, or ``None`` when none exists."""
+    for mapping in ullmann_isomorphisms(pattern, graph, max_matches=1):
+        return mapping
+    return None
+
+
+def count_isomorphisms(
+    pattern: Pattern, graph: DataGraph, *, max_matches: Optional[int] = None
+) -> int:
+    """Count isomorphism mappings (up to *max_matches* when given)."""
+    return sum(1 for _ in ullmann_isomorphisms(pattern, graph, max_matches=max_matches))

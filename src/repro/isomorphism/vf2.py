@@ -1,0 +1,175 @@
+"""VF2 subgraph isomorphism (Cordella, Foggia, Sansone & Vento).
+
+``VF2`` is the second isomorphism baseline of the paper's Exp-1 ("a widely
+used algorithm for efficiently identifying isomorphic subgraphs").  The
+implementation is the standard VF2 state-space search specialised to
+node-induced *monomorphism* semantics matching ``SubIso``: an injective
+mapping of pattern nodes to data nodes such that predicates hold and every
+pattern edge maps to a data edge.
+
+The search keeps, for both the pattern and the data graph, the frontier
+("terminal") sets of nodes adjacent to the current partial mapping, and uses
+the classic VF2 feasibility rules (edge consistency plus the 1-look-ahead
+cardinality checks on the terminal sets) to prune.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.graph.datagraph import DataGraph, NodeId
+from repro.graph.pattern import Pattern, PatternNodeId
+from repro.isomorphism.common import IsomorphismMapping, compatibility_sets
+
+__all__ = ["vf2_isomorphisms", "vf2_find", "vf2_count"]
+
+
+class _VF2State:
+    """Mutable search state of the VF2 algorithm."""
+
+    __slots__ = (
+        "pattern",
+        "graph",
+        "candidates",
+        "core_p",
+        "core_g",
+        "order",
+    )
+
+    def __init__(self, pattern: Pattern, graph: DataGraph) -> None:
+        self.pattern = pattern
+        self.graph = graph
+        self.candidates = compatibility_sets(pattern, graph)
+        self.core_p: Dict[PatternNodeId, NodeId] = {}
+        self.core_g: Dict[NodeId, PatternNodeId] = {}
+        # Static search order: most-constrained pattern nodes first, with a
+        # preference for nodes adjacent to already ordered ones (connectivity
+        # keeps the feasibility rules selective).
+        self.order = self._build_order()
+
+    def _build_order(self) -> List[PatternNodeId]:
+        remaining = set(self.pattern.nodes())
+        order: List[PatternNodeId] = []
+        ordered: Set[PatternNodeId] = set()
+        while remaining:
+            adjacent = [
+                u
+                for u in remaining
+                if any(n in ordered for n in self.pattern.successors(u))
+                or any(n in ordered for n in self.pattern.predecessors(u))
+            ]
+            pool = adjacent or list(remaining)
+            best = min(pool, key=lambda u: (len(self.candidates[u]), repr(u)))
+            order.append(best)
+            ordered.add(best)
+            remaining.discard(best)
+        return order
+
+    # ------------------------------------------------------------------
+    # feasibility
+    # ------------------------------------------------------------------
+
+    def feasible(self, u: PatternNodeId, v: NodeId) -> bool:
+        """VF2 feasibility of extending the mapping with ``u -> v``."""
+        pattern, graph = self.pattern, self.graph
+        core_p, core_g = self.core_p, self.core_g
+
+        # Edge consistency with already mapped neighbours.
+        for u_succ in pattern.successors(u):
+            if u_succ in core_p and not graph.has_edge(v, core_p[u_succ]):
+                return False
+        for u_pred in pattern.predecessors(u):
+            if u_pred in core_p and not graph.has_edge(core_p[u_pred], v):
+                return False
+
+        # 1-look-ahead: the unmapped pattern neighbours of u must not exceed
+        # the unmapped data neighbours of v (monomorphism-safe counting).
+        unmapped_pattern_out = sum(
+            1 for n in pattern.successors(u) if n not in core_p
+        )
+        unmapped_pattern_in = sum(
+            1 for n in pattern.predecessors(u) if n not in core_p
+        )
+        unmapped_data_out = sum(1 for n in graph.successors(v) if n not in core_g)
+        unmapped_data_in = sum(1 for n in graph.predecessors(v) if n not in core_g)
+        if unmapped_pattern_out > unmapped_data_out:
+            return False
+        if unmapped_pattern_in > unmapped_data_in:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # candidate pairs
+    # ------------------------------------------------------------------
+
+    def candidate_nodes(self, u: PatternNodeId) -> List[NodeId]:
+        """Data nodes to try for pattern node *u* under the current mapping."""
+        pattern, graph = self.pattern, self.graph
+        pool: Optional[Set[NodeId]] = None
+        # Prefer candidates adjacent to already-mapped neighbours of u.
+        for u_pred in pattern.predecessors(u):
+            if u_pred in self.core_p:
+                neighbourhood = set(graph.successors(self.core_p[u_pred]))
+                pool = neighbourhood if pool is None else pool & neighbourhood
+        for u_succ in pattern.successors(u):
+            if u_succ in self.core_p:
+                neighbourhood = set(graph.predecessors(self.core_p[u_succ]))
+                pool = neighbourhood if pool is None else pool & neighbourhood
+        if pool is None:
+            pool = set(self.candidates[u])
+        else:
+            pool &= self.candidates[u]
+        pool -= set(self.core_g)
+        return sorted(pool, key=repr)
+
+
+def vf2_isomorphisms(
+    pattern: Pattern,
+    graph: DataGraph,
+    *,
+    max_matches: Optional[int] = None,
+) -> Iterator[IsomorphismMapping]:
+    """Enumerate subgraph-isomorphism mappings of *pattern* into *graph* with VF2."""
+    if pattern.number_of_nodes() == 0 or pattern.number_of_nodes() > graph.number_of_nodes():
+        return
+    state = _VF2State(pattern, graph)
+    if any(not state.candidates[u] for u in pattern.nodes()):
+        return
+
+    yielded = 0
+
+    def backtrack(depth: int) -> Iterator[IsomorphismMapping]:
+        nonlocal yielded
+        if max_matches is not None and yielded >= max_matches:
+            return
+        if depth == len(state.order):
+            yielded += 1
+            yield dict(state.core_p)
+            return
+        u = state.order[depth]
+        for v in state.candidate_nodes(u):
+            if max_matches is not None and yielded >= max_matches:
+                return
+            if not state.feasible(u, v):
+                continue
+            state.core_p[u] = v
+            state.core_g[v] = u
+            yield from backtrack(depth + 1)
+            del state.core_p[u]
+            del state.core_g[v]
+
+    yield from backtrack(0)
+
+
+def vf2_find(pattern: Pattern, graph: DataGraph) -> Optional[IsomorphismMapping]:
+    """Return one VF2 mapping, or ``None`` when the pattern has no isomorphic subgraph."""
+    for mapping in vf2_isomorphisms(pattern, graph, max_matches=1):
+        return mapping
+    return None
+
+
+def vf2_count(
+    pattern: Pattern, graph: DataGraph, *, max_matches: Optional[int] = None
+) -> int:
+    """Count VF2 mappings (up to *max_matches* when given)."""
+    return sum(1 for _ in vf2_isomorphisms(pattern, graph, max_matches=max_matches))

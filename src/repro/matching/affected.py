@@ -1,0 +1,129 @@
+"""Affected-area accounting for incremental matching (Section 4.1).
+
+Ramalingam & Reps argue that an incremental algorithm should be measured by
+the size of the *affected area* rather than the size of the whole input.  The
+paper instantiates this with two areas:
+
+* ``AFF1`` — the node pairs of the data graph whose distance is changed by
+  the update list ``δ`` (the changes to the matrix ``M``);
+* ``AFF2`` — the difference between the new and the old match ``S``, along
+  with the nodes adjacent to the changed pairs in the pattern and in the
+  data graph.
+
+:class:`AffectedArea` records both for a single incremental operation so the
+benchmarks can report the ``|AFF|`` figures shown in Fig. 6(i)–(k) and in the
+appendix statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set, Tuple
+
+from repro.graph.datagraph import DataGraph, NodeId
+from repro.graph.pattern import Pattern, PatternNodeId
+
+__all__ = ["AffectedArea"]
+
+MatchPair = Tuple[PatternNodeId, NodeId]
+DistancePair = Tuple[NodeId, NodeId]
+
+
+@dataclass
+class AffectedArea:
+    """The affected areas of one incremental matching operation."""
+
+    #: Node pairs whose distance changed, with (old, new) distances.
+    distance_changes: Dict[DistancePair, Tuple[float, float]] = field(default_factory=dict)
+    #: Match pairs removed from the relation.
+    removed_matches: Set[MatchPair] = field(default_factory=set)
+    #: Match pairs added to the relation.
+    added_matches: Set[MatchPair] = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    # sizes
+    # ------------------------------------------------------------------
+
+    @property
+    def aff1_size(self) -> int:
+        """``|AFF1|``: the number of node pairs whose distance changed."""
+        return len(self.distance_changes)
+
+    @property
+    def aff2_core_size(self) -> int:
+        """The number of match pairs added or removed (the core of ``AFF2``)."""
+        return len(self.removed_matches) + len(self.added_matches)
+
+    @property
+    def total_size(self) -> int:
+        """``|AFF1| + |AFF2|`` with the core AFF2 measure (reported in Fig. 6(i)-(k))."""
+        return self.aff1_size + self.aff2_core_size
+
+    def aff2_extended_size(self, pattern: Pattern, graph: DataGraph) -> int:
+        """The paper's extended ``|AFF2|``: changed pairs plus adjacent nodes.
+
+        For every changed match pair ``(u, v)`` the pattern neighbours of
+        ``u`` and the data-graph neighbours of ``v`` are counted as well
+        (Appendix, "Complexity" paragraph of UpdateM/UpdateBM).
+        """
+        pattern_nodes: Set[PatternNodeId] = set()
+        data_nodes: Set[NodeId] = set()
+        for u, v in self.removed_matches | self.added_matches:
+            pattern_nodes.add(u)
+            if pattern.has_node(u):
+                pattern_nodes |= pattern.successors(u)
+                pattern_nodes |= pattern.predecessors(u)
+            data_nodes.add(v)
+            if graph.has_node(v):
+                data_nodes |= graph.successors(v)
+                data_nodes |= graph.predecessors(v)
+        return len(pattern_nodes) + len(data_nodes)
+
+    # ------------------------------------------------------------------
+    # composition
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "AffectedArea") -> "AffectedArea":
+        """Compose two affected areas from consecutive operations."""
+        merged = AffectedArea(
+            distance_changes=dict(self.distance_changes),
+            removed_matches=set(self.removed_matches),
+            added_matches=set(self.added_matches),
+        )
+        for pair, (old, new) in other.distance_changes.items():
+            if pair in merged.distance_changes:
+                original_old = merged.distance_changes[pair][0]
+                if original_old == new:
+                    del merged.distance_changes[pair]
+                else:
+                    merged.distance_changes[pair] = (original_old, new)
+            else:
+                merged.distance_changes[pair] = (old, new)
+        # A pair removed then re-added (or vice versa) nets out.
+        for pair in other.removed_matches:
+            if pair in merged.added_matches:
+                merged.added_matches.discard(pair)
+            else:
+                merged.removed_matches.add(pair)
+        for pair in other.added_matches:
+            if pair in merged.removed_matches:
+                merged.removed_matches.discard(pair)
+            else:
+                merged.added_matches.add(pair)
+        return merged
+
+    def summary(self) -> Dict[str, int]:
+        """Flat dict of the headline sizes (for experiment reports)."""
+        return {
+            "aff1": self.aff1_size,
+            "aff2": self.aff2_core_size,
+            "removed": len(self.removed_matches),
+            "added": len(self.added_matches),
+            "total": self.total_size,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"AffectedArea(aff1={self.aff1_size}, "
+            f"removed={len(self.removed_matches)}, added={len(self.added_matches)})"
+        )

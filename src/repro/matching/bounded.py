@@ -1,0 +1,206 @@
+"""Bounded simulation matching — Algorithm ``Match`` (Fig. 4, Theorem 3.1).
+
+Given a pattern ``P`` and a data graph ``G``, :func:`match` computes the
+unique maximum match ``S`` of ``P`` in ``G`` under bounded simulation, or the
+empty relation when ``P`` does not match ``G``.
+
+The implementation follows the paper's worklist refinement:
+
+1. **Candidates** (``mat(u)``): every data node whose attributes satisfy the
+   predicate of ``u`` (plus the obvious out-degree filter when ``u`` has
+   outgoing pattern edges).
+2. **Initial pruning / refinement**: for every pattern edge ``(u, u')`` and
+   every candidate ``v`` of ``u`` the algorithm maintains how many candidates
+   of ``u'`` are reachable from ``v`` via a nonempty path within the edge
+   bound (the paper's ``desc`` sets).  A candidate whose count is zero for
+   some outgoing pattern edge cannot match and is scheduled for removal (the
+   paper's ``premv`` sets).
+3. **Propagation**: removing ``v'`` from ``mat(u')`` decrements the counts of
+   the candidates of every parent ``u`` that can reach ``v'`` within the
+   bound (the paper's ``anc`` sets); counts that hit zero trigger further
+   removals, until a fixpoint is reached.
+
+With a precomputed distance matrix the total cost is
+``O(|V||E| + |E_p||V|^2 + |V_p||V|)``, the bound of Theorem 3.1.  The
+function accepts any :class:`~repro.distance.oracle.DistanceOracle`, which is
+how the paper's ``BFS`` and ``2-hop`` variants are obtained.
+
+:func:`naive_match` is an intentionally simple fixpoint implementation used
+as a cross-checking reference in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.distance.matrix import DistanceMatrix
+from repro.distance.oracle import DistanceOracle
+from repro.graph.datagraph import DataGraph, NodeId
+from repro.graph.pattern import Pattern, PatternNodeId
+from repro.matching.match_result import MatchResult
+
+__all__ = ["match", "matches", "naive_match", "candidate_sets"]
+
+
+def candidate_sets(
+    pattern: Pattern, graph: DataGraph, *, out_degree_filter: bool = True
+) -> Dict[PatternNodeId, Set[NodeId]]:
+    """The initial candidate sets ``mat(u)`` of Algorithm Match (lines 4-5).
+
+    A data node is a candidate of ``u`` when its attributes satisfy ``f_v(u)``;
+    when *out_degree_filter* is set and ``u`` has outgoing pattern edges,
+    nodes without outgoing data edges are excluded (they can never head a
+    nonempty path).
+    """
+    candidates: Dict[PatternNodeId, Set[NodeId]] = {}
+    for u in pattern.nodes():
+        predicate = pattern.predicate(u)
+        needs_out_edge = out_degree_filter and pattern.out_degree(u) > 0
+        candidates[u] = {
+            v
+            for v in graph.nodes()
+            if predicate.evaluate(graph.attributes(v))
+            and (not needs_out_edge or graph.out_degree(v) > 0)
+        }
+    return candidates
+
+
+def match(
+    pattern: Pattern,
+    graph: DataGraph,
+    oracle: Optional[DistanceOracle] = None,
+) -> MatchResult:
+    """Compute the maximum bounded-simulation match of *pattern* in *graph*.
+
+    Parameters
+    ----------
+    pattern, graph:
+        The pattern ``P`` and data graph ``G``.
+    oracle:
+        The distance substrate used for bounded-connectivity checks.  Defaults
+        to a freshly built :class:`~repro.distance.matrix.DistanceMatrix`
+        (the paper's Algorithm Match, line 1); pass a
+        :class:`~repro.distance.bfs.BFSDistanceOracle` or
+        :class:`~repro.distance.twohop.TwoHopOracle` for the other variants.
+
+    Returns
+    -------
+    MatchResult
+        The maximum match, or the empty relation when ``P`` does not match
+        ``G``.
+    """
+    if pattern.number_of_nodes() == 0:
+        return MatchResult.empty()
+    if graph.number_of_nodes() == 0:
+        return MatchResult.empty()
+    if oracle is None:
+        oracle = DistanceMatrix(graph)
+
+    mat = candidate_sets(pattern, graph)
+    for u, candidates in mat.items():
+        if not candidates:
+            return MatchResult.empty()
+
+    refine_to_fixpoint(pattern, oracle, mat)
+
+    if any(not candidates for candidates in mat.values()):
+        return MatchResult.empty()
+    return MatchResult(mat, pattern_nodes=pattern.node_list())
+
+
+def refine_to_fixpoint(
+    pattern: Pattern,
+    oracle: DistanceOracle,
+    mat: Dict[PatternNodeId, Set[NodeId]],
+) -> Set[Tuple[PatternNodeId, NodeId]]:
+    """Refine the candidate sets *mat* in place to the greatest fixpoint.
+
+    Returns the set of ``(pattern node, data node)`` pairs removed during the
+    refinement.  This is shared by :func:`match` and by the incremental
+    matcher's initialisation.
+    """
+    # support_count[(u, u')][v]: |descendants of v within the bound ∩ mat(u')|
+    support_count: Dict[
+        Tuple[PatternNodeId, PatternNodeId], Dict[NodeId, int]
+    ] = {}
+    removal_list: List[Tuple[PatternNodeId, NodeId]] = []
+    removed: Set[Tuple[PatternNodeId, NodeId]] = set()
+
+    for u, u_child in pattern.edges():
+        bound = pattern.bound(u, u_child)
+        child_candidates = mat[u_child]
+        counts: Dict[NodeId, int] = {}
+        for v in mat[u]:
+            reachable = oracle.descendants_within(v, bound)
+            count = len(reachable & child_candidates)
+            counts[v] = count
+            if count == 0 and (u, v) not in removed:
+                removed.add((u, v))
+                removal_list.append((u, v))
+        support_count[(u, u_child)] = counts
+
+    index = 0
+    while index < len(removal_list):
+        u, v = removal_list[index]
+        index += 1
+        mat[u].discard(v)
+        # Removing (u, v) can only invalidate candidates of parents of u that
+        # reach v within the bound of the corresponding pattern edge.
+        for u_parent in pattern.predecessors(u):
+            bound = pattern.bound(u_parent, u)
+            counts = support_count.get((u_parent, u))
+            if counts is None:
+                continue
+            parent_candidates = mat[u_parent]
+            for w in oracle.ancestors_within(v, bound):
+                if w not in parent_candidates or w not in counts:
+                    continue
+                counts[w] -= 1
+                if counts[w] == 0 and (u_parent, w) not in removed:
+                    removed.add((u_parent, w))
+                    removal_list.append((u_parent, w))
+    return removed
+
+
+def matches(
+    pattern: Pattern,
+    graph: DataGraph,
+    oracle: Optional[DistanceOracle] = None,
+) -> bool:
+    """``True`` when ``P ⊴ G`` (the pattern matches the graph)."""
+    return bool(match(pattern, graph, oracle))
+
+
+def naive_match(pattern: Pattern, graph: DataGraph) -> MatchResult:
+    """Reference implementation: iterate the refinement until nothing changes.
+
+    This is deliberately the most transparent formulation of the greatest
+    fixpoint — quadratic re-checks, bounded BFS recomputed on demand — and is
+    used by the test suite to validate :func:`match`.  Do not use it on large
+    graphs.
+    """
+    candidates: Dict[PatternNodeId, Set[NodeId]] = {}
+    for u in pattern.nodes():
+        predicate = pattern.predicate(u)
+        candidates[u] = {
+            v for v in graph.nodes() if predicate.evaluate(graph.attributes(v))
+        }
+
+    changed = True
+    while changed:
+        changed = False
+        for u, u_child in pattern.edges():
+            bound = pattern.bound(u, u_child)
+            child_candidates = candidates[u_child]
+            survivors: Set[NodeId] = set()
+            for v in candidates[u]:
+                reachable = graph.descendants_within(v, bound)
+                if reachable & child_candidates:
+                    survivors.add(v)
+            if survivors != candidates[u]:
+                candidates[u] = survivors
+                changed = True
+
+    if any(not nodes for nodes in candidates.values()):
+        return MatchResult.empty()
+    return MatchResult(candidates, pattern_nodes=pattern.node_list())

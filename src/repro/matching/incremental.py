@@ -1,0 +1,384 @@
+"""Incremental bounded-simulation matching (Section 4).
+
+:class:`IncrementalMatcher` maintains, for a fixed pattern ``P`` and an
+evolving data graph ``G``:
+
+* the distance matrix ``M`` (repaired by ``UpdateM`` / ``UpdateBM`` from
+  :mod:`repro.distance.incremental`);
+* the per-pattern-node match sets ``mat(u)`` (the greatest bounded-simulation
+  fixpoint) and candidate sets ``can(u)`` (nodes satisfying the predicate of
+  ``u`` that currently do not match it);
+* the exposed maximum match ``S`` (empty when some ``mat(u)`` is empty).
+
+Three operations mirror the paper's algorithms:
+
+* :meth:`delete_edge`  — ``Match⁻`` (Fig. 5), valid for arbitrary patterns;
+* :meth:`insert_edge`  — ``Match⁺`` (Fig. 7), requires a DAG pattern;
+* :meth:`apply`        — ``IncMatch`` (Fig. 8) for a batch ``δ`` of updates,
+  requires a DAG pattern when ``δ`` contains insertions.
+
+Each operation returns an :class:`~repro.matching.affected.AffectedArea`
+recording ``AFF1`` (distance changes) and the match pairs added/removed
+(``AFF2``), which is what the incremental experiments of Fig. 6(i)–(k)
+report.
+
+Why insertions need DAG patterns
+--------------------------------
+Deletions only shrink the match, and removal propagation from the affected
+pairs reaches the new greatest fixpoint for *any* pattern.  Insertions only
+grow the match, but with a cyclic pattern two additions can be mutually
+dependent (each is valid only if the other is made), which bottom-up
+worklist propagation cannot discover; the paper leaves cyclic patterns open
+and so do we — a :class:`~repro.exceptions.CyclicPatternError` is raised
+unless ``on_cyclic="recompute"`` asks for a full recomputation fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.distance.incremental import (
+    AffectedPairs,
+    EdgeUpdate,
+    merge_affected,
+    update_matrix_delete,
+    update_matrix_insert,
+)
+from repro.distance.matrix import DistanceMatrix
+from repro.exceptions import CyclicPatternError, IncrementalError
+from repro.graph.datagraph import DataGraph, NodeId
+from repro.graph.pattern import Pattern, PatternNodeId
+from repro.matching.affected import AffectedArea
+from repro.matching.bounded import candidate_sets, refine_to_fixpoint
+from repro.matching.match_result import MatchResult
+
+__all__ = ["IncrementalMatcher"]
+
+
+class IncrementalMatcher:
+    """Maintains the maximum bounded-simulation match under edge updates.
+
+    Parameters
+    ----------
+    pattern, graph:
+        The pattern and the (mutable) data graph.  The matcher takes
+        ownership of keeping the graph, the distance matrix and the match in
+        sync: apply updates through the matcher, not directly on the graph.
+    matrix:
+        An existing, up-to-date :class:`DistanceMatrix` of *graph* to reuse;
+        built on demand when omitted.
+    on_cyclic:
+        Behaviour when an insertion is applied with a cyclic pattern:
+        ``"raise"`` (default) raises :class:`CyclicPatternError`;
+        ``"recompute"`` falls back to recomputing the match from scratch
+        (using the incrementally maintained matrix).
+    """
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        graph: DataGraph,
+        *,
+        matrix: Optional[DistanceMatrix] = None,
+        on_cyclic: str = "raise",
+    ) -> None:
+        if on_cyclic not in ("raise", "recompute"):
+            raise IncrementalError(
+                f"on_cyclic must be 'raise' or 'recompute', got {on_cyclic!r}"
+            )
+        self.pattern = pattern
+        self.graph = graph
+        self.on_cyclic = on_cyclic
+        if matrix is None:
+            matrix = DistanceMatrix(graph)
+        elif matrix.graph is not graph:
+            raise IncrementalError("the distance matrix must be built over the same graph")
+        self.matrix = matrix
+        self._pattern_is_dag = pattern.is_dag()
+        # All nodes satisfying each predicate (fixed: updates never change attributes).
+        self._candidates: Dict[PatternNodeId, Set[NodeId]] = candidate_sets(
+            pattern, graph, out_degree_filter=False
+        )
+        self._mat: Dict[PatternNodeId, Set[NodeId]] = {}
+        self._can: Dict[PatternNodeId, Set[NodeId]] = {}
+        self._rebuild_match_sets()
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+
+    @property
+    def match(self) -> MatchResult:
+        """The current maximum match ``S`` (empty when some ``mat(u)`` is empty)."""
+        return MatchResult(self._mat, pattern_nodes=self.pattern.node_list())
+
+    def mat(self, pattern_node: PatternNodeId) -> Set[NodeId]:
+        """The current ``mat(u)`` set (a copy)."""
+        return set(self._mat[pattern_node])
+
+    def can(self, pattern_node: PatternNodeId) -> Set[NodeId]:
+        """The current ``can(u)`` set (predicate-satisfying non-matches, a copy)."""
+        return set(self._can[pattern_node])
+
+    def _rebuild_match_sets(self) -> None:
+        """(Re)compute the greatest fixpoint from scratch (initialisation / fallback)."""
+        self._mat = {u: set(vs) for u, vs in self._candidates.items()}
+        refine_to_fixpoint(self.pattern, self.matrix, self._mat)
+        self._can = {
+            u: self._candidates[u] - self._mat[u] for u in self._candidates
+        }
+
+    # ------------------------------------------------------------------
+    # unit updates
+    # ------------------------------------------------------------------
+
+    def delete_edge(self, source: NodeId, target: NodeId) -> AffectedArea:
+        """``Match⁻``: delete edge ``(source, target)`` and repair the match.
+
+        Works for arbitrary (possibly cyclic) patterns and data graphs.
+        Deleting an edge that does not exist is a no-op.
+        """
+        existed = self.graph.has_edge(source, target)
+        aff1 = update_matrix_delete(self.matrix, source, target)
+        removed = self._process_distance_increases(
+            aff1, touched_tails={source} if existed else set()
+        )
+        return AffectedArea(distance_changes=dict(aff1), removed_matches=removed)
+
+    def insert_edge(self, source: NodeId, target: NodeId) -> AffectedArea:
+        """``Match⁺``: insert edge ``(source, target)`` and repair the match.
+
+        Requires a DAG pattern (see the module docstring); inserting an edge
+        that already exists is a no-op.
+        """
+        existed = self.graph.has_edge(source, target)
+        aff1 = update_matrix_insert(self.matrix, source, target)
+        if existed:
+            return AffectedArea(distance_changes=dict(aff1))
+        if not self._pattern_is_dag:
+            if self.on_cyclic == "raise":
+                raise CyclicPatternError(
+                    "Match+ requires a DAG pattern; construct the matcher with "
+                    "on_cyclic='recompute' to fall back to full recomputation"
+                )
+            return self._recompute_fallback(aff1)
+        added = self._process_distance_decreases(aff1, touched_tails={source})
+        return AffectedArea(distance_changes=dict(aff1), added_matches=added)
+
+    # ------------------------------------------------------------------
+    # batch updates — IncMatch
+    # ------------------------------------------------------------------
+
+    def apply(self, updates: Sequence[EdgeUpdate]) -> AffectedArea:
+        """``IncMatch``: apply the update list ``δ`` and repair the match.
+
+        ``UpdateBM`` repairs the distance matrix for the whole batch first;
+        the resulting ``AFF1`` pairs are then processed — increases with the
+        ``Match⁻`` removal propagation, decreases with the ``Match⁺``
+        addition propagation.  Requires a DAG pattern when ``δ`` contains
+        insertions.
+        """
+        aff1: AffectedPairs = {}
+        delete_tails: Set[NodeId] = set()
+        insert_tails: Set[NodeId] = set()
+        for update in updates:
+            if update.is_insert:
+                if not self.graph.has_edge(update.source, update.target):
+                    insert_tails.add(update.source)
+                step = update_matrix_insert(self.matrix, update.source, update.target)
+            else:
+                if self.graph.has_edge(update.source, update.target):
+                    delete_tails.add(update.source)
+                step = update_matrix_delete(self.matrix, update.source, update.target)
+            aff1 = merge_affected(aff1, step)
+
+        increases = {pair: change for pair, change in aff1.items() if change[1] > change[0]}
+        decreases = {pair: change for pair, change in aff1.items() if change[1] < change[0]}
+
+        if (decreases or insert_tails) and not self._pattern_is_dag:
+            if self.on_cyclic == "raise":
+                raise CyclicPatternError(
+                    "IncMatch with insertions requires a DAG pattern; construct "
+                    "the matcher with on_cyclic='recompute' for a fallback"
+                )
+            return self._recompute_fallback(aff1)
+
+        removed = self._process_distance_increases(increases, touched_tails=delete_tails)
+        added = self._process_distance_decreases(decreases, touched_tails=insert_tails)
+        # A pair dropped by the removal phase and recovered by the addition
+        # phase is not part of AFF2: the net match change is what counts.
+        return AffectedArea(
+            distance_changes=dict(aff1),
+            removed_matches=removed - added,
+            added_matches=added - removed,
+        )
+
+    # ------------------------------------------------------------------
+    # Match⁻ internals: removal propagation
+    # ------------------------------------------------------------------
+
+    def _process_distance_increases(
+        self,
+        aff1: AffectedPairs,
+        *,
+        touched_tails: Iterable[NodeId] = (),
+    ) -> Set[Tuple[PatternNodeId, NodeId]]:
+        """Remove matches invalidated by distance increases (Fig. 5, lines 2-12).
+
+        *touched_tails* are the tail nodes of deleted edges; losing a
+        successor can lengthen the shortest cycle through the tail, which is
+        not visible in ``AFF1`` (pairwise distances) but affects the
+        nonempty-path self-support of that node.
+        """
+        pattern = self.pattern
+        oracle = self.matrix
+
+        # Data nodes whose outgoing bounded-reachability may have shrunk.
+        recheck_sources: Set[NodeId] = set(touched_tails)
+        for (v_source, v_target), (old, new) in aff1.items():
+            if new <= old:
+                continue
+            recheck_sources.add(v_source)
+            # The shortest cycle through v_target goes through a successor;
+            # if that successor's distance back to v_target grew, the
+            # self-support of v_target may have lapsed.
+            if self.graph.has_edge(v_target, v_source):
+                recheck_sources.add(v_target)
+
+        worklist: List[Tuple[PatternNodeId, NodeId]] = []
+        scheduled: Set[Tuple[PatternNodeId, NodeId]] = set()
+
+        # Lines 2-5: matches directly affected by the distance changes.
+        for v in recheck_sources:
+            for u_parent in pattern.nodes():
+                if v not in self._mat[u_parent]:
+                    continue
+                if self._satisfies_all_children(v, u_parent):
+                    continue
+                pair = (u_parent, v)
+                if pair not in scheduled:
+                    scheduled.add(pair)
+                    worklist.append(pair)
+
+        # Lines 6-12: propagate removals.
+        removed: Set[Tuple[PatternNodeId, NodeId]] = set()
+        index = 0
+        while index < len(worklist):
+            u, v = worklist[index]
+            index += 1
+            if v not in self._mat[u]:
+                continue
+            self._mat[u].discard(v)
+            self._can[u].add(v)
+            removed.add((u, v))
+            for u_parent in pattern.predecessors(u):
+                bound = pattern.bound(u_parent, u)
+                for w in oracle.ancestors_within(v, bound):
+                    if w not in self._mat[u_parent]:
+                        continue
+                    if self._has_support(w, u, bound):
+                        continue
+                    pair = (u_parent, w)
+                    if pair not in scheduled:
+                        scheduled.add(pair)
+                        worklist.append(pair)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Match⁺ internals: addition propagation
+    # ------------------------------------------------------------------
+
+    def _process_distance_decreases(
+        self,
+        aff1: AffectedPairs,
+        *,
+        touched_tails: Iterable[NodeId] = (),
+    ) -> Set[Tuple[PatternNodeId, NodeId]]:
+        """Add matches enabled by distance decreases (Fig. 7, lines 3-15).
+
+        *touched_tails* are the tail nodes of inserted edges; gaining a
+        successor can shorten the shortest cycle through the tail, enabling
+        self-support that is not visible as a pairwise distance change.
+        """
+        pattern = self.pattern
+        oracle = self.matrix
+
+        # Data nodes whose outgoing bounded-reachability may have grown.
+        recheck_sources: Set[NodeId] = set(touched_tails)
+        for (v_source, v_target), (old, new) in aff1.items():
+            if new >= old:
+                continue
+            recheck_sources.add(v_source)
+            if self.graph.has_edge(v_target, v_source):
+                recheck_sources.add(v_target)
+
+        worklist: List[Tuple[PatternNodeId, NodeId]] = []
+        scheduled: Set[Tuple[PatternNodeId, NodeId]] = set()
+
+        # Lines 3-6: candidates directly enabled by the distance changes.
+        for v in recheck_sources:
+            for u_parent in pattern.nodes():
+                if v not in self._can[u_parent]:
+                    continue
+                if not self._satisfies_all_children(v, u_parent):
+                    continue
+                pair = (u_parent, v)
+                if pair not in scheduled:
+                    scheduled.add(pair)
+                    worklist.append(pair)
+
+        # Lines 7-15: propagate additions.
+        added: Set[Tuple[PatternNodeId, NodeId]] = set()
+        index = 0
+        while index < len(worklist):
+            u, v = worklist[index]
+            index += 1
+            if v not in self._can[u]:
+                continue
+            if not self._satisfies_all_children(v, u):
+                continue
+            self._can[u].discard(v)
+            self._mat[u].add(v)
+            added.add((u, v))
+            for u_parent in pattern.predecessors(u):
+                bound = pattern.bound(u_parent, u)
+                for w in oracle.ancestors_within(v, bound):
+                    if w not in self._can[u_parent]:
+                        continue
+                    if not self._satisfies_all_children(w, u_parent):
+                        continue
+                    pair = (u_parent, w)
+                    if pair not in scheduled:
+                        scheduled.add(pair)
+                        worklist.append(pair)
+        return added
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+
+    def _has_support(
+        self, data_node: NodeId, u_child: PatternNodeId, bound: Optional[int]
+    ) -> bool:
+        """``True`` when *data_node* reaches some current match of *u_child* within *bound*."""
+        reachable = self.matrix.descendants_within(data_node, bound)
+        return bool(reachable & self._mat[u_child])
+
+    def _satisfies_all_children(self, data_node: NodeId, u: PatternNodeId) -> bool:
+        """``True`` when every outgoing pattern edge of *u* is satisfied by *data_node*."""
+        for u_child in self.pattern.successors(u):
+            bound = self.pattern.bound(u, u_child)
+            if not self._has_support(data_node, u_child, bound):
+                return False
+        return True
+
+    def _recompute_fallback(self, aff1: AffectedPairs) -> AffectedArea:
+        """Full recomputation fallback used for insertions with cyclic patterns."""
+        old_pairs = {(u, v) for u, vs in self._mat.items() for v in vs}
+        self._rebuild_match_sets()
+        new_pairs = {(u, v) for u, vs in self._mat.items() for v in vs}
+        return AffectedArea(
+            distance_changes=dict(aff1),
+            removed_matches=old_pairs - new_pairs,
+            added_matches=new_pairs - old_pairs,
+        )

@@ -1,0 +1,111 @@
+"""Result graphs (Section 2.2, Fig. 3).
+
+The result graph ``G_r`` is the succinct representation of a maximum match:
+its nodes are the data nodes appearing in the match, and there is an edge
+``(v1, v2)`` whenever some pattern edge ``(u1, u2)`` relates them — i.e.
+``(u1, v1)`` and ``(u2, v2)`` are both in the match and the bounded path the
+pattern edge requires actually exists from ``v1`` to ``v2``.
+
+The paper's Example 2.3 notes that a result-graph edge "denotes a path" in
+the data graph; with ``strict=True`` (default) the path requirement is
+enforced, while ``strict=False`` reproduces the literal textual definition
+(any matched pair of endpoints of a pattern edge is connected).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.distance.matrix import DistanceMatrix
+from repro.distance.oracle import DistanceOracle
+from repro.graph.datagraph import DataGraph, NodeId
+from repro.graph.pattern import Pattern, PatternNodeId
+from repro.matching.match_result import MatchResult
+
+__all__ = ["ResultGraph", "build_result_graph"]
+
+
+@dataclass
+class ResultGraph:
+    """A result graph together with the pattern edges witnessing each edge."""
+
+    graph: DataGraph
+    #: For each result-graph edge, the pattern edges it represents.
+    edge_witnesses: Dict[Tuple[NodeId, NodeId], List[Tuple[PatternNodeId, PatternNodeId]]] = field(
+        default_factory=dict
+    )
+
+    def number_of_nodes(self) -> int:
+        """``|V_r|``."""
+        return self.graph.number_of_nodes()
+
+    def number_of_edges(self) -> int:
+        """``|E_r|``."""
+        return self.graph.number_of_edges()
+
+    def witnesses(self, source: NodeId, target: NodeId) -> List[Tuple[PatternNodeId, PatternNodeId]]:
+        """The pattern edges represented by the result edge ``(source, target)``."""
+        return self.edge_witnesses.get((source, target), [])
+
+    def summary(self) -> Dict[str, int]:
+        """Sizes used by the appendix statistics (|Gr|)."""
+        return {
+            "nodes": self.number_of_nodes(),
+            "edges": self.number_of_edges(),
+        }
+
+
+def build_result_graph(
+    pattern: Pattern,
+    graph: DataGraph,
+    result: MatchResult,
+    oracle: Optional[DistanceOracle] = None,
+    *,
+    strict: bool = True,
+    name: str = "",
+) -> ResultGraph:
+    """Build the result graph ``G_r`` of *result*.
+
+    Parameters
+    ----------
+    pattern, graph, result:
+        The pattern, the data graph, and a match of the pattern in the graph
+        (typically the maximum match returned by :func:`repro.matching.match`).
+    oracle:
+        Distance oracle used to verify the bounded paths when *strict* is
+        set.  Defaults to a fresh :class:`DistanceMatrix` (only built when
+        needed).
+    strict:
+        When ``True`` (default) an edge ``(v1, v2)`` is added only if the
+        bounded (or unbounded) path required by the witnessing pattern edge
+        actually exists in the data graph.
+
+    Returns
+    -------
+    ResultGraph
+        An empty graph when *result* is empty.
+    """
+    result_graph = DataGraph(name=name or f"{graph.name or 'G'}-result")
+    witnesses: Dict[Tuple[NodeId, NodeId], List[Tuple[PatternNodeId, PatternNodeId]]] = {}
+    if result.is_empty:
+        return ResultGraph(result_graph, witnesses)
+
+    for node in result.matched_data_nodes():
+        result_graph.add_node(node, **dict(graph.attributes(node)))
+
+    if strict and oracle is None:
+        oracle = DistanceMatrix(graph)
+
+    for u1, u2 in pattern.edges():
+        bound = pattern.bound(u1, u2)
+        sources = result.matches(u1)
+        targets = result.matches(u2)
+        for v1 in sources:
+            for v2 in targets:
+                if strict and not oracle.within(v1, v2, bound):
+                    continue
+                result_graph.add_edge(v1, v2, strict=False)
+                witnesses.setdefault((v1, v2), []).append((u1, u2))
+
+    return ResultGraph(result_graph, witnesses)

@@ -1,0 +1,43 @@
+"""Seeded random-number helpers.
+
+All generators in the library accept either a seed or an existing
+:class:`random.Random` instance; :func:`make_rng` normalises both into a
+``random.Random`` so experiments are reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Union
+
+__all__ = ["make_rng", "spawn_seeds"]
+
+RandomLike = Union[None, int, random.Random]
+
+
+def make_rng(seed: RandomLike = None) -> random.Random:
+    """Return a :class:`random.Random` for *seed*.
+
+    ``None`` produces an unseeded generator, an ``int`` seeds a fresh
+    generator, and an existing ``random.Random`` is returned unchanged.
+    """
+    if seed is None:
+        return random.Random()
+    if isinstance(seed, random.Random):
+        return seed
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        raise TypeError(
+            f"seed must be None, an int, or a random.Random, got {type(seed).__name__}"
+        )
+    return random.Random(seed)
+
+
+def spawn_seeds(rng: random.Random, count: int) -> List[int]:
+    """Draw *count* independent 63-bit seeds from *rng*.
+
+    Useful when one top-level seed must drive several independent generators
+    (e.g. the data-graph generator and the pattern generator of an experiment).
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return [rng.getrandbits(63) for _ in range(count)]

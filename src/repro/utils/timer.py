@@ -1,0 +1,94 @@
+"""Wall-clock timing helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+__all__ = ["Stopwatch", "format_duration"]
+
+
+class Stopwatch:
+    """A restartable stopwatch measuring wall-clock seconds.
+
+    Can be used manually::
+
+        sw = Stopwatch()
+        sw.start()
+        ...
+        elapsed = sw.stop()
+
+    or as a context manager::
+
+        with Stopwatch() as sw:
+            ...
+        print(sw.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self._started_at: Optional[float] = None
+        self._elapsed: float = 0.0
+
+    @property
+    def running(self) -> bool:
+        """Whether the stopwatch is currently running."""
+        return self._started_at is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Total accumulated seconds (including the running slice, if any)."""
+        total = self._elapsed
+        if self._started_at is not None:
+            total += time.perf_counter() - self._started_at
+        return total
+
+    def start(self) -> "Stopwatch":
+        """Start (or resume) the stopwatch."""
+        if self._started_at is None:
+            self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return the total elapsed seconds."""
+        if self._started_at is not None:
+            self._elapsed += time.perf_counter() - self._started_at
+            self._started_at = None
+        return self._elapsed
+
+    def reset(self) -> None:
+        """Reset the accumulated time to zero and stop."""
+        self._started_at = None
+        self._elapsed = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self.reset()
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "stopped"
+        return f"Stopwatch({state}, elapsed={self.elapsed:.6f}s)"
+
+
+def format_duration(seconds: float) -> str:
+    """Render *seconds* in a compact human-readable form.
+
+    >>> format_duration(0.00042)
+    '0.42ms'
+    >>> format_duration(3.5)
+    '3.50s'
+    >>> format_duration(125)
+    '2m05s'
+    """
+    if seconds < 0:
+        raise ValueError("duration must be non-negative")
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    if seconds < 60.0:
+        return f"{seconds:.2f}s"
+    minutes, rest = divmod(seconds, 60.0)
+    return f"{int(minutes)}m{rest:02.0f}s"

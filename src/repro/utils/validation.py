@@ -1,0 +1,42 @@
+"""Argument-validation helpers.
+
+Raising clear errors at API boundaries keeps the algorithmic code free of
+repetitive checks and makes misuse easy to diagnose.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ensure_positive_int",
+    "ensure_non_negative_int",
+    "ensure_probability",
+]
+
+
+def ensure_positive_int(value, name: str) -> int:
+    """Return *value* as an ``int`` if it is a positive integer, else raise."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def ensure_non_negative_int(value, name: str) -> int:
+    """Return *value* as an ``int`` if it is a non-negative integer, else raise."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def ensure_probability(value, name: str) -> float:
+    """Return *value* as a ``float`` in ``[0, 1]``, else raise."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise TypeError(f"{name} must be a number in [0, 1]") from None
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value

@@ -1,0 +1,27 @@
+"""Workload generators: update streams (``δ``) and pattern suites."""
+
+from repro.workloads.patterns import (
+    pattern_suite,
+    youtube_example_pattern,
+    youtube_fig6a_pattern_p1,
+    youtube_fig6a_pattern_p2,
+    youtube_sample_patterns,
+)
+from repro.workloads.updates import (
+    mixed_updates,
+    random_deletions,
+    random_insertions,
+    split_batches,
+)
+
+__all__ = [
+    "random_deletions",
+    "random_insertions",
+    "mixed_updates",
+    "split_batches",
+    "pattern_suite",
+    "youtube_example_pattern",
+    "youtube_fig6a_pattern_p1",
+    "youtube_fig6a_pattern_p2",
+    "youtube_sample_patterns",
+]

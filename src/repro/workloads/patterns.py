@@ -1,0 +1,118 @@
+"""Pattern workloads used by the experiments.
+
+Besides the random generator of :mod:`repro.graph.pattern_generator`, the
+paper uses a handful of hand-written patterns over the YouTube data
+(Example 2.3 and Fig. 6(a)).  They are reproduced here against the YouTube
+substitute's attribute schema so the effectiveness experiment can run them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.graph.datagraph import DataGraph
+from repro.graph.pattern import Pattern
+from repro.graph.pattern_generator import PatternGenerator
+from repro.graph.predicates import Predicate
+from repro.utils.rng import RandomLike
+
+__all__ = [
+    "youtube_example_pattern",
+    "youtube_fig6a_pattern_p1",
+    "youtube_fig6a_pattern_p2",
+    "youtube_sample_patterns",
+    "pattern_suite",
+]
+
+
+def youtube_example_pattern() -> Pattern:
+    """The pattern ``P'`` of Example 2.3 (five video predicates ``p1``–``p5``).
+
+    Finds videos longer than 2 minutes and older than one year (p3)
+    recommending videos with < 16 comments and 700+ views (p2), from which a
+    video by "neil010" is recommended (p4); videos matching p4 recommend both
+    "People" videos rated above 4.5 (p1) and "Travel & Places" videos with
+    fewer than 30 ratings (p5).
+    """
+    pattern = Pattern(name="P'-example-2.3")
+    pattern.add_node(
+        "p3", Predicate.parse("length > 120 & age > 365")
+    )
+    pattern.add_node(
+        "p2", Predicate.parse("comments < 16 & views >= 700")
+    )
+    pattern.add_node("p4", Predicate.equals("uploader", "neil010"))
+    pattern.add_node(
+        "p1", Predicate.parse("category = People & rate > 4.5")
+    )
+    pattern.add_node(
+        "p5", Predicate.parse("ratings < 30") & Predicate.equals("category", "Travel & Places")
+    )
+    pattern.add_edge("p3", "p2", 2)
+    pattern.add_edge("p2", "p4", 2)
+    pattern.add_edge("p4", "p1", 2)
+    pattern.add_edge("p4", "p5", 2)
+    return pattern
+
+
+def youtube_fig6a_pattern_p1() -> Pattern:
+    """Pattern ``P1`` of Fig. 6(a): music videos linked to "FWPB" and "Ascrodin" videos."""
+    pattern = Pattern(name="Fig6a-P1")
+    pattern.add_node("p1", Predicate.parse("category = Music & rate > 3"))
+    pattern.add_node("p2", Predicate.equals("uploader", "FWPB"))
+    pattern.add_node("p3", Predicate.equals("uploader", "Ascrodin") & Predicate.parse("age < 500"))
+    pattern.add_edge("p1", "p2", 2)
+    pattern.add_edge("p2", "p3", 3)
+    pattern.add_edge("p3", "p2", 4)
+    return pattern
+
+
+def youtube_fig6a_pattern_p2() -> Pattern:
+    """Pattern ``P2`` of Fig. 6(a): "Gisburgh" comedy videos between politics/science and people videos."""
+    pattern = Pattern(name="Fig6a-P2")
+    pattern.add_node("p4", Predicate.equals("category", "Politics"))
+    pattern.add_node("p5", Predicate.equals("category", "Science"))
+    pattern.add_node(
+        "p6", Predicate.equals("uploader", "Gisburgh") & Predicate.equals("category", "Comedy")
+    )
+    pattern.add_node("p7", Predicate.equals("category", "People"))
+    pattern.add_edge("p4", "p6", 3)
+    pattern.add_edge("p5", "p6", 3)
+    pattern.add_edge("p6", "p7", 2)
+    return pattern
+
+
+def youtube_sample_patterns() -> List[Pattern]:
+    """The hand-written YouTube patterns used by the effectiveness experiment."""
+    return [
+        youtube_example_pattern(),
+        youtube_fig6a_pattern_p1(),
+        youtube_fig6a_pattern_p2(),
+    ]
+
+
+def pattern_suite(
+    graph: DataGraph,
+    specs: Sequence[Tuple[int, int, int]],
+    *,
+    patterns_per_spec: int = 1,
+    seed: RandomLike = None,
+    dag_only: bool = False,
+) -> Dict[Tuple[int, int, int], List[Pattern]]:
+    """Generate a suite of patterns ``P(|Vp|, |Ep|, k)`` for each spec.
+
+    Mirrors the paper's experimental setting of "20 patterns were generated
+    and tested [per configuration]; the average result is reported".
+    """
+    generator = PatternGenerator(graph, seed=seed)
+    suite: Dict[Tuple[int, int, int], List[Pattern]] = {}
+    for spec in specs:
+        num_nodes, num_edges, bound = spec
+        patterns: List[Pattern] = []
+        for _ in range(patterns_per_spec):
+            if dag_only:
+                patterns.append(generator.generate_dag(num_nodes, num_edges, bound))
+            else:
+                patterns.append(generator.generate(num_nodes, num_edges, bound))
+        suite[spec] = patterns
+    return suite

@@ -1,0 +1,115 @@
+"""Update workloads (the lists ``δ`` of Exp-3).
+
+The incremental experiments of the paper apply streams of edge deletions
+and insertions to the YouTube graph and compare ``IncMatch`` against
+rerunning ``Match``.  The generators here build such streams without
+mutating the input graph; the edits always reference existing nodes so the
+distance matrix can be repaired incrementally.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.distance.incremental import EdgeUpdate
+from repro.exceptions import GraphError
+from repro.graph.datagraph import DataGraph
+from repro.utils.rng import RandomLike, make_rng
+from repro.utils.validation import ensure_non_negative_int, ensure_probability
+
+__all__ = [
+    "random_deletions",
+    "random_insertions",
+    "mixed_updates",
+    "split_batches",
+]
+
+
+def random_deletions(
+    graph: DataGraph, count: int, *, seed: RandomLike = None
+) -> List[EdgeUpdate]:
+    """Pick *count* distinct existing edges to delete (uniformly at random).
+
+    Raises :class:`GraphError` when the graph has fewer than *count* edges.
+    """
+    ensure_non_negative_int(count, "count")
+    edges = graph.edge_list()
+    if count > len(edges):
+        raise GraphError(
+            f"cannot delete {count} edges from a graph with only {len(edges)}"
+        )
+    rng = make_rng(seed)
+    rng.shuffle(edges)
+    return [EdgeUpdate.delete(source, target) for source, target in edges[:count]]
+
+
+def random_insertions(
+    graph: DataGraph, count: int, *, seed: RandomLike = None, max_attempts_factor: int = 200
+) -> List[EdgeUpdate]:
+    """Pick *count* distinct non-edges between existing nodes to insert.
+
+    Self-loops are never generated.  Raises :class:`GraphError` when the
+    graph is too dense (or too small) to supply the requested number of new
+    edges within the sampling budget.
+    """
+    ensure_non_negative_int(count, "count")
+    nodes = graph.node_list()
+    if len(nodes) < 2 and count > 0:
+        raise GraphError("cannot insert edges into a graph with fewer than two nodes")
+    rng = make_rng(seed)
+    chosen: List[EdgeUpdate] = []
+    seen = set()
+    attempts = 0
+    budget = max_attempts_factor * max(1, count)
+    while len(chosen) < count and attempts < budget:
+        attempts += 1
+        source = rng.choice(nodes)
+        target = rng.choice(nodes)
+        if source == target or graph.has_edge(source, target):
+            continue
+        if (source, target) in seen:
+            continue
+        seen.add((source, target))
+        chosen.append(EdgeUpdate.insert(source, target))
+    if len(chosen) < count:
+        raise GraphError(
+            f"could not sample {count} distinct new edges "
+            f"(graph too dense or too small; found {len(chosen)})"
+        )
+    return chosen
+
+
+def mixed_updates(
+    graph: DataGraph,
+    count: int,
+    *,
+    insert_ratio: float = 0.5,
+    seed: RandomLike = None,
+) -> List[EdgeUpdate]:
+    """A shuffled mix of deletions and insertions totalling *count* updates.
+
+    ``insert_ratio`` is the fraction of insertions (0.5 by default, matching
+    the paper's mixed workload of Fig. 6(i)).
+    """
+    ensure_non_negative_int(count, "count")
+    ensure_probability(insert_ratio, "insert_ratio")
+    rng = make_rng(seed)
+    num_insert = int(round(count * insert_ratio))
+    num_delete = count - num_insert
+    updates = random_deletions(graph, num_delete, seed=rng) + random_insertions(
+        graph, num_insert, seed=rng
+    )
+    rng.shuffle(updates)
+    return updates
+
+
+def split_batches(
+    updates: Sequence[EdgeUpdate], batch_size: int
+) -> List[List[EdgeUpdate]]:
+    """Split an update stream into consecutive batches of *batch_size*."""
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    return [
+        list(updates[index : index + batch_size])
+        for index in range(0, len(updates), batch_size)
+    ]

@@ -1,0 +1,85 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builders import (
+    collaboration_graph,
+    collaboration_graph_g3,
+    collaboration_pattern,
+    drug_trafficking_graph,
+    drug_trafficking_pattern,
+    social_matching_pair,
+)
+from repro.graph.datagraph import DataGraph
+from repro.graph.generators import random_data_graph
+from repro.graph.pattern import Pattern
+from repro.graph.predicates import Predicate
+
+
+@pytest.fixture
+def tiny_graph() -> DataGraph:
+    """A 4-node diamond with labels: a -> b -> d, a -> c -> d, d -> a."""
+    graph = DataGraph(name="tiny")
+    graph.add_node("a", label="A")
+    graph.add_node("b", label="B")
+    graph.add_node("c", label="C")
+    graph.add_node("d", label="D")
+    graph.add_edge("a", "b")
+    graph.add_edge("a", "c")
+    graph.add_edge("b", "d")
+    graph.add_edge("c", "d")
+    graph.add_edge("d", "a")
+    return graph
+
+
+@pytest.fixture
+def chain_graph() -> DataGraph:
+    """A 5-node labelled chain: n0 -> n1 -> n2 -> n3 -> n4."""
+    graph = DataGraph(name="chain")
+    for index in range(5):
+        graph.add_node(f"n{index}", label=f"L{index}")
+    for index in range(4):
+        graph.add_edge(f"n{index}", f"n{index + 1}")
+    return graph
+
+
+@pytest.fixture
+def tiny_pattern() -> Pattern:
+    """Pattern over the tiny graph: A within 2 hops of D."""
+    pattern = Pattern(name="tiny-pattern")
+    pattern.add_node("A", "A")
+    pattern.add_node("D", "D")
+    pattern.add_edge("A", "D", 2)
+    return pattern
+
+
+@pytest.fixture
+def random_graph() -> DataGraph:
+    """A moderately sized seeded random graph for algorithm tests."""
+    return random_data_graph(40, 120, num_labels=6, seed=99)
+
+
+@pytest.fixture
+def paper_p0_g0():
+    """The drug-trafficking example (P0, G0) of Fig. 1."""
+    return drug_trafficking_pattern(), drug_trafficking_graph()
+
+
+@pytest.fixture
+def paper_p1_g1():
+    """The social-matching example (P1, G1) of Fig. 2."""
+    return social_matching_pair()
+
+
+@pytest.fixture
+def paper_p2_g2():
+    """The collaboration example (P2, G2) of Fig. 2."""
+    return collaboration_pattern(), collaboration_graph()
+
+
+@pytest.fixture
+def paper_p2_g3():
+    """The non-matching collaboration example (P2, G3)."""
+    return collaboration_pattern(), collaboration_graph_g3()

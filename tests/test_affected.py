@@ -1,0 +1,95 @@
+"""Unit tests for AffectedArea (repro.matching.affected)."""
+
+from __future__ import annotations
+
+from repro.graph.datagraph import DataGraph
+from repro.graph.pattern import Pattern
+from repro.matching.affected import AffectedArea
+
+
+def _small_pattern_and_graph():
+    pattern = Pattern()
+    pattern.add_node("A", "A")
+    pattern.add_node("B", "B")
+    pattern.add_edge("A", "B", 2)
+    graph = DataGraph()
+    graph.add_node("x", label="A")
+    graph.add_node("y", label="B")
+    graph.add_node("z", label="B")
+    graph.add_edge("x", "y")
+    graph.add_edge("y", "z")
+    return pattern, graph
+
+
+class TestSizes:
+    def test_aff1_and_aff2_sizes(self):
+        area = AffectedArea(
+            distance_changes={("x", "y"): (1, 2), ("x", "z"): (2, 3)},
+            removed_matches={("A", "x")},
+            added_matches={("B", "z")},
+        )
+        assert area.aff1_size == 2
+        assert area.aff2_core_size == 2
+        assert area.total_size == 4
+
+    def test_empty_area(self):
+        area = AffectedArea()
+        assert area.aff1_size == 0
+        assert area.aff2_core_size == 0
+        assert area.total_size == 0
+
+    def test_extended_size_counts_neighbours(self):
+        pattern, graph = _small_pattern_and_graph()
+        area = AffectedArea(removed_matches={("A", "x")})
+        # Pattern side: A and its successor B; data side: x and its successor y.
+        assert area.aff2_extended_size(pattern, graph) == 4
+
+    def test_extended_size_handles_unknown_nodes(self):
+        pattern, graph = _small_pattern_and_graph()
+        area = AffectedArea(added_matches={("GHOST", "nowhere")})
+        assert area.aff2_extended_size(pattern, graph) == 2
+
+    def test_summary_keys(self):
+        area = AffectedArea(removed_matches={("A", "x")})
+        summary = area.summary()
+        assert summary["removed"] == 1
+        assert summary["added"] == 0
+        assert summary["total"] == 1
+
+    def test_repr(self):
+        assert "aff1=0" in repr(AffectedArea())
+
+
+class TestMerge:
+    def test_distance_changes_compose(self):
+        first = AffectedArea(distance_changes={("a", "b"): (1, 3)})
+        second = AffectedArea(distance_changes={("a", "b"): (3, 2), ("c", "d"): (5, 4)})
+        merged = first.merge(second)
+        assert merged.distance_changes[("a", "b")] == (1, 2)
+        assert merged.distance_changes[("c", "d")] == (5, 4)
+
+    def test_distance_change_reverting_drops_out(self):
+        first = AffectedArea(distance_changes={("a", "b"): (1, 3)})
+        second = AffectedArea(distance_changes={("a", "b"): (3, 1)})
+        assert ("a", "b") not in first.merge(second).distance_changes
+
+    def test_removed_then_added_nets_out(self):
+        first = AffectedArea(removed_matches={("A", "x")})
+        second = AffectedArea(added_matches={("A", "x")})
+        merged = first.merge(second)
+        assert not merged.removed_matches
+        assert not merged.added_matches
+
+    def test_added_then_removed_nets_out(self):
+        first = AffectedArea(added_matches={("A", "x")})
+        second = AffectedArea(removed_matches={("A", "x")})
+        merged = first.merge(second)
+        assert not merged.added_matches
+        assert not merged.removed_matches
+
+    def test_merge_does_not_mutate_inputs(self):
+        first = AffectedArea(removed_matches={("A", "x")})
+        second = AffectedArea(added_matches={("B", "y")})
+        first.merge(second)
+        assert first.added_matches == set()
+        assert second.removed_matches == set()

@@ -1,0 +1,107 @@
+"""Tests for the paper's running examples (repro.graph.builders).
+
+These are the paper's own correctness fixtures: Example 1.1 (drug
+trafficking), Example 2.1/2.2 (social matching, research collaboration) and
+their expected maximum matches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builders import (
+    collaboration_graph,
+    collaboration_graph_g3,
+    collaboration_pattern,
+    drug_trafficking_graph,
+    drug_trafficking_pattern,
+    paper_example_pairs,
+    social_matching_pair,
+)
+from repro.matching.bounded import match, naive_match
+
+
+class TestDrugTrafficking:
+    def test_structure(self):
+        pattern = drug_trafficking_pattern()
+        graph = drug_trafficking_graph()
+        assert pattern.number_of_nodes() == 4
+        assert pattern.bound("AM", "FW") == 3
+        assert pattern.bound("S", "FW") == 1
+        assert graph.has_node("B")
+
+    def test_expected_maximum_match(self):
+        """Example 2.2: B -> B, AM -> A1..Am, S -> Am, FW -> all W nodes."""
+        result = match(drug_trafficking_pattern(), drug_trafficking_graph(num_managers=3))
+        assert result
+        assert result.matches("B") == {"B"}
+        assert result.matches("AM") == {"A1", "A2", "A3"}
+        assert result.matches("S") == {"A3"}
+        assert result.matches("FW") == {"W1", "W2", "W3", "W4", "W5", "W6"}
+
+    def test_more_managers(self):
+        result = match(drug_trafficking_pattern(), drug_trafficking_graph(num_managers=5))
+        assert len(result.matches("AM")) == 5
+        assert result.matches("S") == {"A5"}
+
+    def test_minimum_managers_validated(self):
+        with pytest.raises(ValueError):
+            drug_trafficking_graph(num_managers=1)
+
+
+class TestSocialMatching:
+    def test_dual_role_node_matches_two_pattern_nodes(self):
+        """Example 2.2(1): (HR, SE) matches both the SE and the HR pattern node."""
+        pattern, graph = social_matching_pair()
+        result = match(pattern, graph)
+        assert result
+        assert "HR_SE" in result.matches("SE")
+        assert "HR_SE" in result.matches("HR")
+
+    def test_one_pattern_node_maps_to_many(self):
+        pattern, graph = social_matching_pair()
+        result = match(pattern, graph)
+        assert result.matches("DM") == {"DM_l", "DM_r"}
+
+    def test_is_a_relation_not_a_function(self):
+        pattern, graph = social_matching_pair()
+        result = match(pattern, graph)
+        assert len(result) > pattern.number_of_nodes()
+
+
+class TestCollaboration:
+    def test_expected_maximum_match(self):
+        """Example 2.2(2): CS -> DB, Bio -> {Gen, Eco}, Med -> Med, Soc -> Soc."""
+        result = match(collaboration_pattern(), collaboration_graph())
+        assert result.matches("CS") == {"DB"}
+        assert result.matches("Bio") == {"Gen", "Eco"}
+        assert result.matches("Med") == {"Med"}
+        assert result.matches("Soc") == {"Soc"}
+
+    def test_ai_is_excluded(self):
+        """AI satisfies the CS predicate but cannot satisfy the connectivity."""
+        result = match(collaboration_pattern(), collaboration_graph())
+        assert "AI" not in result.matches("CS")
+
+    def test_g3_does_not_match(self):
+        """Example 2.2(3): dropping (DB, Gen) breaks the match entirely."""
+        result = match(collaboration_pattern(), collaboration_graph_g3())
+        assert result.is_empty
+
+    def test_g3_graph_differs_from_g2_by_one_edge(self):
+        g2 = collaboration_graph()
+        g3 = collaboration_graph_g3()
+        assert g2.number_of_edges() - g3.number_of_edges() == 1
+        assert g2.has_edge("DB", "Gen")
+        assert not g3.has_edge("DB", "Gen")
+
+
+class TestPaperExamplePairs:
+    def test_all_expectations_hold(self):
+        for name, pattern, graph, expects_match in paper_example_pairs():
+            result = match(pattern, graph)
+            assert bool(result) == expects_match, name
+
+    def test_worklist_and_naive_agree_on_all_examples(self):
+        for name, pattern, graph, _ in paper_example_pairs():
+            assert match(pattern, graph) == naive_match(pattern, graph), name

@@ -1,0 +1,147 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.io import save_graph_json, save_pattern_json
+from repro.graph.pattern import Pattern
+
+
+@pytest.fixture
+def graph_file(tmp_path, tiny_graph):
+    path = tmp_path / "graph.json"
+    save_graph_json(tiny_graph, path)
+    return path
+
+
+@pytest.fixture
+def pattern_file(tmp_path):
+    pattern = Pattern(name="cli-pattern")
+    pattern.add_node("A", "A")
+    pattern.add_node("D", "D")
+    pattern.add_edge("A", "D", 2)
+    path = tmp_path / "pattern.json"
+    save_pattern_json(pattern, path)
+    return path
+
+
+@pytest.fixture
+def failing_pattern_file(tmp_path):
+    pattern = Pattern(name="no-match")
+    pattern.add_node("A", "A")
+    pattern.add_node("Z", "Z")
+    pattern.add_edge("A", "Z", 1)
+    path = tmp_path / "failing.json"
+    save_pattern_json(pattern, path)
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_match_arguments(self):
+        args = build_parser().parse_args(
+            ["match", "--graph", "g.json", "--pattern", "p.json", "--oracle", "bfs"]
+        )
+        assert args.command == "match"
+        assert args.oracle == "bfs"
+
+    def test_experiment_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "not-a-figure"])
+
+
+class TestMatchCommand:
+    def test_text_output(self, graph_file, pattern_file, capsys):
+        exit_code = main(["match", "--graph", str(graph_file), "--pattern", str(pattern_file)])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "maximum match" in captured
+        assert "A -> {a}" in captured
+
+    def test_json_output(self, graph_file, pattern_file, capsys):
+        exit_code = main(
+            ["match", "--graph", str(graph_file), "--pattern", str(pattern_file), "--json"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"A": ["a"], "D": ["d"]}
+
+    def test_no_match_exit_code(self, graph_file, failing_pattern_file, capsys):
+        exit_code = main(
+            ["match", "--graph", str(graph_file), "--pattern", str(failing_pattern_file)]
+        )
+        assert exit_code == 1
+        assert "no match" in capsys.readouterr().out
+
+    def test_result_graph_flag(self, graph_file, pattern_file, capsys):
+        main(
+            [
+                "match",
+                "--graph", str(graph_file),
+                "--pattern", str(pattern_file),
+                "--result-graph",
+            ]
+        )
+        assert "result graph:" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("oracle", ["matrix", "bfs", "2hop"])
+    def test_all_oracles(self, graph_file, pattern_file, oracle, capsys):
+        exit_code = main(
+            [
+                "match",
+                "--graph", str(graph_file),
+                "--pattern", str(pattern_file),
+                "--oracle", oracle,
+            ]
+        )
+        assert exit_code == 0
+
+
+class TestGenerateAndStats:
+    @pytest.mark.parametrize(
+        "kind,extra",
+        [
+            ("random", ["--nodes", "30", "--edges", "60"]),
+            ("scale-free", ["--nodes", "30", "--edges", "60"]),
+            ("small-world", ["--nodes", "30", "--edges", "60"]),
+            ("pblog", ["--scale", "0.05"]),
+        ],
+    )
+    def test_generate_kinds(self, tmp_path, kind, extra, capsys):
+        out = tmp_path / "generated.json"
+        exit_code = main(["generate", "--kind", kind, "--seed", "3", "--out", str(out)] + extra)
+        assert exit_code == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_stats(self, graph_file, capsys):
+        exit_code = main(["stats", str(graph_file)])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "|V|: 4" in captured
+        assert "|E|: 5" in captured
+
+
+class TestExperimentCommand:
+    def test_single_experiment_runs(self, capsys, monkeypatch):
+        # Patch the registry to a fast driver to keep the test quick.
+        from repro import experiments as exp_module
+        from repro.experiments import dataset_table_experiment
+
+        monkeypatch.setitem(
+            exp_module.ALL_EXPERIMENTS, "table-datasets",
+            lambda: dataset_table_experiment(scale=0.01),
+        )
+        import repro.cli as cli_module
+
+        monkeypatch.setattr(cli_module, "ALL_EXPERIMENTS", exp_module.ALL_EXPERIMENTS)
+        exit_code = main(["experiment", "table-datasets"])
+        assert exit_code == 0
+        assert "table-datasets" in capsys.readouterr().out

@@ -1,0 +1,210 @@
+"""Tests for colour-aware bounded simulation (repro.matching.colored).
+
+Edge colours model relationship types (Remark (4) of the paper): a coloured
+pattern edge must map to a bounded path whose edges all carry the same
+colour.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.distance.bfs import BFSDistanceOracle
+from repro.exceptions import EdgeNotFoundError
+from repro.graph.datagraph import DataGraph
+from repro.graph.generators import random_data_graph
+from repro.graph.pattern import Pattern
+from repro.matching.bounded import match
+from repro.matching.colored import (
+    build_color_oracles,
+    match_colored,
+    matches_colored,
+    naive_match_colored,
+)
+
+
+@pytest.fixture
+def typed_graph() -> DataGraph:
+    """Two managers: one supervises via 'works_with', the other only socialises."""
+    graph = DataGraph(name="typed")
+    graph.add_node("m1", label="M")
+    graph.add_node("m2", label="M")
+    graph.add_node("e1", label="E")
+    graph.add_node("e2", label="E")
+    graph.add_node("e3", label="E")
+    graph.add_edge("m1", "e1", color="works_with")
+    graph.add_edge("e1", "e2", color="works_with")
+    graph.add_edge("m2", "e3", color="friends_with")
+    graph.add_edge("e3", "e2", color="works_with")
+    return graph
+
+
+def colored_pattern(bound: int = 2, color: str = "works_with") -> Pattern:
+    pattern = Pattern(name="typed-pattern")
+    pattern.add_node("M", "M")
+    pattern.add_node("E", "E")
+    pattern.add_edge("M", "E", bound, color=color)
+    return pattern
+
+
+class TestGraphEdgeColors:
+    def test_color_round_trip(self, typed_graph):
+        assert typed_graph.edge_color("m1", "e1") == "works_with"
+        assert typed_graph.edge_color("m2", "e3") == "friends_with"
+        assert typed_graph.edge_colors() == {"works_with", "friends_with"}
+
+    def test_uncolored_edge_has_none(self):
+        graph = DataGraph()
+        graph.add_node(1)
+        graph.add_node(2)
+        graph.add_edge(1, 2)
+        assert graph.edge_color(1, 2) is None
+
+    def test_missing_edge_raises(self, typed_graph):
+        with pytest.raises(EdgeNotFoundError):
+            typed_graph.edge_color("e2", "m1")
+        with pytest.raises(EdgeNotFoundError):
+            typed_graph.set_edge_color("e2", "m1", "x")
+
+    def test_set_and_clear_color(self, typed_graph):
+        typed_graph.set_edge_color("m1", "e1", "mentors")
+        assert typed_graph.edge_color("m1", "e1") == "mentors"
+        typed_graph.set_edge_color("m1", "e1", None)
+        assert typed_graph.edge_color("m1", "e1") is None
+
+    def test_colored_subgraph_keeps_all_nodes(self, typed_graph):
+        sub = typed_graph.colored_subgraph("works_with")
+        assert sub.number_of_nodes() == typed_graph.number_of_nodes()
+        assert sub.number_of_edges() == 3
+        assert not sub.has_edge("m2", "e3")
+
+    def test_copy_and_subgraph_preserve_colors(self, typed_graph):
+        clone = typed_graph.copy()
+        assert clone.edge_color("m2", "e3") == "friends_with"
+        induced = typed_graph.subgraph({"m1", "e1"})
+        assert induced.edge_color("m1", "e1") == "works_with"
+
+    def test_remove_edge_clears_color(self, typed_graph):
+        typed_graph.remove_edge("m1", "e1")
+        typed_graph.add_edge("m1", "e1")
+        assert typed_graph.edge_color("m1", "e1") is None
+
+
+class TestPatternEdgeColors:
+    def test_color_accessors(self):
+        pattern = colored_pattern()
+        assert pattern.color("M", "E") == "works_with"
+        assert pattern.edge_colors() == {"works_with"}
+        assert pattern.has_colored_edges()
+
+    def test_uncolored_pattern(self):
+        pattern = Pattern()
+        pattern.add_node("A")
+        pattern.add_node("B")
+        pattern.add_edge("A", "B", 2)
+        assert pattern.color("A", "B") is None
+        assert not pattern.has_colored_edges()
+
+    def test_missing_edge_raises(self):
+        pattern = colored_pattern()
+        with pytest.raises(EdgeNotFoundError):
+            pattern.color("E", "M")
+
+    def test_copy_and_dict_round_trip_preserve_colors(self):
+        pattern = colored_pattern()
+        assert pattern.copy().color("M", "E") == "works_with"
+        restored = Pattern.from_dict(pattern.to_dict())
+        assert restored.color("M", "E") == "works_with"
+
+
+class TestColoredMatching:
+    def test_colored_path_required(self, typed_graph):
+        """m2 only reaches employees through a 'friends_with' hop, so it fails."""
+        result = match_colored(colored_pattern(bound=2), typed_graph)
+        assert result.matches("M") == {"m1"}
+        # E is a leaf pattern node: every employee remains a match.
+        assert result.matches("E") == {"e1", "e2", "e3"}
+
+    def test_uncolored_pattern_ignores_colors(self, typed_graph):
+        pattern = Pattern()
+        pattern.add_node("M", "M")
+        pattern.add_node("E", "E")
+        pattern.add_edge("M", "E", 2)
+        colored = match_colored(pattern, typed_graph)
+        plain = match(pattern, typed_graph)
+        assert colored == plain
+        assert colored.matches("M") == {"m1", "m2"}
+
+    def test_color_with_no_matching_data_edges(self, typed_graph):
+        result = match_colored(colored_pattern(color="reports_to"), typed_graph)
+        assert result.is_empty
+        assert not matches_colored(colored_pattern(color="reports_to"), typed_graph)
+
+    def test_mixed_colored_and_uncolored_edges(self, typed_graph):
+        pattern = Pattern()
+        pattern.add_node("M", "M")
+        pattern.add_node("E", "E")
+        pattern.add_node("E2", "E")
+        pattern.add_edge("M", "E", 1, color="friends_with")
+        pattern.add_edge("E", "E2", 2)  # uncoloured: any relationship
+        result = match_colored(pattern, typed_graph)
+        # Only m2 has a direct 'friends_with' edge to an employee; the E node
+        # is matched by every employee that reaches another employee within
+        # two hops of any relationship type (simulation constraints are
+        # directional, so E matches need not be reachable from m2).
+        assert result.matches("M") == {"m2"}
+        assert result.matches("E") == {"e1", "e3"}
+
+    def test_agrees_with_naive_reference(self, typed_graph):
+        for bound in (1, 2, 3):
+            pattern = colored_pattern(bound=bound)
+            assert match_colored(pattern, typed_graph) == naive_match_colored(
+                pattern, typed_graph
+            )
+
+    def test_custom_oracle_factory(self, typed_graph):
+        pattern = colored_pattern()
+        reference = match_colored(pattern, typed_graph)
+        via_bfs = match_colored(pattern, typed_graph, oracle_factory=BFSDistanceOracle)
+        assert via_bfs == reference
+
+    def test_prebuilt_oracles(self, typed_graph):
+        pattern = colored_pattern()
+        oracles = build_color_oracles(pattern, typed_graph)
+        assert set(oracles) == {None, "works_with"}
+        assert match_colored(pattern, typed_graph, oracles) == match_colored(
+            pattern, typed_graph
+        )
+
+    def test_empty_inputs(self, typed_graph):
+        assert match_colored(Pattern(), typed_graph).is_empty
+        assert match_colored(colored_pattern(), DataGraph()).is_empty
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_randomised_against_naive(self, seed):
+        rng = random.Random(seed)
+        graph = random_data_graph(20, 50, num_labels=3, seed=seed)
+        colors = ["r", "g", "b"]
+        for source, target in graph.edge_list():
+            if rng.random() < 0.7:
+                graph.set_edge_color(source, target, rng.choice(colors))
+        pattern = Pattern()
+        labels = [f"L{i}" for i in range(3)]
+        for index in range(3):
+            pattern.add_node(index, rng.choice(labels))
+        pattern.add_edge(0, 1, rng.randint(1, 3), color=rng.choice(colors + [None]))
+        pattern.add_edge(1, 2, rng.randint(1, 3), color=rng.choice(colors + [None]))
+        assert match_colored(pattern, graph) == naive_match_colored(pattern, graph)
+
+    def test_colored_match_is_subrelation_of_uncolored(self, typed_graph):
+        colored = match_colored(colored_pattern(bound=2), typed_graph)
+        uncolored_pattern = colored_pattern(bound=2)
+        # Strip the colour: same structure, colour constraint removed.
+        plain = Pattern()
+        plain.add_node("M", "M")
+        plain.add_node("E", "E")
+        plain.add_edge("M", "E", 2)
+        unrestricted = match(plain, typed_graph)
+        assert colored.is_subrelation_of(unrestricted)

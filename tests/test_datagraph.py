@@ -1,0 +1,202 @@
+"""Unit tests for DataGraph (repro.graph.datagraph)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    DuplicateEdgeError,
+    DuplicateNodeError,
+    EdgeNotFoundError,
+    NodeNotFoundError,
+)
+from repro.graph.datagraph import DataGraph
+
+
+class TestNodes:
+    def test_add_and_query_nodes(self):
+        graph = DataGraph()
+        graph.add_node("a", label="A", weight=3)
+        assert graph.has_node("a")
+        assert "a" in graph
+        assert graph.number_of_nodes() == 1
+        assert graph.attribute("a", "label") == "A"
+        assert graph.attribute("a", "missing", default=0) == 0
+
+    def test_duplicate_node_rejected(self):
+        graph = DataGraph()
+        graph.add_node("a")
+        with pytest.raises(DuplicateNodeError):
+            graph.add_node("a")
+
+    def test_ensure_node_merges_attributes(self):
+        graph = DataGraph()
+        graph.ensure_node("a", label="A")
+        graph.ensure_node("a", weight=2)
+        assert graph.attributes("a") == {"label": "A", "weight": 2}
+
+    def test_remove_node_removes_incident_edges(self):
+        graph = DataGraph()
+        graph.add_node("a")
+        graph.add_node("b")
+        graph.add_node("c")
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        graph.remove_node("b")
+        assert graph.number_of_edges() == 0
+        assert not graph.has_node("b")
+        assert graph.out_degree("a") == 0
+
+    def test_missing_node_raises(self):
+        graph = DataGraph()
+        with pytest.raises(NodeNotFoundError):
+            graph.successors("ghost")
+        with pytest.raises(NodeNotFoundError):
+            graph.remove_node("ghost")
+
+    def test_set_attributes(self):
+        graph = DataGraph()
+        graph.add_node("a", label="A")
+        graph.set_attributes("a", label="B", extra=1)
+        assert graph.attributes("a") == {"label": "B", "extra": 1}
+
+    def test_hashable_node_ids(self):
+        graph = DataGraph()
+        graph.add_node(("tuple", 1))
+        graph.add_node(42)
+        assert graph.has_node(("tuple", 1))
+        assert graph.has_node(42)
+
+
+class TestEdges:
+    def test_add_edge_and_adjacency(self):
+        graph = DataGraph()
+        graph.add_node("a")
+        graph.add_node("b")
+        assert graph.add_edge("a", "b") is True
+        assert graph.has_edge("a", "b")
+        assert not graph.has_edge("b", "a")
+        assert graph.successors("a") == {"b"}
+        assert graph.predecessors("b") == {"a"}
+        assert graph.out_degree("a") == 1
+        assert graph.in_degree("b") == 1
+        assert graph.degree("a") == 1
+
+    def test_duplicate_edge_strict(self):
+        graph = DataGraph()
+        graph.add_node("a")
+        graph.add_node("b")
+        graph.add_edge("a", "b")
+        with pytest.raises(DuplicateEdgeError):
+            graph.add_edge("a", "b")
+        assert graph.add_edge("a", "b", strict=False) is False
+        assert graph.number_of_edges() == 1
+
+    def test_add_edge_create_nodes(self):
+        graph = DataGraph()
+        graph.add_edge("x", "y", create_nodes=True)
+        assert graph.has_node("x") and graph.has_node("y")
+
+    def test_add_edge_missing_node_raises(self):
+        graph = DataGraph()
+        graph.add_node("a")
+        with pytest.raises(NodeNotFoundError):
+            graph.add_edge("a", "b")
+
+    def test_remove_edge(self):
+        graph = DataGraph()
+        graph.add_node("a")
+        graph.add_node("b")
+        graph.add_edge("a", "b")
+        assert graph.remove_edge("a", "b") is True
+        assert graph.number_of_edges() == 0
+        with pytest.raises(EdgeNotFoundError):
+            graph.remove_edge("a", "b")
+        assert graph.remove_edge("a", "b", strict=False) is False
+
+    def test_add_edges_from(self):
+        graph = DataGraph()
+        added = graph.add_edges_from([("a", "b"), ("b", "c"), ("a", "b")])
+        assert added == 2
+        assert graph.number_of_edges() == 2
+
+    def test_edge_iteration(self, tiny_graph):
+        edges = set(tiny_graph.edges())
+        assert ("a", "b") in edges
+        assert len(edges) == tiny_graph.number_of_edges()
+
+    def test_version_bumps_on_mutation(self):
+        graph = DataGraph()
+        v0 = graph.version
+        graph.add_node("a")
+        graph.add_node("b")
+        graph.add_edge("a", "b")
+        assert graph.version > v0
+        v1 = graph.version
+        graph.remove_edge("a", "b")
+        assert graph.version > v1
+
+
+class TestTraversal:
+    def test_bfs_distances(self, chain_graph):
+        distances = chain_graph.bfs_distances("n0")
+        assert distances == {"n0": 0, "n1": 1, "n2": 2, "n3": 3, "n4": 4}
+
+    def test_bfs_distances_bounded(self, chain_graph):
+        distances = chain_graph.bfs_distances("n0", max_depth=2)
+        assert distances == {"n0": 0, "n1": 1, "n2": 2}
+
+    def test_bfs_distances_reverse(self, chain_graph):
+        distances = chain_graph.bfs_distances("n4", reverse=True)
+        assert distances["n0"] == 4
+
+    def test_reachable_from(self, tiny_graph):
+        assert tiny_graph.reachable_from("a") == {"a", "b", "c", "d"}
+
+    def test_descendants_within_excludes_self_without_cycle(self, chain_graph):
+        assert "n0" not in chain_graph.descendants_within("n0", 3)
+        assert chain_graph.descendants_within("n0", 2) == {"n1", "n2"}
+
+    def test_descendants_within_includes_self_on_cycle(self, tiny_graph):
+        # a -> b -> d -> a is a 3-cycle.
+        assert "a" in tiny_graph.descendants_within("a", 3)
+        assert "a" not in tiny_graph.descendants_within("a", 2)
+
+    def test_ancestors_within(self, chain_graph):
+        assert chain_graph.ancestors_within("n3", 2) == {"n1", "n2"}
+
+    def test_ancestors_within_cycle(self, tiny_graph):
+        assert "d" in tiny_graph.ancestors_within("d", 3)
+
+    def test_unbounded_descendants(self, chain_graph):
+        assert chain_graph.descendants_within("n0", None) == {"n1", "n2", "n3", "n4"}
+
+
+class TestCopiesAndConversions:
+    def test_copy_is_independent(self, tiny_graph):
+        clone = tiny_graph.copy()
+        clone.remove_edge("a", "b")
+        assert tiny_graph.has_edge("a", "b")
+        assert not clone.has_edge("a", "b")
+        assert clone.attributes("a") == tiny_graph.attributes("a")
+
+    def test_subgraph(self, tiny_graph):
+        sub = tiny_graph.subgraph({"a", "b", "d"})
+        assert sub.number_of_nodes() == 3
+        assert sub.has_edge("a", "b")
+        assert sub.has_edge("b", "d")
+        assert not sub.has_edge("a", "c") and not sub.has_node("c")
+
+    def test_subgraph_unknown_node(self, tiny_graph):
+        with pytest.raises(NodeNotFoundError):
+            tiny_graph.subgraph({"a", "ghost"})
+
+    def test_from_edge_list(self):
+        graph = DataGraph.from_edge_list(
+            [(1, 2), (2, 3)], attributes={1: {"label": "A"}}
+        )
+        assert graph.number_of_nodes() == 3
+        assert graph.attribute(1, "label") == "A"
+
+    def test_repr(self, tiny_graph):
+        assert "tiny" in repr(tiny_graph)

@@ -1,0 +1,92 @@
+"""Tests for the real-life dataset substitutes (repro.datasets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    DATASET_BUILDERS,
+    PAPER_SIZES,
+    load_dataset,
+    matter_graph,
+    pblog_graph,
+    youtube_graph,
+)
+from repro.exceptions import DatasetError
+from repro.graph.statistics import compute_statistics
+
+
+class TestRegistry:
+    def test_all_three_datasets_registered(self):
+        assert set(DATASET_BUILDERS) == {"YouTube", "Matter", "PBlog"}
+        assert set(PAPER_SIZES) == set(DATASET_BUILDERS)
+
+    def test_load_dataset_dispatch(self):
+        graph = load_dataset("PBlog", scale=0.05, seed=1)
+        assert graph.name.startswith("PBlog")
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("Flickr")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(DatasetError):
+            youtube_graph(scale=0)
+
+
+@pytest.mark.parametrize("name", ["YouTube", "Matter", "PBlog"])
+class TestGeneratedShape:
+    def test_scaled_sizes_track_paper_sizes(self, name):
+        scale = 0.05
+        graph = DATASET_BUILDERS[name](scale=scale, seed=2)
+        expected_nodes = int(round(PAPER_SIZES[name]["nodes"] * scale))
+        assert abs(graph.number_of_nodes() - expected_nodes) <= 2
+        # Edge counts track the paper's density within a loose factor (the
+        # generators are random and reciprocation saturates on tiny graphs).
+        expected_edges = PAPER_SIZES[name]["edges"] * scale
+        assert graph.number_of_edges() >= 0.4 * expected_edges
+        assert graph.number_of_edges() <= 2.0 * expected_edges
+
+    def test_deterministic_per_seed(self, name):
+        g1 = DATASET_BUILDERS[name](scale=0.03, seed=5)
+        g2 = DATASET_BUILDERS[name](scale=0.03, seed=5)
+        assert set(g1.edges()) == set(g2.edges())
+        assert all(g1.attributes(n) == g2.attributes(n) for n in g1.nodes())
+
+    def test_every_node_has_a_label(self, name):
+        graph = DATASET_BUILDERS[name](scale=0.03, seed=6)
+        assert all("label" in graph.attributes(node) for node in graph.nodes())
+
+
+class TestYouTubeAttributes:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return youtube_graph(scale=0.05, seed=7)
+
+    def test_attribute_schema(self, graph):
+        required = {"category", "uploader", "length", "rate", "age", "views", "comments", "ratings"}
+        for node in list(graph.nodes())[:50]:
+            assert required <= set(graph.attributes(node))
+
+    def test_named_uploaders_present(self, graph):
+        uploaders = {graph.attribute(node, "uploader") for node in graph.nodes()}
+        assert {"FWPB", "Ascrodin", "neil010", "Gisburgh"} <= uploaders
+
+    def test_rate_in_range(self, graph):
+        assert all(1.0 <= graph.attribute(node, "rate") <= 5.0 for node in graph.nodes())
+
+    def test_heavy_tailed_degrees(self, graph):
+        stats = compute_statistics(graph)
+        assert stats.max_in_degree > 5 * stats.avg_out_degree
+
+
+class TestMatterAndPBlogAttributes:
+    def test_matter_schema(self):
+        graph = matter_graph(scale=0.02, seed=8)
+        node = next(iter(graph.nodes()))
+        assert {"area", "papers", "seniority"} <= set(graph.attributes(node))
+
+    def test_pblog_schema_and_leanings(self):
+        graph = pblog_graph(scale=0.3, seed=9)
+        leanings = {graph.attribute(node, "leaning") for node in graph.nodes()}
+        assert leanings == {"liberal", "conservative"}

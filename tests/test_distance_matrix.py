@@ -1,0 +1,129 @@
+"""Unit tests for the all-pairs distance matrix (repro.distance.matrix)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distance.matrix import DistanceMatrix
+from repro.distance.oracle import INF
+from repro.exceptions import DistanceOracleError
+from repro.graph.generators import random_data_graph
+
+
+class TestDistances:
+    def test_chain_distances(self, chain_graph):
+        matrix = DistanceMatrix(chain_graph)
+        assert matrix.distance("n0", "n0") == 0
+        assert matrix.distance("n0", "n3") == 3
+        assert matrix.distance("n3", "n0") == INF
+
+    def test_cycle_distances(self, tiny_graph):
+        matrix = DistanceMatrix(tiny_graph)
+        assert matrix.distance("a", "d") == 2
+        assert matrix.distance("d", "b") == 2  # d -> a -> b
+
+    def test_unknown_node_raises(self, tiny_graph):
+        matrix = DistanceMatrix(tiny_graph)
+        with pytest.raises(DistanceOracleError):
+            matrix.distance("ghost", "a")
+
+    def test_matches_bfs_on_random_graph(self):
+        graph = random_data_graph(30, 90, seed=8)
+        matrix = DistanceMatrix(graph)
+        for source in graph.nodes():
+            reference = graph.bfs_distances(source)
+            for target in graph.nodes():
+                expected = reference.get(target, INF)
+                assert matrix.distance(source, target) == expected
+
+
+class TestNonEmptyPathSemantics:
+    def test_nonempty_distance_off_diagonal_equals_distance(self, chain_graph):
+        matrix = DistanceMatrix(chain_graph)
+        assert matrix.nonempty_distance("n0", "n2") == 2
+
+    def test_nonempty_distance_on_diagonal_is_cycle_length(self, tiny_graph):
+        matrix = DistanceMatrix(tiny_graph)
+        # Shortest cycle through a: a -> b -> d -> a (3 edges).
+        assert matrix.nonempty_distance("a", "a") == 3
+
+    def test_nonempty_distance_without_cycle_is_infinite(self, chain_graph):
+        matrix = DistanceMatrix(chain_graph)
+        assert matrix.nonempty_distance("n0", "n0") == INF
+
+    def test_within(self, tiny_graph):
+        matrix = DistanceMatrix(tiny_graph)
+        assert matrix.within("a", "d", 2)
+        assert not matrix.within("a", "d", 1)
+        assert matrix.within("a", "d", None)
+        assert matrix.within("a", "a", 3)
+        assert not matrix.within("a", "a", 2)
+
+    def test_reaches(self, chain_graph):
+        matrix = DistanceMatrix(chain_graph)
+        assert matrix.reaches("n0", "n4")
+        assert not matrix.reaches("n4", "n0")
+        assert not matrix.reaches("n0", "n0")
+
+
+class TestNeighbourhoodQueries:
+    def test_descendants_within(self, chain_graph):
+        matrix = DistanceMatrix(chain_graph)
+        assert matrix.descendants_within("n0", 2) == {"n1", "n2"}
+        assert matrix.descendants_within("n0", None) == {"n1", "n2", "n3", "n4"}
+
+    def test_descendants_within_includes_self_on_cycle(self, tiny_graph):
+        matrix = DistanceMatrix(tiny_graph)
+        assert "a" in matrix.descendants_within("a", 3)
+        assert "a" not in matrix.descendants_within("a", 2)
+
+    def test_ancestors_within(self, chain_graph):
+        matrix = DistanceMatrix(chain_graph)
+        assert matrix.ancestors_within("n3", 2) == {"n1", "n2"}
+
+    def test_ancestors_within_cycle(self, tiny_graph):
+        matrix = DistanceMatrix(tiny_graph)
+        assert "d" in matrix.ancestors_within("d", 3)
+
+    def test_matches_graph_bfs_helpers(self):
+        graph = random_data_graph(25, 80, seed=9)
+        matrix = DistanceMatrix(graph)
+        for node in graph.nodes():
+            for bound in (1, 2, 3, None):
+                assert matrix.descendants_within(node, bound) == graph.descendants_within(node, bound)
+                assert matrix.ancestors_within(node, bound) == graph.ancestors_within(node, bound)
+
+
+class TestMaintenanceHelpers:
+    def test_refresh_after_mutation(self, chain_graph):
+        matrix = DistanceMatrix(chain_graph)
+        chain_graph.add_edge("n4", "n0")
+        assert not matrix.in_sync
+        matrix.refresh()
+        assert matrix.in_sync
+        assert matrix.distance("n4", "n0") == 1
+
+    def test_set_distance_and_infinite_removal(self, chain_graph):
+        matrix = DistanceMatrix(chain_graph)
+        matrix.set_distance("n4", "n0", 7)
+        assert matrix.distance("n4", "n0") == 7
+        matrix.set_distance("n4", "n0", INF)
+        assert matrix.distance("n4", "n0") == INF
+
+    def test_copy_and_equals(self, tiny_graph):
+        matrix = DistanceMatrix(tiny_graph)
+        clone = matrix.copy()
+        assert matrix.equals(clone)
+        clone.set_distance("a", "d", 9)
+        assert not matrix.equals(clone)
+
+    def test_finite_pairs_and_counts(self, chain_graph):
+        matrix = DistanceMatrix(chain_graph)
+        pairs = list(matrix.finite_pairs())
+        assert matrix.num_finite_pairs() == len(pairs)
+        assert ("n0", "n4", 4) in pairs
+
+    def test_row_and_column_views(self, chain_graph):
+        matrix = DistanceMatrix(chain_graph)
+        assert matrix.row("n0")["n2"] == 2
+        assert matrix.column("n2")["n0"] == 2

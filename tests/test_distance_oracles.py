@@ -1,0 +1,99 @@
+"""Tests for the BFS and 2-hop distance oracles, cross-checked against the matrix."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distance.bfs import BFSDistanceOracle
+from repro.distance.matrix import DistanceMatrix
+from repro.distance.oracle import INF
+from repro.distance.twohop import TwoHopOracle
+from repro.graph.generators import random_data_graph, scale_free_graph
+
+ORACLES = [BFSDistanceOracle, TwoHopOracle]
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return [
+        random_data_graph(25, 60, seed=1),
+        random_data_graph(30, 150, seed=2),
+        scale_free_graph(40, out_degree=3, seed=3),
+    ]
+
+
+class TestAgreementWithMatrix:
+    @pytest.mark.parametrize("oracle_cls", ORACLES)
+    def test_distance_agrees(self, graphs, oracle_cls):
+        for graph in graphs:
+            matrix = DistanceMatrix(graph)
+            oracle = oracle_cls(graph)
+            for source in graph.nodes():
+                for target in graph.nodes():
+                    assert oracle.distance(source, target) == matrix.distance(
+                        source, target
+                    ), (source, target, oracle_cls.__name__)
+
+    @pytest.mark.parametrize("oracle_cls", ORACLES)
+    @pytest.mark.parametrize("bound", [1, 2, 3, None])
+    def test_descendants_and_ancestors_agree(self, graphs, oracle_cls, bound):
+        graph = graphs[0]
+        matrix = DistanceMatrix(graph)
+        oracle = oracle_cls(graph)
+        for node in graph.nodes():
+            assert oracle.descendants_within(node, bound) == matrix.descendants_within(node, bound)
+            assert oracle.ancestors_within(node, bound) == matrix.ancestors_within(node, bound)
+
+    @pytest.mark.parametrize("oracle_cls", ORACLES)
+    def test_nonempty_distance_agrees(self, graphs, oracle_cls):
+        graph = graphs[2]
+        matrix = DistanceMatrix(graph)
+        oracle = oracle_cls(graph)
+        for node in graph.nodes():
+            assert oracle.nonempty_distance(node, node) == matrix.nonempty_distance(node, node)
+
+
+class TestBFSOracle:
+    def test_cache_invalidation_on_graph_change(self, chain_graph):
+        oracle = BFSDistanceOracle(chain_graph)
+        assert oracle.distance("n4", "n0") == INF
+        chain_graph.add_edge("n4", "n0")
+        assert oracle.distance("n4", "n0") == 1
+
+    def test_uncached_mode(self, chain_graph):
+        oracle = BFSDistanceOracle(chain_graph, cache=False)
+        assert oracle.distance("n0", "n4") == 4
+
+    def test_repr(self, chain_graph):
+        assert "BFSDistanceOracle" in repr(BFSDistanceOracle(chain_graph))
+
+
+class TestTwoHopOracle:
+    def test_label_sizes_reported(self, chain_graph):
+        oracle = TwoHopOracle(chain_graph)
+        assert oracle.label_size() > 0
+        assert oracle.average_label_size() > 0
+
+    def test_reachability_only_mode(self):
+        graph = random_data_graph(25, 60, seed=4)
+        matrix = DistanceMatrix(graph)
+        oracle = TwoHopOracle(graph, reachability_only=True)
+        for source in graph.nodes():
+            for target in graph.nodes():
+                assert oracle.distance(source, target) == matrix.distance(source, target)
+
+    def test_refresh_on_graph_change(self, chain_graph):
+        oracle = TwoHopOracle(chain_graph)
+        assert oracle.distance("n4", "n0") == INF
+        chain_graph.add_edge("n4", "n0")
+        assert oracle.distance("n4", "n0") == 1
+
+    def test_custom_hub_order(self, chain_graph):
+        oracle = TwoHopOracle(chain_graph, hub_order=list(chain_graph.nodes()))
+        assert oracle.distance("n0", "n4") == 4
+
+    def test_empty_label_average_on_empty_graph(self):
+        from repro.graph.datagraph import DataGraph
+
+        oracle = TwoHopOracle(DataGraph())
+        assert oracle.average_label_size() == 0.0

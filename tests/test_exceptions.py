@@ -1,0 +1,44 @@
+"""Tests for the exception hierarchy (repro.exceptions)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import exceptions as exc
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in exc.__all__:
+            error_cls = getattr(exc, name)
+            assert issubclass(error_cls, exc.ReproError)
+
+    def test_lookup_errors_are_also_key_errors(self):
+        assert issubclass(exc.NodeNotFoundError, KeyError)
+        assert issubclass(exc.EdgeNotFoundError, KeyError)
+
+    def test_value_errors(self):
+        assert issubclass(exc.DuplicateNodeError, ValueError)
+        assert issubclass(exc.InvalidBoundError, ValueError)
+        assert issubclass(exc.PredicateError, ValueError)
+
+    def test_cyclic_pattern_error_is_incremental_and_matching_error(self):
+        assert issubclass(exc.CyclicPatternError, exc.IncrementalError)
+        assert issubclass(exc.CyclicPatternError, exc.MatchingError)
+
+    def test_messages(self):
+        assert "ghost" in str(exc.NodeNotFoundError("ghost"))
+        assert "('a', 'b')" in str(exc.EdgeNotFoundError("a", "b")) or "a" in str(
+            exc.EdgeNotFoundError("a", "b")
+        )
+        assert "already" in str(exc.DuplicateNodeError("x"))
+        assert "bound" in str(exc.InvalidBoundError(0))
+
+    def test_exported_from_package_root(self):
+        assert repro.ReproError is exc.ReproError
+        assert repro.CyclicPatternError is exc.CyclicPatternError
+
+    def test_catching_library_errors_with_base_class(self, tiny_graph):
+        with pytest.raises(exc.ReproError):
+            tiny_graph.successors("ghost")

@@ -1,0 +1,170 @@
+"""Smoke tests for the experiment drivers (run at tiny scales).
+
+These verify that every figure/table driver produces well-formed rows and
+that the qualitative invariants the paper reports hold at reduced scale
+(e.g. the incremental and batch algorithms agree, Match finds at least as
+many matches as VF2).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    appendix_statistics_experiment,
+    bound_sweep_experiment,
+    dataset_table_experiment,
+    incremental_deletions_experiment,
+    incremental_insertions_experiment,
+    match_vs_vf2_experiment,
+    real_life_efficiency_experiment,
+    result_graph_experiment,
+    run_experiment,
+    synthetic_scalability_experiment,
+    varying_edges_experiment,
+)
+from repro.experiments.harness import ExperimentRecord, average, timed
+from repro.experiments.reporting import Table, format_value, save_rows_json
+
+
+class TestHarness:
+    def test_timed_returns_result_and_duration(self):
+        result, seconds = timed(sum, [1, 2, 3])
+        assert result == 6
+        assert seconds >= 0
+
+    def test_average(self):
+        assert average([1, 2, 3]) == 2
+        assert average([]) == 0.0
+
+    def test_record_table_rendering(self):
+        record = ExperimentRecord(
+            experiment="x", title="t", paper_expectation="exp", notes="n"
+        )
+        record.add_row(a=1, b=2.5)
+        rendered = record.to_table().render()
+        assert "x: t" in rendered
+        assert "exp" in rendered
+        assert "2.500" in rendered
+
+    def test_run_experiment_quiet(self):
+        record = run_experiment(dataset_table_experiment, scale=0.01, quiet=True)
+        assert isinstance(record, ExperimentRecord)
+
+
+class TestReporting:
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(float("inf")) == "inf"
+        assert format_value(float("nan")) == "-"
+        assert format_value(0.1234) == "0.123"
+        assert format_value(123.456) == "123.5"
+        assert format_value("text") == "text"
+
+    def test_table_renders_all_rows(self):
+        table = Table("demo", note="note")
+        table.add_row({"a": 1})
+        table.add_row({"a": 2, "b": 3})
+        rendered = table.render()
+        assert "demo" in rendered and "note" in rendered
+        assert len(table) == 2
+        assert table.columns == ["a", "b"]
+
+    def test_save_rows_json(self, tmp_path):
+        path = tmp_path / "rows.json"
+        save_rows_json([{"a": 1}], path)
+        assert path.read_text().strip().startswith("[")
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        expected = {
+            "table-datasets", "fig6a", "exp1-subiso", "fig6b-6c", "fig6d",
+            "fig6e", "fig6fgh", "fig6i", "fig6j", "fig6k", "fig9", "appendix-stats",
+        }
+        assert set(ALL_EXPERIMENTS) == expected
+
+
+class TestDatasetTable:
+    def test_rows_cover_all_datasets(self):
+        record = dataset_table_experiment(scale=0.02)
+        assert {row["dataset"] for row in record.rows} == {"YouTube", "Matter", "PBlog"}
+        for row in record.rows:
+            assert row["generated_nodes"] > 0
+            assert row["generated_edges"] > 0
+
+
+class TestEffectivenessDrivers:
+    def test_result_graph_rows(self):
+        record = result_graph_experiment(scale=0.05, seed=7)
+        assert len(record.rows) == 3
+        matched_rows = [row for row in record.rows if row["matched"]]
+        assert matched_rows, "at least one sample pattern should match"
+        for row in matched_rows:
+            assert row["result_nodes"] > 0
+            assert row["avg_matches_per_node"] >= 1
+
+    def test_match_vs_vf2_invariant(self):
+        record = match_vs_vf2_experiment(
+            scale=0.02, seed=7, specs=((3, 3, 3), (4, 4, 3)), patterns_per_spec=2
+        )
+        assert len(record.rows) == 2
+        for row in record.rows:
+            # Bounded simulation never finds fewer match pairs than subgraph
+            # isomorphism does (every embedding is contained in the maximum match).
+            assert row["match_matches"] >= row["vf2_matches"]
+            assert row["match_total_s"] >= row["match_process_s"]
+
+    def test_varying_edges_monotone_difficulty(self):
+        record = varying_edges_experiment(
+            num_nodes=300, num_edges=600, num_labels=30,
+            pattern_sizes=(4,), max_extra_edges=4, patterns_per_point=2, seed=5,
+        )
+        values = [row["P(4,E,9)"] for row in record.rows]
+        # Adding pattern edges can only make matching harder on average.
+        assert values[0] >= values[-1]
+
+    def test_bound_sweep_monotone_in_k(self):
+        record = bound_sweep_experiment(
+            num_nodes=300, num_edges=600, num_labels=30,
+            pattern_sizes=(4,), bounds=(2, 4, 8), patterns_per_point=2, seed=5,
+        )
+        values = [row["P(4,3,k)"] for row in record.rows]
+        assert values == sorted(values)  # more hops -> at least as many matches
+
+
+class TestEfficiencyDrivers:
+    def test_real_life_rows(self):
+        record = real_life_efficiency_experiment(
+            scale=0.02, specs=((3, 3, 3),), patterns_per_spec=1,
+            datasets=("PBlog",), variants=("Match", "BFS"),
+        )
+        assert len(record.rows) == 1
+        row = record.rows[0]
+        assert row["Match_ms"] >= 0
+        assert "BFS_ms" in row
+
+    def test_synthetic_scalability_rows(self):
+        record = synthetic_scalability_experiment(
+            num_nodes=200, edge_counts=(300,), pattern_sizes=(4, 5),
+            patterns_per_point=1, variants=("Match", "BFS"), seed=3,
+        )
+        assert len(record.rows) == 2
+        assert all("Match_ms" in row and "BFS_ms" in row for row in record.rows)
+
+
+class TestIncrementalDrivers:
+    def test_deletions_driver_agreement(self):
+        record = incremental_deletions_experiment(scale=0.02, sizes=(5, 10))
+        assert len(record.rows) == 2
+        assert all(row["results_agree"] for row in record.rows)
+
+    def test_insertions_driver_agreement(self):
+        record = incremental_insertions_experiment(scale=0.02, sizes=(5,))
+        assert all(row["results_agree"] for row in record.rows)
+
+    def test_appendix_statistics(self):
+        record = appendix_statistics_experiment(scale=0.02, num_patterns=2, num_insertions=5)
+        assert len(record.rows) == 2
+        assert record.rows[0]["avg_nodes"] >= 0

@@ -1,0 +1,146 @@
+"""Unit tests for the synthetic graph generators (repro.graph.generators)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.generators import (
+    attach_attributes,
+    layered_dag,
+    random_attributes,
+    random_data_graph,
+    scale_free_graph,
+    small_world_graph,
+)
+
+
+class TestRandomAttributes:
+    def test_builds_distinct_labels(self):
+        vocab = random_attributes(5)
+        assert len(vocab) == 5
+        assert len({item["label"] for item in vocab}) == 5
+
+    def test_custom_attribute_name(self):
+        vocab = random_attributes(2, attribute="category", prefix="C")
+        assert vocab[0] == {"category": "C0"}
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            random_attributes(0)
+
+
+class TestRandomDataGraph:
+    def test_requested_sizes(self):
+        graph = random_data_graph(50, 120, seed=1)
+        assert graph.number_of_nodes() == 50
+        assert graph.number_of_edges() == 120
+
+    def test_deterministic_with_seed(self):
+        g1 = random_data_graph(30, 60, seed=7)
+        g2 = random_data_graph(30, 60, seed=7)
+        assert set(g1.edges()) == set(g2.edges())
+        assert all(g1.attributes(n) == g2.attributes(n) for n in g1.nodes())
+
+    def test_different_seeds_differ(self):
+        g1 = random_data_graph(30, 60, seed=1)
+        g2 = random_data_graph(30, 60, seed=2)
+        assert set(g1.edges()) != set(g2.edges())
+
+    def test_edge_count_capped_at_maximum(self):
+        graph = random_data_graph(5, 1000, seed=3)
+        assert graph.number_of_edges() == 5 * 4
+
+    def test_no_self_loops_by_default(self):
+        graph = random_data_graph(20, 100, seed=4)
+        assert all(source != target for source, target in graph.edges())
+
+    def test_dense_generation_path(self):
+        graph = random_data_graph(10, 70, seed=5)
+        assert graph.number_of_edges() == 70
+
+    def test_every_node_has_attributes(self):
+        graph = random_data_graph(15, 30, num_labels=3, seed=6)
+        labels = {graph.attribute(node, "label") for node in graph.nodes()}
+        assert labels <= {f"L{i}" for i in range(3)}
+
+    def test_custom_attribute_vocabulary(self):
+        vocab = [{"kind": "x"}, {"kind": "y"}]
+        graph = random_data_graph(10, 20, attributes=vocab, seed=7)
+        assert {graph.attribute(node, "kind") for node in graph.nodes()} <= {"x", "y"}
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            random_data_graph(0, 5)
+        with pytest.raises(ValueError):
+            random_data_graph(5, -1)
+
+
+class TestScaleFreeGraph:
+    def test_size_and_determinism(self):
+        g1 = scale_free_graph(60, out_degree=3, seed=11)
+        g2 = scale_free_graph(60, out_degree=3, seed=11)
+        assert g1.number_of_nodes() == 60
+        assert set(g1.edges()) == set(g2.edges())
+
+    def test_skewed_in_degree(self):
+        graph = scale_free_graph(200, out_degree=3, seed=12)
+        in_degrees = sorted((graph.in_degree(node) for node in graph.nodes()), reverse=True)
+        # The top node should attract far more than the average in-degree.
+        average = sum(in_degrees) / len(in_degrees)
+        assert in_degrees[0] > 4 * average
+
+    def test_no_self_loops(self):
+        graph = scale_free_graph(80, out_degree=2, seed=13)
+        assert all(source != target for source, target in graph.edges())
+
+
+class TestSmallWorldGraph:
+    def test_size(self):
+        graph = small_world_graph(50, neighbors=3, seed=21)
+        assert graph.number_of_nodes() == 50
+        assert graph.number_of_edges() > 0
+
+    def test_rewire_probability_validated(self):
+        with pytest.raises(GraphError):
+            small_world_graph(10, neighbors=2, rewire_probability=2.0)
+
+    def test_deterministic(self):
+        g1 = small_world_graph(40, neighbors=2, seed=22)
+        g2 = small_world_graph(40, neighbors=2, seed=22)
+        assert set(g1.edges()) == set(g2.edges())
+
+
+class TestLayeredDag:
+    def test_edges_only_between_adjacent_layers(self):
+        graph = layered_dag([3, 4, 2], edge_probability=0.5, seed=31)
+        layer_of = {}
+        counter = 0
+        for layer_index, width in enumerate([3, 4, 2]):
+            for _ in range(width):
+                layer_of[counter] = layer_index
+                counter += 1
+        for source, target in graph.edges():
+            assert layer_of[target] == layer_of[source] + 1
+
+    def test_every_non_sink_has_an_out_edge(self):
+        graph = layered_dag([2, 3, 3], edge_probability=0.05, seed=32)
+        for node in graph.nodes():
+            if node < 5:  # nodes of the first two layers
+                assert graph.out_degree(node) >= 1
+
+    def test_empty_layers_rejected(self):
+        with pytest.raises(GraphError):
+            layered_dag([])
+
+
+class TestAttachAttributes:
+    def test_assigns_from_vocabulary(self):
+        graph = random_data_graph(10, 20, seed=41)
+        attach_attributes(graph, [{"group": "g1"}, {"group": "g2"}], seed=42)
+        assert {graph.attribute(node, "group") for node in graph.nodes()} <= {"g1", "g2"}
+
+    def test_empty_vocabulary_rejected(self):
+        graph = random_data_graph(5, 5, seed=43)
+        with pytest.raises(GraphError):
+            attach_attributes(graph, [])

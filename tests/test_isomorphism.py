@@ -1,0 +1,172 @@
+"""Tests for the subgraph-isomorphism baselines (SubIso / VF2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.datagraph import DataGraph
+from repro.graph.generators import random_data_graph
+from repro.graph.pattern import Pattern
+from repro.isomorphism.common import compatibility_sets, mapping_to_subgraph
+from repro.isomorphism.ullmann import (
+    count_isomorphisms,
+    find_isomorphism,
+    ullmann_isomorphisms,
+)
+from repro.isomorphism.vf2 import vf2_count, vf2_find, vf2_isomorphisms
+from repro.matching.bounded import matches
+
+
+def labelled_pattern(edges, labels):
+    pattern = Pattern()
+    for node, label in labels.items():
+        pattern.add_node(node, label)
+    for source, target in edges:
+        pattern.add_edge(source, target, 1)
+    return pattern
+
+
+def triangle_graph():
+    graph = DataGraph()
+    graph.add_node(1, label="A")
+    graph.add_node(2, label="B")
+    graph.add_node(3, label="C")
+    graph.add_node(4, label="B")
+    graph.add_edge(1, 2)
+    graph.add_edge(2, 3)
+    graph.add_edge(3, 1)
+    graph.add_edge(1, 4)
+    return graph
+
+
+ENGINES = {
+    "ullmann": (ullmann_isomorphisms, find_isomorphism, count_isomorphisms),
+    "vf2": (vf2_isomorphisms, vf2_find, vf2_count),
+}
+
+
+@pytest.mark.parametrize("engine", ENGINES, ids=list(ENGINES))
+class TestBothEngines:
+    def test_finds_embedded_path(self, engine, chain_graph):
+        enumerate_fn, find_fn, _ = ENGINES[engine]
+        pattern = labelled_pattern([("u", "v")], {"u": "L1", "v": "L2"})
+        mapping = find_fn(pattern, chain_graph)
+        assert mapping == {"u": "n1", "v": "n2"}
+
+    def test_no_match_when_absent(self, engine, chain_graph):
+        _, find_fn, _ = ENGINES[engine]
+        pattern = labelled_pattern([("u", "v")], {"u": "L2", "v": "L1"})
+        assert find_fn(pattern, chain_graph) is None
+
+    def test_triangle_found(self, engine):
+        _, find_fn, _ = ENGINES[engine]
+        pattern = labelled_pattern(
+            [("a", "b"), ("b", "c"), ("c", "a")], {"a": "A", "b": "B", "c": "C"}
+        )
+        mapping = find_fn(pattern, triangle_graph())
+        assert mapping == {"a": 1, "b": 2, "c": 3}
+
+    def test_mapping_is_injective(self, engine):
+        enumerate_fn, _, _ = ENGINES[engine]
+        graph = random_data_graph(15, 45, num_labels=3, seed=1)
+        pattern = labelled_pattern([(0, 1), (1, 2)], {0: "L0", 1: "L1", 2: "L2"})
+        for mapping in enumerate_fn(pattern, graph):
+            assert len(set(mapping.values())) == len(mapping)
+
+    def test_every_mapping_preserves_edges_and_labels(self, engine):
+        enumerate_fn, _, _ = ENGINES[engine]
+        graph = random_data_graph(15, 60, num_labels=3, seed=2)
+        pattern = labelled_pattern([(0, 1), (1, 2), (0, 2)], {0: "L0", 1: "L1", 2: "L2"})
+        for mapping in enumerate_fn(pattern, graph):
+            for u1, u2 in pattern.edges():
+                assert graph.has_edge(mapping[u1], mapping[u2])
+            for u, v in mapping.items():
+                assert pattern.predicate(u).evaluate(graph.attributes(v))
+
+    def test_max_matches_cap(self, engine):
+        enumerate_fn, _, count_fn = ENGINES[engine]
+        graph = random_data_graph(20, 100, num_labels=2, seed=3)
+        pattern = labelled_pattern([(0, 1)], {0: "L0", 1: "L1"})
+        capped = list(enumerate_fn(pattern, graph, max_matches=3))
+        assert len(capped) <= 3
+        assert count_fn(pattern, graph, max_matches=3) <= 3
+
+    def test_pattern_larger_than_graph(self, engine):
+        _, find_fn, _ = ENGINES[engine]
+        graph = DataGraph()
+        graph.add_node(1, label="A")
+        pattern = labelled_pattern([(0, 1)], {0: "A", 1: "A"})
+        assert find_fn(pattern, graph) is None
+
+    def test_isomorphism_implies_bounded_simulation(self, engine):
+        """Any isomorphic embedding also witnesses a bounded-simulation match."""
+        _, find_fn, _ = ENGINES[engine]
+        graph = random_data_graph(20, 70, num_labels=3, seed=4)
+        pattern = labelled_pattern([(0, 1), (1, 2)], {0: "L0", 1: "L1", 2: "L2"})
+        mapping = find_fn(pattern, graph)
+        if mapping is not None:
+            assert matches(pattern, graph)
+
+
+class TestEnginesAgree:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_same_embedding_sets(self, seed):
+        graph = random_data_graph(14, 40, num_labels=3, seed=seed)
+        rng = random.Random(seed)
+        labels = [f"L{i}" for i in range(3)]
+        pattern = labelled_pattern(
+            [(0, 1), (1, 2)] + ([(0, 2)] if rng.random() < 0.5 else []),
+            {i: rng.choice(labels) for i in range(3)},
+        )
+        ull = {tuple(sorted(m.items(), key=repr)) for m in ullmann_isomorphisms(pattern, graph)}
+        vf2 = {tuple(sorted(m.items(), key=repr)) for m in vf2_isomorphisms(pattern, graph)}
+        assert ull == vf2
+
+    def test_agrees_with_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        from networkx.algorithms import isomorphism as nx_iso
+
+        graph = random_data_graph(12, 40, num_labels=2, seed=9)
+        pattern = labelled_pattern([(0, 1), (1, 2)], {0: "L0", 1: "L1", 2: "L0"})
+
+        nx_graph = networkx.DiGraph()
+        for node in graph.nodes():
+            nx_graph.add_node(node, label=graph.attribute(node, "label"))
+        nx_graph.add_edges_from(graph.edges())
+        nx_pattern = networkx.DiGraph()
+        for node in pattern.nodes():
+            nx_pattern.add_node(node, label=pattern.predicate(node).atoms[0].value)
+        nx_pattern.add_edges_from(pattern.edges())
+
+        matcher = nx_iso.DiGraphMatcher(
+            nx_graph,
+            nx_pattern,
+            node_match=lambda d1, d2: d1["label"] == d2["label"],
+        )
+        nx_embeddings = {
+            tuple(sorted(((pu, gv) for gv, pu in mapping.items()), key=repr))
+            for mapping in matcher.subgraph_monomorphisms_iter()
+        }
+        our_embeddings = {
+            tuple(sorted(m.items(), key=repr)) for m in vf2_isomorphisms(pattern, graph)
+        }
+        assert our_embeddings == nx_embeddings
+
+
+class TestCommonHelpers:
+    def test_compatibility_sets_degree_filter(self):
+        graph = triangle_graph()
+        pattern = labelled_pattern([("a", "b"), ("a", "c")], {"a": "A", "b": "B", "c": "C"})
+        candidates = compatibility_sets(pattern, graph)
+        assert candidates["a"] == {1}   # needs out-degree >= 2
+        assert candidates["b"] == {2, 4}
+
+    def test_mapping_to_subgraph(self):
+        graph = triangle_graph()
+        pattern = labelled_pattern([("a", "b")], {"a": "A", "b": "B"})
+        subgraph = mapping_to_subgraph(pattern, graph, {"a": 1, "b": 2})
+        assert subgraph.number_of_nodes() == 2
+        assert subgraph.has_edge(1, 2)
+        assert subgraph.attribute(1, "label") == "A"

@@ -1,0 +1,224 @@
+"""Unit tests for Pattern (repro.graph.pattern)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    DuplicateEdgeError,
+    DuplicateNodeError,
+    EdgeNotFoundError,
+    InvalidBoundError,
+    NodeNotFoundError,
+    PatternError,
+)
+from repro.graph.pattern import UNBOUNDED, Pattern, normalize_bound
+from repro.graph.predicates import Predicate
+
+
+class TestNormalizeBound:
+    def test_star_and_none_mean_unbounded(self):
+        assert normalize_bound("*") is UNBOUNDED
+        assert normalize_bound(None) is UNBOUNDED
+        assert normalize_bound(float("inf")) is UNBOUNDED
+
+    def test_positive_ints_pass_through(self):
+        assert normalize_bound(1) == 1
+        assert normalize_bound(7) == 7
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "three", True])
+    def test_invalid_bounds_rejected(self, bad):
+        with pytest.raises(InvalidBoundError):
+            normalize_bound(bad)
+
+
+class TestPatternConstruction:
+    def test_add_nodes_and_edges(self):
+        pattern = Pattern(name="p")
+        pattern.add_node("A", "A")
+        pattern.add_node("B", Predicate.equals("dept", "CS"))
+        pattern.add_edge("A", "B", 3)
+        assert pattern.number_of_nodes() == 2
+        assert pattern.number_of_edges() == 1
+        assert pattern.bound("A", "B") == 3
+        assert pattern.has_edge("A", "B")
+        assert pattern.predicate("A").evaluate({"label": "A"})
+
+    def test_default_bound_is_one(self):
+        pattern = Pattern()
+        pattern.add_node(1)
+        pattern.add_node(2)
+        pattern.add_edge(1, 2)
+        assert pattern.bound(1, 2) == 1
+
+    def test_unbounded_edge(self):
+        pattern = Pattern()
+        pattern.add_node(1)
+        pattern.add_node(2)
+        pattern.add_edge(1, 2, "*")
+        assert pattern.bound(1, 2) is UNBOUNDED
+        assert pattern.has_unbounded_edge()
+
+    def test_duplicate_node_rejected(self):
+        pattern = Pattern()
+        pattern.add_node("A")
+        with pytest.raises(DuplicateNodeError):
+            pattern.add_node("A")
+
+    def test_duplicate_edge_rejected(self):
+        pattern = Pattern()
+        pattern.add_node("A")
+        pattern.add_node("B")
+        pattern.add_edge("A", "B")
+        with pytest.raises(DuplicateEdgeError):
+            pattern.add_edge("A", "B", 2)
+
+    def test_edge_requires_existing_nodes(self):
+        pattern = Pattern()
+        pattern.add_node("A")
+        with pytest.raises(NodeNotFoundError):
+            pattern.add_edge("A", "ghost")
+
+    def test_missing_edge_bound_raises(self):
+        pattern = Pattern()
+        pattern.add_node("A")
+        pattern.add_node("B")
+        with pytest.raises(EdgeNotFoundError):
+            pattern.bound("A", "B")
+
+    def test_remove_node_and_edge(self):
+        pattern = Pattern()
+        pattern.add_node("A")
+        pattern.add_node("B")
+        pattern.add_edge("A", "B", 2)
+        pattern.remove_edge("A", "B")
+        assert pattern.number_of_edges() == 0
+        pattern.add_edge("A", "B", 2)
+        pattern.remove_node("B")
+        assert pattern.number_of_nodes() == 1
+        assert pattern.number_of_edges() == 0
+
+    def test_set_bound_and_predicate(self):
+        pattern = Pattern()
+        pattern.add_node("A", "A")
+        pattern.add_node("B", "B")
+        pattern.add_edge("A", "B", 2)
+        pattern.set_bound("A", "B", "*")
+        assert pattern.bound("A", "B") is UNBOUNDED
+        pattern.set_predicate("A", "Z")
+        assert pattern.predicate("A").evaluate({"label": "Z"})
+
+    def test_adjacency_queries(self):
+        pattern = Pattern()
+        for node in "ABC":
+            pattern.add_node(node)
+        pattern.add_edge("A", "B")
+        pattern.add_edge("A", "C")
+        pattern.add_edge("B", "C")
+        assert pattern.successors("A") == {"B", "C"}
+        assert pattern.predecessors("C") == {"A", "B"}
+        assert pattern.out_degree("A") == 2
+        assert pattern.in_degree("C") == 2
+
+
+class TestStructure:
+    def test_dag_detection(self):
+        dag = Pattern()
+        for node in "ABC":
+            dag.add_node(node)
+        dag.add_edge("A", "B")
+        dag.add_edge("B", "C")
+        dag.add_edge("A", "C")
+        assert dag.is_dag()
+        order = dag.topological_order()
+        assert order.index("A") < order.index("B") < order.index("C")
+
+    def test_cycle_detection(self):
+        cyclic = Pattern()
+        for node in "AB":
+            cyclic.add_node(node)
+        cyclic.add_edge("A", "B")
+        cyclic.add_edge("B", "A")
+        assert not cyclic.is_dag()
+        with pytest.raises(PatternError):
+            cyclic.topological_order()
+
+    def test_reverse_topological_order(self):
+        dag = Pattern()
+        for node in "AB":
+            dag.add_node(node)
+        dag.add_edge("A", "B")
+        assert dag.reverse_topological_order() == ["B", "A"]
+
+    def test_is_traditional(self):
+        traditional = Pattern()
+        traditional.add_node("A", "A")
+        traditional.add_node("B", "B")
+        traditional.add_edge("A", "B", 1)
+        assert traditional.is_traditional()
+
+        bounded = traditional.copy()
+        bounded.set_bound("A", "B", 2)
+        assert not bounded.is_traditional()
+
+        attr_pattern = Pattern()
+        attr_pattern.add_node("A", Predicate.equals("dept", "CS"))
+        assert not attr_pattern.is_traditional()
+
+    def test_max_bound(self):
+        pattern = Pattern()
+        for node in "ABC":
+            pattern.add_node(node)
+        pattern.add_edge("A", "B", 2)
+        pattern.add_edge("B", "C", 5)
+        assert pattern.max_bound() == 5
+        pattern.set_bound("B", "C", "*")
+        assert pattern.max_bound() == 2
+
+    def test_max_bound_all_unbounded(self):
+        pattern = Pattern()
+        pattern.add_node("A")
+        pattern.add_node("B")
+        pattern.add_edge("A", "B", "*")
+        assert pattern.max_bound() is None
+
+
+class TestSerialisation:
+    def test_round_trip_dict(self):
+        pattern = Pattern(name="P2")
+        pattern.add_node("CS", Predicate.equals("dept", "CS"))
+        pattern.add_node("Soc", Predicate.equals("dept", "Soc"))
+        pattern.add_edge("CS", "Soc", 3)
+        pattern.add_edge("Soc", "CS", "*")
+        restored = Pattern.from_dict(pattern.to_dict())
+        assert restored.name == "P2"
+        assert restored.bound("CS", "Soc") == 3
+        assert restored.bound("Soc", "CS") is UNBOUNDED
+        assert restored.predicate("CS") == pattern.predicate("CS")
+
+    def test_from_edges_constructor(self):
+        pattern = Pattern.from_edges(
+            {"A": "A", "B": "B"}, [("A", "B", 2)], name="quick"
+        )
+        assert pattern.bound("A", "B") == 2
+        assert pattern.name == "quick"
+
+    def test_copy_independent(self):
+        pattern = Pattern()
+        pattern.add_node("A", "A")
+        pattern.add_node("B", "B")
+        pattern.add_edge("A", "B", 2)
+        clone = pattern.copy()
+        clone.set_bound("A", "B", 5)
+        assert pattern.bound("A", "B") == 2
+
+    def test_malformed_dict(self):
+        with pytest.raises(PatternError):
+            Pattern.from_dict({"nodes": [{"id": 1}]})
+
+    def test_repr_and_contains(self):
+        pattern = Pattern(name="x")
+        pattern.add_node("A")
+        assert "x" in repr(pattern)
+        assert "A" in pattern
+        assert list(iter(pattern)) == ["A"]

@@ -1,0 +1,102 @@
+"""Unit tests for the pattern generator (repro.graph.pattern_generator)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError, PatternError
+from repro.graph.datagraph import DataGraph
+from repro.graph.generators import random_data_graph
+from repro.graph.pattern_generator import PatternGenerator, generate_pattern, generate_patterns
+from repro.matching.bounded import match
+
+
+@pytest.fixture
+def base_graph() -> DataGraph:
+    return random_data_graph(60, 180, num_labels=6, seed=5)
+
+
+class TestPatternGenerator:
+    def test_requested_shape(self, base_graph):
+        generator = PatternGenerator(base_graph, seed=1)
+        pattern = generator.generate(5, 7, 3)
+        assert pattern.number_of_nodes() == 5
+        assert pattern.number_of_edges() == 7
+        finite_bounds = [
+            pattern.bound(u, v)
+            for u, v in pattern.edges()
+            if pattern.bound(u, v) is not None
+        ]
+        assert all(1 <= bound <= 3 for bound in finite_bounds)
+
+    def test_deterministic_with_seed(self, base_graph):
+        p1 = PatternGenerator(base_graph, seed=3).generate(4, 5, 3)
+        p2 = PatternGenerator(base_graph, seed=3).generate(4, 5, 3)
+        assert p1.to_dict() == p2.to_dict()
+
+    def test_spanning_tree_pattern_is_positive(self, base_graph):
+        """Tree patterns with only bounded edges must be matched by the graph."""
+        generator = PatternGenerator(base_graph, seed=7, unbounded_probability=0.0)
+        for _ in range(5):
+            pattern = generator.generate(4, 3, 4)
+            assert match(pattern, base_graph), "tree pattern should be positive"
+
+    def test_bound_slack_respected(self, base_graph):
+        generator = PatternGenerator(base_graph, seed=11, bound_slack=0)
+        pattern = generator.generate(4, 3, 5)
+        for u, v in pattern.edges():
+            assert pattern.bound(u, v) == 5
+
+    def test_unbounded_probability_one_gives_star_edges(self, base_graph):
+        generator = PatternGenerator(base_graph, seed=13, unbounded_probability=1.0)
+        pattern = generator.generate(4, 4, 3)
+        assert all(pattern.bound(u, v) is None for u, v in pattern.edges())
+
+    def test_generate_many(self, base_graph):
+        patterns = PatternGenerator(base_graph, seed=17).generate_many(4, 3, 3, 2)
+        assert len(patterns) == 4
+        assert len({p.name for p in patterns}) == 4
+
+    def test_generate_dag(self, base_graph):
+        generator = PatternGenerator(base_graph, seed=19)
+        for _ in range(5):
+            pattern = generator.generate_dag(5, 7, 3)
+            assert pattern.is_dag()
+            assert pattern.number_of_nodes() == 5
+
+    def test_predicate_attributes_selection(self, base_graph):
+        generator = PatternGenerator(
+            base_graph, seed=23, predicate_attributes=("label",)
+        )
+        pattern = generator.generate(3, 2, 2)
+        for node in pattern.nodes():
+            referenced = pattern.predicate(node).attributes_referenced()
+            assert referenced in ((), ("label",))
+
+    def test_too_few_edges_rejected(self, base_graph):
+        with pytest.raises(PatternError):
+            PatternGenerator(base_graph, seed=1).generate(5, 2, 3)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            PatternGenerator(DataGraph())
+
+    def test_invalid_probability_rejected(self, base_graph):
+        with pytest.raises(PatternError):
+            PatternGenerator(base_graph, unbounded_probability=2.0)
+
+    def test_single_node_pattern(self, base_graph):
+        pattern = PatternGenerator(base_graph, seed=29).generate(1, 0, 3)
+        assert pattern.number_of_nodes() == 1
+        assert pattern.number_of_edges() == 0
+        assert match(pattern, base_graph)
+
+
+class TestModuleHelpers:
+    def test_generate_pattern_wrapper(self, base_graph):
+        pattern = generate_pattern(base_graph, 3, 3, 2, seed=31)
+        assert pattern.number_of_nodes() == 3
+
+    def test_generate_patterns_wrapper(self, base_graph):
+        patterns = generate_patterns(base_graph, 3, 3, 3, 2, seed=37)
+        assert len(patterns) == 3

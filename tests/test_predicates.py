@@ -1,0 +1,168 @@
+"""Unit tests for the predicate language (repro.graph.predicates)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PredicateError
+from repro.graph.predicates import TRUE, Atom, Predicate, parse_predicate
+
+
+class TestAtom:
+    def test_equality_operator(self):
+        atom = Atom("category", "=", "Music")
+        assert atom.evaluate({"category": "Music"})
+        assert not atom.evaluate({"category": "Comedy"})
+
+    def test_double_equals_is_canonicalised(self):
+        assert Atom("x", "==", 1).op == "="
+
+    def test_missing_attribute_never_satisfies(self):
+        atom = Atom("rate", ">", 3)
+        assert not atom.evaluate({})
+        assert not atom.evaluate({"other": 10})
+
+    @pytest.mark.parametrize(
+        "op,value,attr_value,expected",
+        [
+            ("<", 5, 3, True),
+            ("<", 5, 7, False),
+            ("<=", 5, 5, True),
+            (">", 3, 4, True),
+            (">=", 3, 3, True),
+            ("!=", 3, 4, True),
+            ("!=", 3, 3, False),
+        ],
+    )
+    def test_comparison_operators(self, op, value, attr_value, expected):
+        atom = Atom("x", op, value)
+        assert atom.evaluate({"x": attr_value}) is expected
+
+    def test_incomparable_types_ordering_is_false(self):
+        atom = Atom("x", ">", 3)
+        assert not atom.evaluate({"x": "a string"})
+
+    def test_incomparable_types_inequality_still_works(self):
+        assert Atom("x", "!=", 3).evaluate({"x": "a string"})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PredicateError):
+            Atom("x", "~", 3)
+
+    def test_empty_attribute_rejected(self):
+        with pytest.raises(PredicateError):
+            Atom("", "=", 3)
+
+    def test_parse_numeric(self):
+        atom = Atom.parse("rate > 3.5")
+        assert atom.attribute == "rate"
+        assert atom.op == ">"
+        assert atom.value == 3.5
+
+    def test_parse_quoted_string(self):
+        atom = Atom.parse("category = 'Travel & Places'")
+        assert atom.value == "Travel & Places"
+
+    def test_parse_boolean(self):
+        assert Atom.parse("active = true").value is True
+        assert Atom.parse("active = FALSE").value is False
+
+    def test_parse_invalid(self):
+        with pytest.raises(PredicateError):
+            Atom.parse("just-a-token")
+
+    def test_round_trip_dict(self):
+        atom = Atom("views", ">=", 700)
+        assert Atom.from_dict(atom.to_dict()) == atom
+
+    def test_str_and_repr(self):
+        atom = Atom("category", "=", "Music")
+        assert "category" in str(atom)
+        assert "Music" in repr(atom)
+
+    def test_hash_and_equality(self):
+        assert Atom("a", "=", 1) == Atom("a", "==", 1)
+        assert hash(Atom("a", "=", 1)) == hash(Atom("a", "==", 1))
+        assert Atom("a", "=", 1) != Atom("a", "=", 2)
+
+
+class TestPredicate:
+    def test_wildcard_matches_everything(self):
+        assert TRUE.evaluate({})
+        assert TRUE.evaluate({"anything": 1})
+        assert TRUE.is_wildcard
+
+    def test_label_constructor(self):
+        predicate = Predicate.label("AM")
+        assert predicate.evaluate({"label": "AM"})
+        assert not predicate.evaluate({"label": "FW"})
+
+    def test_conjunction_semantics(self):
+        predicate = Predicate.equals("category", "Music") & Predicate.parse("rate > 3")
+        assert predicate.evaluate({"category": "Music", "rate": 4})
+        assert not predicate.evaluate({"category": "Music", "rate": 2})
+        assert not predicate.evaluate({"rate": 4})
+
+    def test_parse_multi_atom(self):
+        predicate = Predicate.parse("length > 120 & age > 365")
+        assert len(predicate) == 2
+        assert predicate.evaluate({"length": 200, "age": 400})
+        assert not predicate.evaluate({"length": 200, "age": 100})
+
+    def test_parse_empty_gives_wildcard(self):
+        assert Predicate.parse("") == TRUE
+        assert Predicate.parse("*") == TRUE
+
+    def test_from_dict_constructor(self):
+        predicate = Predicate.from_dict({"dept": "CS", "active": True})
+        assert predicate.evaluate({"dept": "CS", "active": True})
+        assert not predicate.evaluate({"dept": "CS", "active": False})
+
+    def test_attributes_referenced_in_order(self):
+        predicate = Predicate.parse("b > 1 & a = 2 & b < 9")
+        assert predicate.attributes_referenced() == ("b", "a")
+
+    def test_callable(self):
+        predicate = Predicate.label("X")
+        assert predicate({"label": "X"})
+
+    def test_equality_and_hash(self):
+        assert Predicate.parse("a = 1") == Predicate.parse("a = 1")
+        assert hash(Predicate.parse("a = 1")) == hash(Predicate.parse("a = 1"))
+        assert Predicate.parse("a = 1") != Predicate.parse("a = 2")
+
+    def test_serialisation_round_trip(self):
+        predicate = Predicate.parse("category = Music & rate > 3")
+        assert Predicate.from_list(predicate.to_list()) == predicate
+
+    def test_rejects_non_atoms(self):
+        with pytest.raises(PredicateError):
+            Predicate(["not an atom"])
+
+    def test_str_wildcard(self):
+        assert str(TRUE) == "*"
+
+
+class TestParsePredicate:
+    def test_none_is_wildcard(self):
+        assert parse_predicate(None) == TRUE
+
+    def test_existing_predicate_passthrough(self):
+        predicate = Predicate.label("A")
+        assert parse_predicate(predicate) is predicate
+
+    def test_bare_string_is_label(self):
+        predicate = parse_predicate("DM")
+        assert predicate.evaluate({"label": "DM"})
+
+    def test_expression_string(self):
+        predicate = parse_predicate("rate > 3")
+        assert predicate.evaluate({"rate": 5})
+
+    def test_mapping(self):
+        predicate = parse_predicate({"dept": "Bio"})
+        assert predicate.evaluate({"dept": "Bio"})
+
+    def test_rejects_other_types(self):
+        with pytest.raises(PredicateError):
+            parse_predicate(42)

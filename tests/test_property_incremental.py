@@ -1,0 +1,162 @@
+"""Property-based tests (hypothesis) for incremental matching.
+
+The central correctness claim of Section 4 — the incrementally maintained
+match equals the result of re-running the batch algorithm on the updated
+graph — is exercised on random DAG patterns, random data graphs, and random
+update streams (and on arbitrary patterns for deletions, which ``Match⁻``
+supports).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.distance.incremental import EdgeUpdate
+from repro.graph.datagraph import DataGraph
+from repro.graph.pattern import Pattern
+from repro.matching.bounded import match
+from repro.matching.incremental import IncrementalMatcher
+
+LABELS = ["A", "B", "C"]
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def data_graphs(draw, max_nodes: int = 10) -> DataGraph:
+    num_nodes = draw(st.integers(min_value=2, max_value=max_nodes))
+    graph = DataGraph()
+    for index in range(num_nodes):
+        graph.add_node(index, label=draw(st.sampled_from(LABELS)))
+    possible = [(u, v) for u in range(num_nodes) for v in range(num_nodes) if u != v]
+    for source, target in draw(
+        st.lists(st.sampled_from(possible), max_size=3 * num_nodes, unique=True)
+    ):
+        graph.add_edge(source, target, strict=False)
+    return graph
+
+
+@st.composite
+def dag_patterns(draw, max_nodes: int = 4) -> Pattern:
+    num_nodes = draw(st.integers(min_value=1, max_value=max_nodes))
+    pattern = Pattern()
+    for index in range(num_nodes):
+        pattern.add_node(index, draw(st.sampled_from(LABELS)))
+    for index in range(1, num_nodes):
+        parent = draw(st.integers(min_value=0, max_value=index - 1))
+        pattern.add_edge(parent, index, draw(st.sampled_from([1, 2, 3, "*"])))
+    # Optional extra forward edge keeps the pattern a DAG.
+    if num_nodes >= 3 and draw(st.booleans()):
+        source = draw(st.integers(min_value=0, max_value=num_nodes - 2))
+        target = draw(st.integers(min_value=source + 1, max_value=num_nodes - 1))
+        if not pattern.has_edge(source, target):
+            pattern.add_edge(source, target, draw(st.sampled_from([1, 2, 3, "*"])))
+    return pattern
+
+
+@st.composite
+def cyclic_patterns(draw, max_nodes: int = 3) -> Pattern:
+    pattern = draw(dag_patterns(max_nodes=max_nodes))
+    nodes = pattern.node_list()
+    if len(nodes) >= 2:
+        # Close a cycle back to the root.
+        last, first = nodes[-1], nodes[0]
+        if not pattern.has_edge(last, first):
+            pattern.add_edge(last, first, draw(st.sampled_from([1, 2, "*"])))
+    return pattern
+
+
+@st.composite
+def update_streams(draw, graph: DataGraph, max_updates: int = 8) -> List[EdgeUpdate]:
+    nodes = graph.node_list()
+    updates: List[EdgeUpdate] = []
+    for _ in range(draw(st.integers(min_value=1, max_value=max_updates))):
+        source = draw(st.sampled_from(nodes))
+        target = draw(st.sampled_from(nodes))
+        if source == target:
+            continue
+        updates.append(EdgeUpdate(draw(st.sampled_from(["insert", "delete"])), source, target))
+    return updates
+
+
+class TestIncrementalEqualsBatch:
+    @SETTINGS
+    @given(st.data())
+    def test_unit_updates_dag_patterns(self, data):
+        graph = data.draw(data_graphs())
+        pattern = data.draw(dag_patterns())
+        matcher = IncrementalMatcher(pattern, graph)
+        assert matcher.match == match(pattern, graph.copy())
+        updates = data.draw(update_streams(graph))
+        for update in updates:
+            if update.is_insert:
+                matcher.insert_edge(update.source, update.target)
+            else:
+                matcher.delete_edge(update.source, update.target)
+            assert matcher.match == match(pattern, graph.copy()), update
+
+    @SETTINGS
+    @given(st.data())
+    def test_batch_updates_dag_patterns(self, data):
+        graph = data.draw(data_graphs())
+        pattern = data.draw(dag_patterns())
+        matcher = IncrementalMatcher(pattern, graph)
+        updates = data.draw(update_streams(graph))
+        matcher.apply(updates)
+        assert matcher.match == match(pattern, graph.copy())
+
+    @SETTINGS
+    @given(st.data())
+    def test_deletions_only_cyclic_patterns(self, data):
+        """Match⁻ works for arbitrary (cyclic) patterns."""
+        graph = data.draw(data_graphs())
+        pattern = data.draw(cyclic_patterns())
+        matcher = IncrementalMatcher(pattern, graph)
+        edges = graph.edge_list()
+        if not edges:
+            return
+        for source, target in edges[: min(5, len(edges))]:
+            matcher.delete_edge(source, target)
+            assert matcher.match == match(pattern, graph.copy())
+
+    @SETTINGS
+    @given(st.data())
+    def test_affected_area_is_consistent_with_match_change(self, data):
+        """AFF2 (added/removed pairs) matches the symmetric difference of matches."""
+        graph = data.draw(data_graphs())
+        pattern = data.draw(dag_patterns())
+        matcher = IncrementalMatcher(pattern, graph)
+        before_sets = {u: matcher.mat(u) for u in pattern.nodes()}
+        updates = data.draw(update_streams(graph))
+        area = matcher.apply(updates)
+        after_sets = {u: matcher.mat(u) for u in pattern.nodes()}
+        expected_removed = {
+            (u, v) for u in pattern.nodes() for v in before_sets[u] - after_sets[u]
+        }
+        expected_added = {
+            (u, v) for u in pattern.nodes() for v in after_sets[u] - before_sets[u]
+        }
+        assert area.removed_matches == expected_removed
+        assert area.added_matches == expected_added
+
+    @SETTINGS
+    @given(st.data())
+    def test_delete_then_reinsert_restores_the_match(self, data):
+        graph = data.draw(data_graphs())
+        pattern = data.draw(dag_patterns())
+        matcher = IncrementalMatcher(pattern, graph)
+        before = matcher.match
+        edges = graph.edge_list()
+        if not edges:
+            return
+        source, target = edges[0]
+        matcher.delete_edge(source, target)
+        matcher.insert_edge(source, target)
+        assert matcher.match == before

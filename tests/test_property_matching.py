@@ -1,0 +1,176 @@
+"""Property-based tests (hypothesis) for the matching algorithms.
+
+The key invariants of the paper are checked on randomly generated graphs and
+patterns:
+
+* ``Match`` agrees with the naive greatest-fixpoint reference;
+* the returned relation really is a bounded simulation, and it is maximal;
+* graph simulation coincides with bounded simulation on traditional patterns;
+* all three distance oracles produce the same match;
+* isomorphism embeddings are always contained in the maximum match.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.distance.bfs import BFSDistanceOracle
+from repro.distance.matrix import DistanceMatrix
+from repro.distance.twohop import TwoHopOracle
+from repro.graph.datagraph import DataGraph
+from repro.graph.pattern import Pattern
+from repro.isomorphism.vf2 import vf2_isomorphisms
+from repro.matching.bounded import match, naive_match
+from repro.matching.simulation import graph_simulation
+
+LABELS = ["A", "B", "C"]
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def data_graphs(draw, max_nodes: int = 12) -> DataGraph:
+    """A random labelled digraph with up to *max_nodes* nodes."""
+    num_nodes = draw(st.integers(min_value=1, max_value=max_nodes))
+    labels = draw(
+        st.lists(st.sampled_from(LABELS), min_size=num_nodes, max_size=num_nodes)
+    )
+    graph = DataGraph(name="hypothesis")
+    for index, label in enumerate(labels):
+        graph.add_node(index, label=label)
+    possible_edges = [
+        (u, v) for u in range(num_nodes) for v in range(num_nodes) if u != v
+    ]
+    if possible_edges:
+        edges = draw(
+            st.lists(st.sampled_from(possible_edges), max_size=3 * num_nodes, unique=True)
+        )
+        for source, target in edges:
+            graph.add_edge(source, target, strict=False)
+    return graph
+
+
+@st.composite
+def patterns(draw, max_nodes: int = 4, traditional: bool = False) -> Pattern:
+    """A random connected pattern with label predicates and small bounds."""
+    num_nodes = draw(st.integers(min_value=1, max_value=max_nodes))
+    pattern = Pattern(name="hypothesis-pattern")
+    for index in range(num_nodes):
+        pattern.add_node(index, draw(st.sampled_from(LABELS)))
+    # A random tree backbone keeps the pattern connected.
+    for index in range(1, num_nodes):
+        parent = draw(st.integers(min_value=0, max_value=index - 1))
+        bound = 1 if traditional else draw(st.sampled_from([1, 2, 3, "*"]))
+        pattern.add_edge(parent, index, bound)
+    # Possibly one extra edge (may create a cycle).
+    if num_nodes >= 2 and draw(st.booleans()):
+        source = draw(st.integers(min_value=0, max_value=num_nodes - 1))
+        target = draw(st.integers(min_value=0, max_value=num_nodes - 1))
+        if source != target and not pattern.has_edge(source, target):
+            bound = 1 if traditional else draw(st.sampled_from([1, 2, 3, "*"]))
+            pattern.add_edge(source, target, bound)
+    return pattern
+
+
+@st.composite
+def pattern_graph_pairs(draw, traditional: bool = False) -> Tuple[Pattern, DataGraph]:
+    return draw(patterns(traditional=traditional)), draw(data_graphs())
+
+
+class TestMatchProperties:
+    @SETTINGS
+    @given(pattern_graph_pairs())
+    def test_match_agrees_with_naive_reference(self, pair):
+        pattern, graph = pair
+        assert match(pattern, graph) == naive_match(pattern, graph)
+
+    @SETTINGS
+    @given(pattern_graph_pairs())
+    def test_result_is_a_bounded_simulation(self, pair):
+        """Every pair of the result satisfies the predicate and edge conditions."""
+        pattern, graph = pair
+        oracle = DistanceMatrix(graph)
+        result = match(pattern, graph, oracle)
+        for u, v in result.pairs():
+            assert pattern.predicate(u).evaluate(graph.attributes(v))
+            for u_child in pattern.successors(u):
+                bound = pattern.bound(u, u_child)
+                assert oracle.descendants_within(v, bound) & result.matches(u_child)
+
+    @SETTINGS
+    @given(pattern_graph_pairs())
+    def test_result_is_maximal(self, pair):
+        """No candidate outside the result can be added while keeping a simulation.
+
+        Together with `test_result_is_a_bounded_simulation` this pins down the
+        unique maximum match of Proposition 2.1: adding any excluded pair to
+        the relation breaks the simulation conditions (when the relation is
+        non-empty) — checked here for pairs that satisfy the predicate.
+        """
+        pattern, graph = pair
+        oracle = DistanceMatrix(graph)
+        result = match(pattern, graph, oracle)
+        if result.is_empty:
+            return
+        for u in pattern.nodes():
+            for v in graph.nodes():
+                if result.contains(u, v):
+                    continue
+                if not pattern.predicate(u).evaluate(graph.attributes(v)):
+                    continue
+                # v must violate some child constraint w.r.t. the maximum match.
+                violates = False
+                for u_child in pattern.successors(u):
+                    bound = pattern.bound(u, u_child)
+                    if not (oracle.descendants_within(v, bound) & result.matches(u_child)):
+                        violates = True
+                        break
+                assert violates, (u, v)
+
+    @SETTINGS
+    @given(pattern_graph_pairs(traditional=True))
+    def test_traditional_patterns_reduce_to_graph_simulation(self, pair):
+        pattern, graph = pair
+        assert match(pattern, graph) == graph_simulation(pattern, graph)
+
+    @SETTINGS
+    @given(pattern_graph_pairs())
+    def test_oracle_variants_agree(self, pair):
+        pattern, graph = pair
+        reference = match(pattern, graph, DistanceMatrix(graph))
+        assert match(pattern, graph, BFSDistanceOracle(graph)) == reference
+        assert match(pattern, graph, TwoHopOracle(graph)) == reference
+
+    @SETTINGS
+    @given(pattern_graph_pairs(traditional=True))
+    def test_isomorphism_embeddings_contained_in_maximum_match(self, pair):
+        pattern, graph = pair
+        result = match(pattern, graph)
+        for embedding in vf2_isomorphisms(pattern, graph, max_matches=20):
+            for u, v in embedding.items():
+                assert result.contains(u, v)
+
+    @SETTINGS
+    @given(pattern_graph_pairs(), st.integers(min_value=0, max_value=10**6))
+    def test_adding_a_data_edge_never_shrinks_the_match(self, pair, salt):
+        """Bounded simulation is monotone in the data graph's edge set."""
+        pattern, graph = pair
+        before = match(pattern, graph)
+        nodes = graph.node_list()
+        if len(nodes) < 2:
+            return
+        source = nodes[salt % len(nodes)]
+        target = nodes[(salt // 7 + 1) % len(nodes)]
+        if source == target or graph.has_edge(source, target):
+            return
+        graph.add_edge(source, target)
+        after = match(pattern, graph)
+        assert before.is_subrelation_of(after)

@@ -1,0 +1,105 @@
+"""Unit tests for result graphs (repro.matching.result_graph)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distance.matrix import DistanceMatrix
+from repro.graph.builders import collaboration_graph, collaboration_pattern
+from repro.graph.datagraph import DataGraph
+from repro.graph.pattern import Pattern
+from repro.matching.bounded import match
+from repro.matching.match_result import MatchResult
+from repro.matching.result_graph import build_result_graph
+
+
+class TestCollaborationResultGraph:
+    """Fig. 3(a): the result graph of P2 over G2."""
+
+    @pytest.fixture
+    def built(self):
+        pattern = collaboration_pattern()
+        graph = collaboration_graph()
+        oracle = DistanceMatrix(graph)
+        result = match(pattern, graph, oracle)
+        return pattern, graph, result, build_result_graph(pattern, graph, result, oracle)
+
+    def test_nodes_are_exactly_the_matched_data_nodes(self, built):
+        _, _, result, result_graph = built
+        assert set(result_graph.graph.nodes()) == set(result.matched_data_nodes())
+        assert result_graph.number_of_nodes() == 5  # DB, Gen, Eco, Med, Soc
+
+    def test_edges_correspond_to_pattern_edges(self, built):
+        pattern, graph, result, result_graph = built
+        oracle = DistanceMatrix(graph)
+        for (v1, v2), witnesses in result_graph.edge_witnesses.items():
+            assert result_graph.graph.has_edge(v1, v2)
+            assert witnesses
+            for u1, u2 in witnesses:
+                assert pattern.has_edge(u1, u2)
+                assert result.contains(u1, v1) and result.contains(u2, v2)
+                assert oracle.within(v1, v2, pattern.bound(u1, u2))
+
+    def test_example_edge_db_to_soc(self, built):
+        """The (DB, Soc) result edge represents the bounded path of (CS, Soc)."""
+        _, _, _, result_graph = built
+        assert result_graph.graph.has_edge("DB", "Soc")
+        assert ("CS", "Soc") in result_graph.witnesses("DB", "Soc")
+
+    def test_attributes_preserved(self, built):
+        _, graph, _, result_graph = built
+        assert result_graph.graph.attributes("DB") == graph.attributes("DB")
+
+    def test_summary(self, built):
+        _, _, _, result_graph = built
+        summary = result_graph.summary()
+        assert summary["nodes"] == result_graph.number_of_nodes()
+        assert summary["edges"] == result_graph.number_of_edges()
+
+
+class TestModes:
+    @pytest.fixture
+    def long_path_setup(self):
+        """a -> x -> b, with the pattern requiring A within 1 hop of B."""
+        graph = DataGraph()
+        graph.add_node("a1", label="A")
+        graph.add_node("a2", label="A")
+        graph.add_node("x", label="X")
+        graph.add_node("b", label="B")
+        graph.add_edge("a1", "b")
+        graph.add_edge("a2", "x")
+        graph.add_edge("x", "b")
+        pattern = Pattern()
+        pattern.add_node("A", "A")
+        pattern.add_node("B", "B")
+        pattern.add_edge("A", "B", 2)
+        return pattern, graph
+
+    def test_strict_mode_checks_actual_paths(self, long_path_setup):
+        pattern, graph = long_path_setup
+        result = match(pattern, graph)
+        strict = build_result_graph(pattern, graph, result, strict=True)
+        # Both a1 and a2 match A (within 2 hops); both edges are real paths.
+        assert strict.graph.has_edge("a1", "b")
+        assert strict.graph.has_edge("a2", "b")
+        # Tighten the bound after matching: a2 is no longer within 1 hop.
+        pattern.set_bound("A", "B", 1)
+        strict_tight = build_result_graph(pattern, graph, result, strict=True)
+        assert strict_tight.graph.has_edge("a1", "b")
+        assert not strict_tight.graph.has_edge("a2", "b")
+        # The literal (non-strict) definition keeps both edges.
+        loose = build_result_graph(pattern, graph, result, strict=False)
+        assert loose.graph.has_edge("a2", "b")
+
+    def test_empty_result_gives_empty_graph(self, long_path_setup):
+        pattern, graph = long_path_setup
+        empty = build_result_graph(pattern, graph, MatchResult.empty())
+        assert empty.number_of_nodes() == 0
+        assert empty.number_of_edges() == 0
+        assert empty.witnesses("a1", "b") == []
+
+    def test_custom_name(self, long_path_setup):
+        pattern, graph = long_path_setup
+        result = match(pattern, graph)
+        named = build_result_graph(pattern, graph, result, name="my-result")
+        assert named.graph.name == "my-result"

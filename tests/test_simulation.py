@@ -1,0 +1,116 @@
+"""Unit tests for plain graph simulation (repro.matching.simulation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.datagraph import DataGraph
+from repro.graph.generators import random_data_graph
+from repro.graph.pattern import Pattern
+from repro.matching.bounded import match
+from repro.matching.simulation import graph_simulation, simulates
+
+
+def traditional_pattern(*edges, labels):
+    pattern = Pattern()
+    for node, label in labels.items():
+        pattern.add_node(node, label)
+    for source, target in edges:
+        pattern.add_edge(source, target, 1)
+    return pattern
+
+
+class TestGraphSimulation:
+    def test_single_edge_pattern(self, chain_graph):
+        pattern = traditional_pattern(("u", "v"), labels={"u": "L0", "v": "L1"})
+        result = graph_simulation(pattern, chain_graph)
+        assert result.matches("u") == {"n0"}
+        assert result.matches("v") == {"n1"}
+
+    def test_no_match_when_label_absent(self, chain_graph):
+        pattern = traditional_pattern(("u", "v"), labels={"u": "L0", "v": "NOPE"})
+        assert graph_simulation(pattern, chain_graph).is_empty
+
+    def test_no_match_when_edge_direction_wrong(self, chain_graph):
+        pattern = traditional_pattern(("u", "v"), labels={"u": "L1", "v": "L0"})
+        assert graph_simulation(pattern, chain_graph).is_empty
+
+    def test_relation_not_function(self):
+        graph = DataGraph()
+        graph.add_node("p1", label="P")
+        graph.add_node("p2", label="P")
+        graph.add_node("c", label="C")
+        graph.add_edge("p1", "c")
+        graph.add_edge("p2", "c")
+        pattern = traditional_pattern(("P", "C"), labels={"P": "P", "C": "C"})
+        result = graph_simulation(pattern, graph)
+        assert result.matches("P") == {"p1", "p2"}
+
+    def test_cycle_pattern_on_cycle_graph(self):
+        graph = DataGraph()
+        graph.add_node(0, label="X")
+        graph.add_node(1, label="X")
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 0)
+        pattern = Pattern()
+        pattern.add_node("a", "X")
+        pattern.add_node("b", "X")
+        pattern.add_edge("a", "b", 1)
+        pattern.add_edge("b", "a", 1)
+        result = graph_simulation(pattern, graph)
+        assert result.matches("a") == {0, 1}
+        assert result.matches("b") == {0, 1}
+
+    def test_cycle_pattern_on_chain_fails(self, chain_graph):
+        pattern = Pattern()
+        pattern.add_node("a", "L0")
+        pattern.add_node("b", "L1")
+        pattern.add_edge("a", "b", 1)
+        pattern.add_edge("b", "a", 1)
+        assert graph_simulation(pattern, chain_graph).is_empty
+
+    def test_propagated_removal(self):
+        """A candidate whose only support is itself removed must also be removed."""
+        graph = DataGraph()
+        for node, label in [("a1", "A"), ("b1", "B"), ("c1", "C"), ("a2", "A"), ("b2", "B")]:
+            graph.add_node(node, label=label)
+        graph.add_edge("a1", "b1")
+        graph.add_edge("b1", "c1")
+        graph.add_edge("a2", "b2")  # b2 has no C successor
+        pattern = traditional_pattern(
+            ("A", "B"), ("B", "C"), labels={"A": "A", "B": "B", "C": "C"}
+        )
+        result = graph_simulation(pattern, graph)
+        assert result.matches("A") == {"a1"}
+        assert result.matches("B") == {"b1"}
+
+    def test_simulates_boolean(self, chain_graph):
+        good = traditional_pattern(("u", "v"), labels={"u": "L0", "v": "L1"})
+        bad = traditional_pattern(("u", "v"), labels={"u": "L4", "v": "L0"})
+        assert simulates(good, chain_graph)
+        assert not simulates(bad, chain_graph)
+
+    def test_empty_candidate_early_exit(self, chain_graph):
+        pattern = traditional_pattern(labels={"u": "MISSING"})
+        assert graph_simulation(pattern, chain_graph).is_empty
+
+
+class TestAgreementWithBoundedSimulation:
+    """Graph simulation is bounded simulation on traditional patterns (Remark 2)."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_agrees_with_match_on_traditional_patterns(self, seed):
+        graph = random_data_graph(25, 70, num_labels=4, seed=seed)
+        labels = [f"L{i}" for i in range(4)]
+        import random as _random
+
+        rng = _random.Random(seed)
+        pattern = Pattern()
+        size = rng.randint(2, 4)
+        for index in range(size):
+            pattern.add_node(index, rng.choice(labels))
+        for index in range(size - 1):
+            pattern.add_edge(index, index + 1, 1)
+        if size > 2 and rng.random() < 0.5:
+            pattern.add_edge(0, size - 1, 1)
+        assert graph_simulation(pattern, graph) == match(pattern, graph)

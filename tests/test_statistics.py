@@ -1,0 +1,73 @@
+"""Unit tests for graph statistics (repro.graph.statistics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.datagraph import DataGraph
+from repro.graph.generators import random_data_graph
+from repro.graph.statistics import compute_statistics, degree_histogram
+
+
+class TestComputeStatistics:
+    def test_tiny_graph(self, tiny_graph):
+        stats = compute_statistics(tiny_graph)
+        assert stats.num_nodes == 4
+        assert stats.num_edges == 5
+        assert stats.max_out_degree == 2
+        assert stats.avg_out_degree == pytest.approx(5 / 4)
+        assert stats.num_attributes == 1
+        assert stats.num_attribute_values == 4
+
+    def test_largest_scc_of_cycle(self, tiny_graph):
+        # a -> b -> d -> a and a -> c -> d -> a: all four nodes are one SCC.
+        stats = compute_statistics(tiny_graph)
+        assert stats.largest_scc_size == 4
+
+    def test_chain_has_trivial_sccs(self, chain_graph):
+        stats = compute_statistics(chain_graph)
+        assert stats.largest_scc_size == 1
+        assert stats.num_sources == 1
+        assert stats.num_sinks == 1
+
+    def test_empty_graph(self):
+        stats = compute_statistics(DataGraph(name="empty"))
+        assert stats.num_nodes == 0
+        assert stats.num_edges == 0
+        assert stats.largest_scc_size == 0
+        assert stats.avg_out_degree == 0.0
+
+    def test_as_row_keys(self, tiny_graph):
+        row = compute_statistics(tiny_graph).as_row()
+        assert row["dataset"] == "tiny"
+        assert row["|V|"] == 4
+        assert row["|E|"] == 5
+
+    def test_unhashable_attribute_values_handled(self):
+        graph = DataGraph()
+        graph.add_node(1, tags=["a", "b"])
+        stats = compute_statistics(graph)
+        assert stats.num_attribute_values == 1
+
+    def test_scc_on_random_graph_matches_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        graph = random_data_graph(40, 140, seed=3)
+        stats = compute_statistics(graph)
+        nx_graph = networkx.DiGraph(graph.edge_list())
+        nx_graph.add_nodes_from(graph.nodes())
+        expected = max(len(c) for c in networkx.strongly_connected_components(nx_graph))
+        assert stats.largest_scc_size == expected
+
+
+class TestDegreeHistogram:
+    def test_out_histogram(self, chain_graph):
+        histogram = degree_histogram(chain_graph, direction="out")
+        assert histogram == {1: 4, 0: 1}
+
+    def test_in_histogram(self, chain_graph):
+        histogram = degree_histogram(chain_graph, direction="in")
+        assert histogram == {1: 4, 0: 1}
+
+    def test_invalid_direction(self, chain_graph):
+        with pytest.raises(ValueError):
+            degree_histogram(chain_graph, direction="sideways")

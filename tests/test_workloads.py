@@ -1,0 +1,112 @@
+"""Tests for the workload generators (repro.workloads)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import youtube_graph
+from repro.exceptions import GraphError
+from repro.graph.generators import random_data_graph
+from repro.matching.bounded import match
+from repro.workloads.patterns import (
+    pattern_suite,
+    youtube_example_pattern,
+    youtube_fig6a_pattern_p1,
+    youtube_fig6a_pattern_p2,
+    youtube_sample_patterns,
+)
+from repro.workloads.updates import (
+    mixed_updates,
+    random_deletions,
+    random_insertions,
+    split_batches,
+)
+
+
+@pytest.fixture
+def graph():
+    return random_data_graph(30, 90, seed=3)
+
+
+class TestUpdateWorkloads:
+    def test_random_deletions_reference_existing_edges(self, graph):
+        updates = random_deletions(graph, 10, seed=1)
+        assert len(updates) == 10
+        assert len({(u.source, u.target) for u in updates}) == 10
+        assert all(update.is_delete for update in updates)
+        assert all(graph.has_edge(update.source, update.target) for update in updates)
+
+    def test_random_deletions_do_not_mutate_graph(self, graph):
+        edges_before = graph.number_of_edges()
+        random_deletions(graph, 5, seed=2)
+        assert graph.number_of_edges() == edges_before
+
+    def test_too_many_deletions_rejected(self, graph):
+        with pytest.raises(GraphError):
+            random_deletions(graph, graph.number_of_edges() + 1)
+
+    def test_random_insertions_are_new_distinct_non_loops(self, graph):
+        updates = random_insertions(graph, 10, seed=3)
+        assert len(updates) == 10
+        assert all(update.is_insert for update in updates)
+        pairs = {(u.source, u.target) for u in updates}
+        assert len(pairs) == 10
+        for source, target in pairs:
+            assert source != target
+            assert not graph.has_edge(source, target)
+
+    def test_insertions_on_tiny_graph_rejected(self):
+        from repro.graph.datagraph import DataGraph
+
+        lonely = DataGraph()
+        lonely.add_node(1)
+        with pytest.raises(GraphError):
+            random_insertions(lonely, 1)
+
+    def test_insertions_on_complete_graph_rejected(self):
+        graph = random_data_graph(4, 12, seed=4)  # complete digraph on 4 nodes
+        with pytest.raises(GraphError):
+            random_insertions(graph, 2, seed=4)
+
+    def test_mixed_updates_ratio(self, graph):
+        updates = mixed_updates(graph, 20, insert_ratio=0.25, seed=5)
+        assert len(updates) == 20
+        inserts = sum(1 for update in updates if update.is_insert)
+        assert inserts == 5
+
+    def test_mixed_updates_deterministic(self, graph):
+        assert mixed_updates(graph, 10, seed=6) == mixed_updates(graph, 10, seed=6)
+
+    def test_split_batches(self, graph):
+        updates = mixed_updates(graph, 10, seed=7)
+        batches = split_batches(updates, 4)
+        assert [len(batch) for batch in batches] == [4, 4, 2]
+        with pytest.raises(ValueError):
+            split_batches(updates, 0)
+
+
+class TestPatternWorkloads:
+    def test_youtube_sample_patterns_shape(self):
+        patterns = youtube_sample_patterns()
+        assert len(patterns) == 3
+        assert youtube_example_pattern().number_of_nodes() == 5
+        assert youtube_fig6a_pattern_p1().number_of_edges() == 3
+        assert youtube_fig6a_pattern_p2().number_of_nodes() == 4
+
+    def test_sample_patterns_match_the_substitute(self):
+        graph = youtube_graph(scale=0.05, seed=7)
+        matched = sum(1 for pattern in youtube_sample_patterns() if match(pattern, graph))
+        assert matched >= 2  # the substitute supports the paper's sample patterns
+
+    def test_pattern_suite_counts(self, graph):
+        suite = pattern_suite(graph, [(3, 3, 2), (4, 4, 2)], patterns_per_spec=3, seed=8)
+        assert set(suite) == {(3, 3, 2), (4, 4, 2)}
+        assert all(len(patterns) == 3 for patterns in suite.values())
+        for (num_nodes, num_edges, _), patterns in suite.items():
+            for pattern in patterns:
+                assert pattern.number_of_nodes() == num_nodes
+                assert pattern.number_of_edges() == num_edges
+
+    def test_pattern_suite_dag_only(self, graph):
+        suite = pattern_suite(graph, [(4, 5, 2)], patterns_per_spec=2, seed=9, dag_only=True)
+        assert all(pattern.is_dag() for pattern in suite[(4, 5, 2)])

@@ -10,8 +10,11 @@ from __future__ import annotations
 
 import pytest
 
+from conftest import best_of, record_match_ratio
+
 from repro.datasets import youtube_graph
 from repro.distance.matrix import DistanceMatrix
+from repro.graph.compiled import compile_graph
 from repro.graph.pattern_generator import PatternGenerator
 from repro.matching.bounded import match
 from repro.matching.incremental import IncrementalMatcher
@@ -35,17 +38,57 @@ def test_bench_distance_matrix_construction(benchmark, setup):
 
 
 def test_bench_match_with_shared_matrix(benchmark, setup):
+    """The compiled bounded-match path; extra_info records the old-vs-new ratio."""
     graph, oracle, pattern = setup
     result = benchmark(match, pattern, graph, oracle)
     assert result is not None
+    speedup = record_match_ratio(benchmark, pattern, graph, oracle)
+    assert result == match(pattern, graph, oracle, use_compiled=False)
+    # Acceptance gate of the compiled-core refactor.
+    assert speedup >= 3.0, f"compiled match only {speedup:.1f}x faster than seed path"
+
+
+def test_bench_match_legacy_set_path(benchmark, setup):
+    """The seed set-based bounded match, kept as the old-vs-new baseline row."""
+    graph, oracle, pattern = setup
+    result = benchmark(lambda: match(pattern, graph, oracle, use_compiled=False))
+    assert result is not None
+
+
+def test_bench_compile_graph_snapshot(benchmark, setup):
+    """One full compile (interning + CSR + attribute index) of the benchmark graph."""
+    graph, _, _ = setup
+    from repro.graph.compiled import CompiledGraph
+
+    compiled = benchmark(CompiledGraph.from_graph, graph)
+    assert len(compiled) == graph.number_of_nodes()
 
 
 def test_bench_graph_simulation(benchmark, setup):
+    """The compiled graph-simulation path; extra_info records the old-vs-new ratio."""
     graph, _, pattern = setup
     traditional = pattern.copy()
     for source, target in traditional.edges():
         traditional.set_bound(source, target, 1)
-    benchmark(graph_simulation, traditional, graph)
+    compile_graph(graph)  # amortised across calls, as in production use
+    result = benchmark(graph_simulation, traditional, graph)
+    legacy_s = best_of(lambda: graph_simulation(traditional, graph, use_compiled=False))
+    compiled_s = best_of(lambda: graph_simulation(traditional, graph))
+    benchmark.extra_info["legacy_simulation_s"] = round(legacy_s, 6)
+    benchmark.extra_info["compiled_simulation_s"] = round(compiled_s, 6)
+    benchmark.extra_info["simulation_speedup_old_over_new"] = round(
+        legacy_s / compiled_s, 2
+    )
+    assert result == graph_simulation(traditional, graph, use_compiled=False)
+
+
+def test_bench_graph_simulation_legacy_set_path(benchmark, setup):
+    """The seed set-based graph simulation, kept as the old-vs-new baseline row."""
+    graph, _, pattern = setup
+    traditional = pattern.copy()
+    for source, target in traditional.edges():
+        traditional.set_bound(source, target, 1)
+    benchmark(lambda: graph_simulation(traditional, graph, use_compiled=False))
 
 
 def test_bench_incremental_deletion(benchmark, setup):

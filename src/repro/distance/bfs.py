@@ -9,10 +9,13 @@ queries — the trade-off Exp-2 of the paper evaluates.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
 
 from repro.graph.datagraph import DataGraph, NodeId
 from repro.distance.oracle import INF, DistanceOracle
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.compiled import CompiledGraph
 
 __all__ = ["BFSDistanceOracle"]
 
@@ -34,6 +37,10 @@ class BFSDistanceOracle(DistanceOracle):
         self._cache_enabled = cache
         self._forward: Dict[NodeId, Dict[NodeId, int]] = {}
         self._backward: Dict[NodeId, Dict[NodeId, int]] = {}
+        # Memoised bitset frontiers for the compiled matching path,
+        # keyed by (interned index, bound).
+        self._forward_bits: Dict[Tuple[int, Optional[int]], int] = {}
+        self._backward_bits: Dict[Tuple[int, Optional[int]], int] = {}
         self._graph_version = graph.version
 
     # ------------------------------------------------------------------
@@ -44,6 +51,8 @@ class BFSDistanceOracle(DistanceOracle):
         """Drop all memoised searches."""
         self._forward.clear()
         self._backward.clear()
+        self._forward_bits.clear()
+        self._backward_bits.clear()
         self._graph_version = self._graph.version
 
     def _check_version(self) -> None:
@@ -98,6 +107,40 @@ class BFSDistanceOracle(DistanceOracle):
         if self._on_cycle_within_backward(target, bound, distances):
             result.add(target)
         return result
+
+    def descendants_within_bits(
+        self, compiled: "CompiledGraph", source: int, bound: Optional[int]
+    ) -> int:
+        """Bounded bitset BFS over the compiled CSR adjacency (memoised)."""
+        if not self._snapshot_is_current(compiled):
+            # Answer from our own graph's traversal (unmemoised) so the memo
+            # never gets poisoned with a foreign or stale snapshot's adjacency.
+            return super().descendants_within_bits(compiled, source, bound)
+        self._check_version()
+        if not self._cache_enabled:
+            return compiled.descendants_within_bits(source, bound)
+        key = (source, bound)
+        bits = self._forward_bits.get(key)
+        if bits is None:
+            bits = compiled.descendants_within_bits(source, bound)
+            self._forward_bits[key] = bits
+        return bits
+
+    def ancestors_within_bits(
+        self, compiled: "CompiledGraph", target: int, bound: Optional[int]
+    ) -> int:
+        """Bounded reverse bitset BFS over the compiled CSR adjacency (memoised)."""
+        if not self._snapshot_is_current(compiled):
+            return super().ancestors_within_bits(compiled, target, bound)
+        self._check_version()
+        if not self._cache_enabled:
+            return compiled.ancestors_within_bits(target, bound)
+        key = (target, bound)
+        bits = self._backward_bits.get(key)
+        if bits is None:
+            bits = compiled.ancestors_within_bits(target, bound)
+            self._backward_bits[key] = bits
+        return bits
 
     # ------------------------------------------------------------------
     # internals

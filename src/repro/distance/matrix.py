@@ -14,11 +14,14 @@ The incremental procedures ``UpdateM`` / ``UpdateBM`` (see
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Set, Tuple
 
 from repro.exceptions import DistanceOracleError
 from repro.graph.datagraph import DataGraph, NodeId
 from repro.distance.oracle import INF, DistanceOracle
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.compiled import CompiledGraph
 
 __all__ = ["DistanceMatrix"]
 
@@ -47,6 +50,14 @@ class DistanceMatrix(DistanceOracle):
 
     def refresh(self) -> None:
         """Recompute the full matrix from the current graph (one BFS per node)."""
+        # Memoised bitset rows for the compiled matching path, keyed by
+        # (index, bound, forward?) and invalidated with the graph version.
+        self._bits_cache: Dict[Tuple[int, Optional[int], bool], int] = {}
+        self._bits_cache_version = self._graph.version
+        # Self-loop memos taken between a mutation and this refresh were
+        # computed from stale rows (possibly under the current version).
+        self._self_loop_cache.clear()
+        self._self_loop_version = self._graph.version
         self._rows = {}
         self._columns = {node: {} for node in self._graph.nodes()}
         for source in self._graph.nodes():
@@ -100,6 +111,47 @@ class DistanceMatrix(DistanceOracle):
             result.add(target)
         return result
 
+    def descendants_within_bits(
+        self, compiled: "CompiledGraph", source: int, bound: Optional[int]
+    ) -> int:
+        if not self._snapshot_is_current(compiled):
+            # Memo keys (interned indices validated by our graph's version)
+            # would be wrong — fall back to the unmemoised set-based
+            # conversion in the snapshot's own id space.
+            return super().descendants_within_bits(compiled, source, bound)
+        cache = self._bits_cache_for_version()
+        key = (source, bound, True)
+        bits = cache.get(key)
+        if bits is None:
+            node = compiled.node_of(source)
+            bits = compiled.encode_within(self._rows.get(node, {}), bound)
+            if self._on_cycle_within(node, bound):
+                bits |= 1 << source
+            cache[key] = bits
+        return bits
+
+    def ancestors_within_bits(
+        self, compiled: "CompiledGraph", target: int, bound: Optional[int]
+    ) -> int:
+        if not self._snapshot_is_current(compiled):
+            return super().ancestors_within_bits(compiled, target, bound)
+        cache = self._bits_cache_for_version()
+        key = (target, bound, False)
+        bits = cache.get(key)
+        if bits is None:
+            node = compiled.node_of(target)
+            bits = compiled.encode_within(self._columns.get(node, {}), bound)
+            if self._on_cycle_within(node, bound):
+                bits |= 1 << target
+            cache[key] = bits
+        return bits
+
+    def _bits_cache_for_version(self) -> Dict[Tuple[int, Optional[int], bool], int]:
+        if self._bits_cache_version != self._graph.version:
+            self._bits_cache = {}
+            self._bits_cache_version = self._graph.version
+        return self._bits_cache
+
     def _on_cycle_within(self, node: NodeId, bound: Optional[int]) -> bool:
         """Whether *node* lies on a directed cycle of length <= *bound*."""
         limit = None if bound is None else bound - 1
@@ -123,6 +175,12 @@ class DistanceMatrix(DistanceOracle):
 
     def set_distance(self, source: NodeId, target: NodeId, value: float) -> None:
         """Set ``dist(source, target)``; :data:`INF` removes the entry."""
+        if self._bits_cache:
+            self._bits_cache = {}
+        # Direct matrix mutation can change shortest-cycle lengths without a
+        # graph version bump, so the memoised self-loop distances go too.
+        if self._self_loop_cache:
+            self._self_loop_cache.clear()
         if value == INF:
             self._rows.get(source, {}).pop(target, None)
             self._columns.get(target, {}).pop(source, None)
@@ -153,6 +211,8 @@ class DistanceMatrix(DistanceOracle):
         clone._rows = {source: dict(row) for source, row in self._rows.items()}
         clone._columns = {target: dict(col) for target, col in self._columns.items()}
         clone._graph_version = self._graph_version
+        clone._bits_cache = {}
+        clone._bits_cache_version = self._bits_cache_version
         return clone
 
     def equals(self, other: "DistanceMatrix") -> bool:

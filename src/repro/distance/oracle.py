@@ -25,9 +25,12 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import Optional, Set
+from typing import TYPE_CHECKING, Dict, Optional, Set
 
 from repro.graph.datagraph import DataGraph, NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.graph.compiled import CompiledGraph
 
 __all__ = ["INF", "DistanceOracle"]
 
@@ -44,6 +47,10 @@ class DistanceOracle(ABC):
 
     def __init__(self, graph: DataGraph) -> None:
         self._graph = graph
+        # Shortest-cycle lengths per node (nonempty self-distances), keyed by
+        # the graph version they were computed at.
+        self._self_loop_cache: Dict[NodeId, float] = {}
+        self._self_loop_version = graph.version
 
     @property
     def graph(self) -> DataGraph:
@@ -75,6 +82,44 @@ class DistanceOracle(ABC):
         """Nodes that reach *target* via a nonempty path of length <= *bound*."""
 
     # ------------------------------------------------------------------
+    # bitset variants (the compiled matching fast path)
+    # ------------------------------------------------------------------
+
+    def descendants_within_bits(
+        self, compiled: "CompiledGraph", source: int, bound: Optional[int]
+    ) -> int:
+        """:meth:`descendants_within` over interned ids, as a bitset.
+
+        *source* is a dense index of *compiled*; the result has bit ``i`` set
+        when the node interned at ``i`` is reachable from *source* via a
+        nonempty path within *bound*.  The default implementation wraps the
+        set-based method; the concrete oracles override it with native
+        integer implementations.
+        """
+        return compiled.encode(
+            self.descendants_within(compiled.node_of(source), bound)
+        )
+
+    def ancestors_within_bits(
+        self, compiled: "CompiledGraph", target: int, bound: Optional[int]
+    ) -> int:
+        """:meth:`ancestors_within` over interned ids, as a bitset."""
+        return compiled.encode(self.ancestors_within(compiled.node_of(target), bound))
+
+    def _snapshot_is_current(self, compiled: "CompiledGraph") -> bool:
+        """The single staleness rule for the memoising bits overrides.
+
+        A snapshot may be memoised against only when it was compiled from
+        *this* oracle's graph at the graph's current version; anything else
+        (another graph, a collected graph, a stale version whose interning
+        may differ) must take the unmemoised fallback above.
+        """
+        return (
+            compiled.graph is self._graph
+            and compiled.version == self._graph.version
+        )
+
+    # ------------------------------------------------------------------
     # shared derived queries
     # ------------------------------------------------------------------
 
@@ -87,11 +132,18 @@ class DistanceOracle(ABC):
         """
         if source != target:
             return self.distance(source, target)
+        if self._self_loop_version != self._graph.version:
+            self._self_loop_cache.clear()
+            self._self_loop_version = self._graph.version
+        cached = self._self_loop_cache.get(source)
+        if cached is not None:
+            return cached
         best = INF
         for successor in self._graph.successors(source):
             candidate = self.distance(successor, source)
             if candidate + 1 < best:
                 best = candidate + 1
+        self._self_loop_cache[source] = best
         return best
 
     def within(self, source: NodeId, target: NodeId, bound: Optional[int]) -> bool:

@@ -19,10 +19,13 @@ mode reproduces the paper's filter-then-BFS behaviour.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.graph.datagraph import DataGraph, NodeId
 from repro.distance.oracle import INF, DistanceOracle
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.compiled import CompiledGraph
 
 __all__ = ["TwoHopOracle"]
 
@@ -74,6 +77,9 @@ class TwoHopOracle(DistanceOracle):
         self._label_out = {node: {} for node in graph.nodes()}
         self._label_in = {node: {} for node in graph.nodes()}
         self._bfs_cache = {}
+        # Memoised bitset reachability for the compiled matching path.
+        self._desc_bits_cache: Dict[Tuple[int, Optional[int]], int] = {}
+        self._anc_bits_cache: Dict[Tuple[int, Optional[int]], int] = {}
 
         for hub in order:
             self._pruned_bfs(hub, forward=True)
@@ -156,6 +162,36 @@ class TwoHopOracle(DistanceOracle):
     def ancestors_within(self, target: NodeId, bound: Optional[int]) -> Set[NodeId]:
         self._check_version()
         return self._graph.ancestors_within(target, bound)
+
+    def descendants_within_bits(
+        self, compiled: "CompiledGraph", source: int, bound: Optional[int]
+    ) -> int:
+        """Bounded bitset BFS over the compiled CSR adjacency (memoised)."""
+        if not self._snapshot_is_current(compiled):
+            # Answer from our own graph's traversal (unmemoised) so the memo
+            # never gets poisoned with a foreign or stale snapshot's adjacency.
+            return super().descendants_within_bits(compiled, source, bound)
+        self._check_version()
+        key = (source, bound)
+        bits = self._desc_bits_cache.get(key)
+        if bits is None:
+            bits = compiled.descendants_within_bits(source, bound)
+            self._desc_bits_cache[key] = bits
+        return bits
+
+    def ancestors_within_bits(
+        self, compiled: "CompiledGraph", target: int, bound: Optional[int]
+    ) -> int:
+        """Bounded reverse bitset BFS over the compiled CSR adjacency (memoised)."""
+        if not self._snapshot_is_current(compiled):
+            return super().ancestors_within_bits(compiled, target, bound)
+        self._check_version()
+        key = (target, bound)
+        bits = self._anc_bits_cache.get(key)
+        if bits is None:
+            bits = compiled.ancestors_within_bits(target, bound)
+            self._anc_bits_cache[key] = bits
+        return bits
 
     # ------------------------------------------------------------------
     # internals

@@ -1,4 +1,4 @@
-"""Graph substrates: data graphs, pattern graphs, predicates, and generators."""
+"""Graph substrates: data graphs, compiled snapshots, patterns, predicates, generators."""
 
 from repro.graph.builders import (
     collaboration_graph,
@@ -11,6 +11,7 @@ from repro.graph.builders import (
     social_matching_pair,
     social_matching_pattern,
 )
+from repro.graph.compiled import CompiledGraph, compile_graph, iter_bits
 from repro.graph.datagraph import DataGraph, Edge, NodeId
 from repro.graph.generators import (
     attach_attributes,
@@ -43,6 +44,9 @@ __all__ = [
     "DataGraph",
     "Edge",
     "NodeId",
+    "CompiledGraph",
+    "compile_graph",
+    "iter_bits",
     "Pattern",
     "UNBOUNDED",
     "normalize_bound",

@@ -1,0 +1,392 @@
+"""Compiled, immutable snapshots of :class:`~repro.graph.datagraph.DataGraph`.
+
+The mutable :class:`DataGraph` is convenient for the incremental algorithms of
+Section 4, but its dict-of-sets adjacency and per-node attribute dicts make
+the matching inner loops pay Python hashing costs on every operation.  This
+module provides :class:`CompiledGraph`, a read-only snapshot that
+
+* **interns** arbitrary hashable node ids into dense integers ``0..n-1``;
+* stores forward and reverse adjacency in **CSR form** (``array('i')``
+  offsets plus a flat target array), so neighbour scans are contiguous;
+* maintains an **inverted attribute index** ``(attribute, value) -> bitset``
+  so the candidate set of an equality predicate is an index lookup instead of
+  a full ``|V|`` scan;
+* answers bounded-reachability queries as **Python-int bitsets** (one bit per
+  interned node), on which the matching refinement performs intersections
+  with ``&`` and support counting with ``int.bit_count()``.
+
+Snapshots are cheap to look up and lazily (re)built: :func:`compile_graph`
+caches one snapshot per :class:`DataGraph` and recompiles only when the
+graph's :attr:`~repro.graph.datagraph.DataGraph.version` counter has moved,
+so the incremental algorithms keep mutating the graph freely while the batch
+matchers always see a fresh compiled view.
+
+Match results decode back to the original node ids at the API boundary, so
+callers never observe the interned integers.
+"""
+
+from __future__ import annotations
+
+import weakref
+from array import array
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.datagraph import DataGraph, NodeId
+from repro.graph.predicates import Predicate
+
+__all__ = ["CompiledGraph", "compile_graph", "iter_bits"]
+
+
+def iter_bits(bits: int) -> Iterator[int]:
+    """Iterate over the indices of the set bits of *bits*, ascending."""
+    while bits:
+        low = bits & -bits
+        yield low.bit_length() - 1
+        bits ^= low
+
+
+class CompiledGraph:
+    """An immutable integer-indexed snapshot of a :class:`DataGraph`.
+
+    Build instances with :meth:`from_graph` (or, preferably, through the
+    version-aware :func:`compile_graph` cache).  All query methods take and
+    return dense integer node indices; :meth:`encode` / :meth:`decode`
+    translate between bitsets and original node-id sets at the boundary.
+    """
+
+    __slots__ = (
+        "version",
+        "num_nodes",
+        "all_bits",
+        "out_nonzero_bits",
+        "_id_of",
+        "_node_of",
+        "_fwd_offsets",
+        "_fwd_targets",
+        "_rev_offsets",
+        "_rev_targets",
+        "_attrs",
+        "_eq_index",
+        "_unindexed_attrs",
+        "_succ_bits",
+        "_pred_bits",
+        "_graph_ref",
+    )
+
+    def __init__(self) -> None:
+        raise TypeError("use CompiledGraph.from_graph() or compile_graph()")
+
+    @classmethod
+    def from_graph(cls, graph: DataGraph) -> "CompiledGraph":
+        """Compile a snapshot of *graph* at its current version."""
+        self = object.__new__(cls)
+        node_of: List[NodeId] = graph.node_list()
+        id_of: Dict[NodeId, int] = {node: i for i, node in enumerate(node_of)}
+        n = len(node_of)
+
+        fwd_offsets = array("i", [0])
+        fwd_targets = array("i")
+        rev_offsets = array("i", [0])
+        rev_targets = array("i")
+        out_nonzero = 0
+        for i, node in enumerate(node_of):
+            succ = sorted(id_of[s] for s in graph.successors(node))
+            if succ:
+                out_nonzero |= 1 << i
+                fwd_targets.extend(succ)
+            fwd_offsets.append(len(fwd_targets))
+            pred = sorted(id_of[p] for p in graph.predecessors(node))
+            if pred:
+                rev_targets.extend(pred)
+            rev_offsets.append(len(rev_targets))
+
+        eq_index: Dict[Tuple[str, Any], int] = {}
+        unindexed: Set[str] = set()
+        attrs: List[Mapping[str, Any]] = []
+        for i, node in enumerate(node_of):
+            # Copy: the snapshot must not see post-compile attribute
+            # mutations (the equality index above is frozen at compile time,
+            # and mixing index-time and live values would answer predicates
+            # consistently with neither version).
+            node_attrs = dict(graph.attributes(node))
+            attrs.append(node_attrs)
+            bit = 1 << i
+            for key, value in node_attrs.items():
+                try:
+                    eq_index[(key, value)] = eq_index.get((key, value), 0) | bit
+                except TypeError:
+                    # Unhashable value: equality atoms on this attribute fall
+                    # back to scanning so semantics stay identical.
+                    unindexed.add(key)
+
+        self.version = graph.version
+        self.num_nodes = n
+        self.all_bits = (1 << n) - 1
+        self.out_nonzero_bits = out_nonzero
+        self._id_of = id_of
+        self._node_of = node_of
+        self._fwd_offsets = fwd_offsets
+        self._fwd_targets = fwd_targets
+        self._rev_offsets = rev_offsets
+        self._rev_targets = rev_targets
+        self._attrs = attrs
+        self._eq_index = eq_index
+        self._unindexed_attrs = unindexed
+        self._succ_bits: List[Optional[int]] = [None] * n
+        self._pred_bits: List[Optional[int]] = [None] * n
+        self._graph_ref = weakref.ref(graph)
+        return self
+
+    @property
+    def graph(self) -> Optional[DataGraph]:
+        """The source :class:`DataGraph` (held weakly; ``None`` if collected).
+
+        Oracles use this to detect a snapshot compiled from a *different*
+        graph than their own and fall back to the unmemoised slow path, so a
+        mismatched caller gets correct (legacy-equivalent) results instead of
+        silently wrong bitsets.
+        """
+        return self._graph_ref()
+
+    # ------------------------------------------------------------------
+    # id interning
+    # ------------------------------------------------------------------
+
+    def id_of(self, node: NodeId) -> int:
+        """The dense integer index of *node*.
+
+        Raises
+        ------
+        NodeNotFoundError
+            If *node* was not in the graph when the snapshot was compiled.
+        """
+        try:
+            return self._id_of[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def node_of(self, index: int) -> NodeId:
+        """The original node id interned at *index*."""
+        return self._node_of[index]
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._id_of
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def node_ids(self) -> List[NodeId]:
+        """All original node ids, in interning order."""
+        return list(self._node_of)
+
+    def __repr__(self) -> str:
+        return (
+            f"<CompiledGraph |V|={self.num_nodes} "
+            f"|E|={len(self._fwd_targets)} v{self.version}>"
+        )
+
+    # ------------------------------------------------------------------
+    # bitset encoding
+    # ------------------------------------------------------------------
+
+    def encode(self, nodes: Iterable[NodeId]) -> int:
+        """Encode an iterable of original node ids into a bitset.
+
+        Ids unknown to the snapshot are ignored (they cannot participate in
+        any intersection with interned candidates anyway).
+        """
+        id_of = self._id_of
+        bits = 0
+        for node in nodes:
+            index = id_of.get(node)
+            if index is not None:
+                bits |= 1 << index
+        return bits
+
+    def decode(self, bits: int) -> Set[NodeId]:
+        """Decode a bitset back into a set of original node ids."""
+        node_of = self._node_of
+        return {node_of[i] for i in iter_bits(bits)}
+
+    def encode_within(
+        self, distances: Mapping[NodeId, int], bound: Optional[int]
+    ) -> int:
+        """Bitset of the nodes whose distance entry satisfies ``1 <= d <= bound``.
+
+        This is the hot conversion from a sparse distance row/column (as kept
+        by :class:`~repro.distance.matrix.DistanceMatrix`) to a candidate
+        bitset; ids unknown to the snapshot are ignored.
+        """
+        id_of = self._id_of
+        bits = 0
+        if bound is None:
+            for node, dist in distances.items():
+                if dist >= 1:
+                    index = id_of.get(node)
+                    if index is not None:
+                        bits |= 1 << index
+        else:
+            for node, dist in distances.items():
+                if 1 <= dist <= bound:
+                    index = id_of.get(node)
+                    if index is not None:
+                        bits |= 1 << index
+        return bits
+
+    # ------------------------------------------------------------------
+    # adjacency (CSR)
+    # ------------------------------------------------------------------
+
+    def successors_indices(self, index: int) -> Iterable[int]:
+        """The successor indices of *index* (a CSR slice)."""
+        return self._fwd_targets[self._fwd_offsets[index] : self._fwd_offsets[index + 1]]
+
+    def predecessors_indices(self, index: int) -> Iterable[int]:
+        """The predecessor indices of *index* (a CSR slice)."""
+        return self._rev_targets[self._rev_offsets[index] : self._rev_offsets[index + 1]]
+
+    def out_degree(self, index: int) -> int:
+        """Out-degree of *index*."""
+        return self._fwd_offsets[index + 1] - self._fwd_offsets[index]
+
+    def in_degree(self, index: int) -> int:
+        """In-degree of *index*."""
+        return self._rev_offsets[index + 1] - self._rev_offsets[index]
+
+    def successors_bits(self, index: int) -> int:
+        """The direct successors of *index* as a bitset (lazily cached)."""
+        bits = self._succ_bits[index]
+        if bits is None:
+            bits = 0
+            for j in self.successors_indices(index):
+                bits |= 1 << j
+            self._succ_bits[index] = bits
+        return bits
+
+    def predecessors_bits(self, index: int) -> int:
+        """The direct predecessors of *index* as a bitset (lazily cached)."""
+        bits = self._pred_bits[index]
+        if bits is None:
+            bits = 0
+            for j in self.predecessors_indices(index):
+                bits |= 1 << j
+            self._pred_bits[index] = bits
+        return bits
+
+    # ------------------------------------------------------------------
+    # candidate retrieval (inverted attribute index)
+    # ------------------------------------------------------------------
+
+    def candidate_bits(self, predicate: Predicate) -> int:
+        """The bitset of nodes satisfying *predicate*.
+
+        Equality atoms resolve through the inverted attribute index (one dict
+        lookup each); any residual atoms (orderings, inequalities, atoms on
+        attributes carrying unhashable values) are evaluated only on the
+        nodes surviving the indexed atoms.
+        """
+        if predicate.is_wildcard:
+            return self.all_bits
+        bits = self.all_bits
+        residual = []
+        for atom in predicate.atoms:
+            if atom.op == "=" and atom.attribute not in self._unindexed_attrs:
+                try:
+                    mask = self._eq_index.get((atom.attribute, atom.value), 0)
+                except TypeError:
+                    residual.append(atom)
+                    continue
+                bits &= mask
+                if not bits:
+                    return 0
+            else:
+                residual.append(atom)
+        if residual:
+            attrs = self._attrs
+            narrowed = 0
+            for i in iter_bits(bits):
+                node_attrs = attrs[i]
+                if all(atom.evaluate(node_attrs) for atom in residual):
+                    narrowed |= 1 << i
+            bits = narrowed
+        return bits
+
+    def attributes(self, index: int) -> Mapping[str, Any]:
+        """The attribute mapping of the node interned at *index*."""
+        return self._attrs[index]
+
+    # ------------------------------------------------------------------
+    # bounded reachability (bitset BFS over CSR)
+    # ------------------------------------------------------------------
+
+    def descendants_within_bits(self, source: int, bound: Optional[int]) -> int:
+        """Bitset of nodes reachable from *source* via a nonempty path ``<= bound``.
+
+        ``bound=None`` means unbounded; *source* itself is included only when
+        it lies on a cycle of length within the bound — the same nonempty-path
+        semantics as :meth:`DataGraph.descendants_within`.
+        """
+        return self._bounded_bfs_bits(
+            source, bound, self._fwd_offsets, self._fwd_targets
+        )
+
+    def ancestors_within_bits(self, target: int, bound: Optional[int]) -> int:
+        """Bitset of nodes reaching *target* via a nonempty path ``<= bound``."""
+        return self._bounded_bfs_bits(
+            target, bound, self._rev_offsets, self._rev_targets
+        )
+
+    def _bounded_bfs_bits(
+        self,
+        source: int,
+        bound: Optional[int],
+        offsets: array,
+        targets: array,
+    ) -> int:
+        self_bit = 1 << source
+        visited = self_bit
+        hit_source = False
+        frontier = [source]
+        depth = 0
+        while frontier and (bound is None or depth < bound):
+            depth += 1
+            next_frontier: List[int] = []
+            append = next_frontier.append
+            for i in frontier:
+                for j in targets[offsets[i] : offsets[i + 1]]:
+                    if j == source:
+                        hit_source = True
+                    bit = 1 << j
+                    if not visited & bit:
+                        visited |= bit
+                        append(j)
+            frontier = next_frontier
+        result = visited & ~self_bit
+        if hit_source:
+            result |= self_bit
+        return result
+
+
+# ----------------------------------------------------------------------
+# version-aware compile cache
+# ----------------------------------------------------------------------
+
+_COMPILE_CACHE: "weakref.WeakKeyDictionary[DataGraph, CompiledGraph]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def compile_graph(graph: DataGraph) -> CompiledGraph:
+    """Return the compiled snapshot of *graph*, recompiling when stale.
+
+    One snapshot is cached per graph (weakly, so graphs are collectable) and
+    invalidated through the graph's monotonic ``version`` counter: any
+    mutation bumps the version, and the next call recompiles.  Repeated
+    matching against an unchanged graph therefore compiles exactly once.
+    """
+    snapshot = _COMPILE_CACHE.get(graph)
+    if snapshot is None or snapshot.version != graph.version:
+        snapshot = CompiledGraph.from_graph(graph)
+        _COMPILE_CACHE[graph] = snapshot
+    return snapshot

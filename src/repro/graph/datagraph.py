@@ -64,7 +64,18 @@ class DataGraph:
     ['b']
     """
 
-    __slots__ = ("name", "_succ", "_pred", "_attrs", "_edge_colors", "_num_edges", "_version")
+    # ``__weakref__`` lets the compiled-snapshot cache (repro.graph.compiled)
+    # hold graphs weakly without keeping them alive.
+    __slots__ = (
+        "name",
+        "_succ",
+        "_pred",
+        "_attrs",
+        "_edge_colors",
+        "_num_edges",
+        "_version",
+        "__weakref__",
+    )
 
     def __init__(self, name: str = "") -> None:
         self.name = name

@@ -8,7 +8,15 @@
 """
 
 from repro.matching.affected import AffectedArea
-from repro.matching.bounded import candidate_sets, match, matches, naive_match
+from repro.matching.bounded import (
+    candidate_bits,
+    candidate_sets,
+    match,
+    matches,
+    naive_match,
+    refine_bits_to_fixpoint,
+    refine_to_fixpoint,
+)
 from repro.matching.colored import build_color_oracles, match_colored, matches_colored
 from repro.matching.incremental import IncrementalMatcher
 from repro.matching.match_result import MatchResult
@@ -20,6 +28,9 @@ __all__ = [
     "matches",
     "naive_match",
     "candidate_sets",
+    "candidate_bits",
+    "refine_to_fixpoint",
+    "refine_bits_to_fixpoint",
     "match_colored",
     "matches_colored",
     "build_color_oracles",

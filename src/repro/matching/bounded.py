@@ -27,6 +27,15 @@ how the paper's ``BFS`` and ``2-hop`` variants are obtained.
 
 :func:`naive_match` is an intentionally simple fixpoint implementation used
 as a cross-checking reference in the test suite.
+
+By default :func:`match` runs the refinement over the *compiled* snapshot of
+the data graph (:mod:`repro.graph.compiled`): candidates come from the
+inverted attribute index as bitsets over interned integer ids, the oracle
+answers bounded reachability as bitsets, and support counting is
+``(desc & mat).bit_count()``.  Results decode back to original node ids, so
+the relation is bit-for-bit identical to the set-based implementation
+(retained under ``use_compiled=False`` and in :func:`refine_to_fixpoint`,
+which the incremental matcher still uses over the mutable graph).
 """
 
 from __future__ import annotations
@@ -35,11 +44,20 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.distance.matrix import DistanceMatrix
 from repro.distance.oracle import DistanceOracle
+from repro.graph.compiled import CompiledGraph, compile_graph, iter_bits
 from repro.graph.datagraph import DataGraph, NodeId
 from repro.graph.pattern import Pattern, PatternNodeId
 from repro.matching.match_result import MatchResult
 
-__all__ = ["match", "matches", "naive_match", "candidate_sets"]
+__all__ = [
+    "match",
+    "matches",
+    "naive_match",
+    "candidate_sets",
+    "candidate_bits",
+    "refine_to_fixpoint",
+    "refine_bits_to_fixpoint",
+]
 
 
 def candidate_sets(
@@ -65,10 +83,33 @@ def candidate_sets(
     return candidates
 
 
+def candidate_bits(
+    pattern: Pattern,
+    compiled: CompiledGraph,
+    *,
+    out_degree_filter: bool = True,
+) -> Dict[PatternNodeId, int]:
+    """Initial candidate sets ``mat(u)`` as bitsets over *compiled*.
+
+    The compiled snapshot's inverted attribute index answers equality
+    predicates with a dict lookup, so this is one index probe per pattern
+    node instead of ``|V_p|`` full scans of the data graph.
+    """
+    candidates: Dict[PatternNodeId, int] = {}
+    for u in pattern.nodes():
+        bits = compiled.candidate_bits(pattern.predicate(u))
+        if out_degree_filter and pattern.out_degree(u) > 0:
+            bits &= compiled.out_nonzero_bits
+        candidates[u] = bits
+    return candidates
+
+
 def match(
     pattern: Pattern,
     graph: DataGraph,
     oracle: Optional[DistanceOracle] = None,
+    *,
+    use_compiled: bool = True,
 ) -> MatchResult:
     """Compute the maximum bounded-simulation match of *pattern* in *graph*.
 
@@ -82,6 +123,12 @@ def match(
         (the paper's Algorithm Match, line 1); pass a
         :class:`~repro.distance.bfs.BFSDistanceOracle` or
         :class:`~repro.distance.twohop.TwoHopOracle` for the other variants.
+    use_compiled:
+        When ``True`` (default) the refinement runs over the compiled
+        integer/bitset snapshot of *graph* (see :mod:`repro.graph.compiled`)
+        and decodes to original node ids at the end.  ``False`` selects the
+        original set-based implementation, kept as a cross-checking reference
+        and for old-vs-new benchmarking.
 
     Returns
     -------
@@ -95,6 +142,20 @@ def match(
         return MatchResult.empty()
     if oracle is None:
         oracle = DistanceMatrix(graph)
+
+    if use_compiled:
+        compiled = compile_graph(graph)
+        mat_bits = candidate_bits(pattern, compiled)
+        for bits in mat_bits.values():
+            if not bits:
+                return MatchResult.empty()
+        refine_bits_to_fixpoint(pattern, oracle, compiled, mat_bits)
+        if any(not bits for bits in mat_bits.values()):
+            return MatchResult.empty()
+        return MatchResult(
+            {u: compiled.decode(bits) for u, bits in mat_bits.items()},
+            pattern_nodes=pattern.node_list(),
+        )
 
     mat = candidate_sets(pattern, graph)
     for u, candidates in mat.items():
@@ -157,6 +218,67 @@ def refine_to_fixpoint(
                     continue
                 counts[w] -= 1
                 if counts[w] == 0 and (u_parent, w) not in removed:
+                    removed.add((u_parent, w))
+                    removal_list.append((u_parent, w))
+    return removed
+
+
+def refine_bits_to_fixpoint(
+    pattern: Pattern,
+    oracle: DistanceOracle,
+    compiled: CompiledGraph,
+    mat_bits: Dict[PatternNodeId, int],
+) -> Set[Tuple[PatternNodeId, int]]:
+    """Bitset counterpart of :func:`refine_to_fixpoint` over interned node ids.
+
+    Candidate sets are Python-int bitsets; support counting is a single
+    ``&`` plus ``bit_count()`` against the oracle's bitset reachability
+    (:meth:`~repro.distance.oracle.DistanceOracle.descendants_within_bits`).
+    Refines *mat_bits* in place and returns the removed
+    ``(pattern node, interned data index)`` pairs.
+    """
+    # support_count[(u, u')][v]: |descendants of v within the bound ∩ mat(u')|
+    support_count: Dict[
+        Tuple[PatternNodeId, PatternNodeId], Dict[int, int]
+    ] = {}
+    removal_list: List[Tuple[PatternNodeId, int]] = []
+    removed: Set[Tuple[PatternNodeId, int]] = set()
+
+    descendants = oracle.descendants_within_bits
+    ancestors = oracle.ancestors_within_bits
+
+    for u, u_child in pattern.edges():
+        bound = pattern.bound(u, u_child)
+        child_bits = mat_bits[u_child]
+        counts: Dict[int, int] = {}
+        for v in iter_bits(mat_bits[u]):
+            count = (descendants(compiled, v, bound) & child_bits).bit_count()
+            counts[v] = count
+            if count == 0 and (u, v) not in removed:
+                removed.add((u, v))
+                removal_list.append((u, v))
+        support_count[(u, u_child)] = counts
+
+    index = 0
+    while index < len(removal_list):
+        u, v = removal_list[index]
+        index += 1
+        mat_bits[u] &= ~(1 << v)
+        # Removing (u, v) can only invalidate candidates of parents of u that
+        # reach v within the bound of the corresponding pattern edge.
+        for u_parent in pattern.predecessors(u):
+            bound = pattern.bound(u_parent, u)
+            counts = support_count.get((u_parent, u))
+            if counts is None:
+                continue
+            affected = ancestors(compiled, v, bound) & mat_bits[u_parent]
+            for w in iter_bits(affected):
+                count = counts.get(w)
+                if count is None:
+                    continue
+                count -= 1
+                counts[w] = count
+                if count == 0 and (u_parent, w) not in removed:
                     removed.add((u_parent, w))
                     removal_list.append((u_parent, w))
     return removed

@@ -2,8 +2,8 @@
 
 Graph simulation is the special case of bounded simulation where every
 pattern edge carries bound 1 (edge-to-edge mapping) — Remark (2) of
-Section 2.2.  It is implemented here directly on the adjacency lists, both
-as a baseline and as an independent reference the tests compare the bounded
+Section 2.2.  It is implemented here directly on the adjacency, both as a
+baseline and as an independent reference the tests compare the bounded
 algorithm against on traditional patterns.
 
 The implementation is the standard counting refinement: for every pattern
@@ -11,12 +11,20 @@ edge ``(u, u')`` and every candidate ``v`` of ``u`` it maintains how many
 successors of ``v`` currently match ``u'``; when the count drops to zero,
 ``v`` is removed and the removal is propagated to its predecessors.  The
 running time is ``O((|V| + |V_p|)(|E| + |E_p|))`` as cited in the paper.
+
+By default the refinement runs over the compiled snapshot of the graph
+(:mod:`repro.graph.compiled`): candidate sets are bitsets over interned
+integer ids, successor/predecessor lookups hit the CSR adjacency, and
+support counting is ``(succ & mat).bit_count()``.  The original set-based
+implementation is retained under ``use_compiled=False`` as a cross-checking
+reference and for old-vs-new benchmarking; both produce identical relations.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Set, Tuple
 
+from repro.graph.compiled import compile_graph, iter_bits
 from repro.graph.datagraph import DataGraph, NodeId
 from repro.graph.pattern import Pattern, PatternNodeId
 from repro.matching.match_result import MatchResult
@@ -24,7 +32,9 @@ from repro.matching.match_result import MatchResult
 __all__ = ["graph_simulation", "simulates"]
 
 
-def graph_simulation(pattern: Pattern, graph: DataGraph) -> MatchResult:
+def graph_simulation(
+    pattern: Pattern, graph: DataGraph, *, use_compiled: bool = True
+) -> MatchResult:
     """Compute the maximum graph-simulation relation of *pattern* by *graph*.
 
     A data node ``v`` simulates a pattern node ``u`` when ``v`` satisfies the
@@ -32,6 +42,70 @@ def graph_simulation(pattern: Pattern, graph: DataGraph) -> MatchResult:
     successor of ``v`` simulates ``u'``.  The returned relation is empty when
     some pattern node has no simulating data node.
     """
+    if not use_compiled:
+        return _graph_simulation_sets(pattern, graph)
+    if pattern.number_of_nodes() == 0 or graph.number_of_nodes() == 0:
+        return MatchResult.empty()
+
+    compiled = compile_graph(graph)
+    candidates: Dict[PatternNodeId, int] = {}
+    for u in pattern.nodes():
+        bits = compiled.candidate_bits(pattern.predicate(u))
+        if not bits:
+            return MatchResult.empty()
+        candidates[u] = bits
+
+    # support_count[(u, u')][v]: number of successors of v in candidates[u'].
+    support_count: Dict[Tuple[PatternNodeId, PatternNodeId], Dict[int, int]] = {}
+    removal_list: List[Tuple[PatternNodeId, int]] = []
+    removed: Set[Tuple[PatternNodeId, int]] = set()
+
+    successors_bits = compiled.successors_bits
+    predecessors_bits = compiled.predecessors_bits
+
+    for u, u_child in pattern.edges():
+        counts: Dict[int, int] = {}
+        child_bits = candidates[u_child]
+        for v in iter_bits(candidates[u]):
+            count = (successors_bits(v) & child_bits).bit_count()
+            counts[v] = count
+            if count == 0 and (u, v) not in removed:
+                removed.add((u, v))
+                removal_list.append((u, v))
+        support_count[(u, u_child)] = counts
+
+    # Propagate removals until the relation stabilises.
+    index = 0
+    while index < len(removal_list):
+        u, v = removal_list[index]
+        index += 1
+        candidates[u] &= ~(1 << v)
+        if not candidates[u]:
+            return MatchResult.empty()
+        # v no longer matches u: every predecessor w of v loses one unit of
+        # support for every pattern edge (u_parent, u).
+        for u_parent in pattern.predecessors(u):
+            counts = support_count.get((u_parent, u))
+            if counts is None:
+                continue
+            for w in iter_bits(predecessors_bits(v)):
+                count = counts.get(w)
+                if count is None:
+                    continue
+                count -= 1
+                counts[w] = count
+                if count == 0 and (u_parent, w) not in removed:
+                    removed.add((u_parent, w))
+                    removal_list.append((u_parent, w))
+
+    return MatchResult(
+        {u: compiled.decode(bits) for u, bits in candidates.items()},
+        pattern_nodes=pattern.node_list(),
+    )
+
+
+def _graph_simulation_sets(pattern: Pattern, graph: DataGraph) -> MatchResult:
+    """The original set-based counting refinement (legacy reference path)."""
     candidates: Dict[PatternNodeId, Set[NodeId]] = {}
     for u in pattern.nodes():
         predicate = pattern.predicate(u)

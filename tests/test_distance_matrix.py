@@ -59,6 +59,30 @@ class TestNonEmptyPathSemantics:
         assert matrix.within("a", "a", 3)
         assert not matrix.within("a", "a", 2)
 
+    def test_nonempty_distance_memo_survives_graph_mutation(self, chain_graph):
+        matrix = DistanceMatrix(chain_graph)
+        assert matrix.nonempty_distance("n0", "n0") == INF
+        chain_graph.add_edge("n3", "n0")  # close the cycle; version bumps
+        matrix.refresh()
+        assert matrix.nonempty_distance("n0", "n0") == 4
+
+    def test_nonempty_distance_queried_between_mutation_and_refresh(self, chain_graph):
+        # A memo taken from stale rows (after the mutation, before refresh)
+        # must not survive the refresh.
+        matrix = DistanceMatrix(chain_graph)
+        chain_graph.add_edge("n3", "n0")  # close the cycle
+        assert matrix.nonempty_distance("n0", "n0") == INF  # stale rows, by contract
+        matrix.refresh()
+        assert matrix.nonempty_distance("n0", "n0") == 4
+
+    def test_nonempty_distance_memo_invalidated_by_set_distance(self, chain_graph):
+        # set_distance mutates the matrix at a fixed graph version; the
+        # memoised self-loop distances must not go stale.
+        matrix = DistanceMatrix(chain_graph)
+        assert matrix.nonempty_distance("n0", "n0") == INF
+        matrix.set_distance("n1", "n0", 1)  # pretend n1 -> n0 exists
+        assert matrix.nonempty_distance("n0", "n0") == 2
+
     def test_reaches(self, chain_graph):
         matrix = DistanceMatrix(chain_graph)
         assert matrix.reaches("n0", "n4")

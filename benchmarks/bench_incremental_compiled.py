@@ -1,0 +1,124 @@
+"""Legacy-vs-compiled benchmark of the incremental engine (not a paper figure).
+
+This is the acceptance gate of the compiled-incremental refactor, mirroring
+the ``bench_core_operations`` gate of the compiled batch matcher: it replays
+a Fig. 6(i)-style mixed update stream (the workload of
+``incremental_batch_experiment``) through ``IncrementalMatcher`` in both
+modes and records the legacy-over-compiled ratio in ``extra_info``.  The
+compiled engine must be at least 3x faster end to end — snapshot patching,
+interned ``UpdateBM`` repair and bitset propagation included.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.graph.pattern_generator import PatternGenerator
+from repro.datasets import youtube_graph
+from repro.matching.incremental import IncrementalMatcher
+from repro.workloads.updates import mixed_updates, random_deletions, random_insertions
+
+#: Workload knobs — the Fig. 6(i) wiring of exp_incremental at bench scale.
+SCALE = 0.03
+SEED = 23
+STREAM_SIZE = 200
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = youtube_graph(scale=SCALE, seed=SEED)
+    generator = PatternGenerator(graph, seed=SEED, predicate_attributes=("category",))
+    pattern = generator.generate_dag(4, 4, 3)
+    updates = mixed_updates(graph, STREAM_SIZE, seed=SEED)
+    return graph, pattern, updates
+
+
+def _best_apply_seconds(graph, pattern, updates, *, use_compiled, repeats=3):
+    """Best-of-*repeats* wall clock of one apply() on a fresh matcher.
+
+    Matcher construction (matrix build + initial fixpoint) happens outside
+    the timed region: the gate measures the update-stream hot path.
+    """
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        matcher = IncrementalMatcher(pattern, graph.copy(), use_compiled=use_compiled)
+        start = time.perf_counter()
+        area = matcher.apply(updates)
+        best = min(best, time.perf_counter() - start)
+        result = (matcher.match, area)
+    return best, result
+
+
+def test_bench_incremental_compiled_stream(benchmark, setup):
+    """The compiled engine on the mixed stream; extra_info records the ratio."""
+    graph, pattern, updates = setup
+
+    def make():
+        return (IncrementalMatcher(pattern, graph.copy(), use_compiled=True),), {}
+
+    benchmark.pedantic(lambda m: m.apply(updates), setup=make, rounds=3)
+
+    legacy_s, (legacy_match, legacy_area) = _best_apply_seconds(
+        graph, pattern, updates, use_compiled=False
+    )
+    compiled_s, (compiled_match, compiled_area) = _best_apply_seconds(
+        graph, pattern, updates, use_compiled=True
+    )
+    speedup = legacy_s / compiled_s if compiled_s else float("inf")
+    benchmark.extra_info["legacy_apply_s"] = round(legacy_s, 6)
+    benchmark.extra_info["compiled_apply_s"] = round(compiled_s, 6)
+    benchmark.extra_info["incremental_speedup_old_over_new"] = round(speedup, 2)
+    benchmark.extra_info["stream"] = f"mixed |delta|={STREAM_SIZE} scale={SCALE}"
+
+    # The two engines must be observationally identical ...
+    assert compiled_match == legacy_match
+    assert compiled_area.distance_changes == legacy_area.distance_changes
+    assert compiled_area.removed_matches == legacy_area.removed_matches
+    assert compiled_area.added_matches == legacy_area.added_matches
+    # ... and the compiled one must clear the acceptance gate.
+    assert speedup >= 3.0, f"compiled incremental only {speedup:.1f}x faster than legacy"
+
+
+def test_bench_incremental_legacy_stream(benchmark, setup):
+    """The seed set/dict engine, kept as the old-vs-new baseline row."""
+    graph, pattern, updates = setup
+
+    def make():
+        return (IncrementalMatcher(pattern, graph.copy(), use_compiled=False),), {}
+
+    benchmark.pedantic(lambda m: m.apply(updates), setup=make, rounds=3)
+
+
+@pytest.mark.parametrize(
+    "workload_name,build",
+    [
+        ("deletions", lambda graph: random_deletions(graph, 100, seed=29)),
+        ("insertions", lambda graph: random_insertions(graph, 100, seed=31)),
+    ],
+)
+def test_bench_incremental_compiled_unit_streams(benchmark, setup, workload_name, build):
+    """Fig. 6(j)/(k)-style unit streams: ratio recorded, no hard gate."""
+    graph, pattern, _ = setup
+    updates = build(graph)
+
+    def make():
+        return (IncrementalMatcher(pattern, graph.copy(), use_compiled=True),), {}
+
+    benchmark.pedantic(lambda m: m.apply(updates), setup=make, rounds=3)
+
+    legacy_s, (legacy_match, _) = _best_apply_seconds(
+        graph, pattern, updates, use_compiled=False
+    )
+    compiled_s, (compiled_match, _) = _best_apply_seconds(
+        graph, pattern, updates, use_compiled=True
+    )
+    assert compiled_match == legacy_match
+    benchmark.extra_info["legacy_apply_s"] = round(legacy_s, 6)
+    benchmark.extra_info["compiled_apply_s"] = round(compiled_s, 6)
+    benchmark.extra_info["incremental_speedup_old_over_new"] = round(
+        legacy_s / compiled_s if compiled_s else float("inf"), 2
+    )
+    benchmark.extra_info["stream"] = f"{workload_name} |delta|=100 scale={SCALE}"

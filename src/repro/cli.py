@@ -22,6 +22,11 @@ Subcommands
     Run one of the paper's experiment drivers (``fig6a`` … ``fig9``,
     ``table-datasets``, ``appendix-stats``) or ``all``.
 
+``incremental``
+    Replay a JSON update stream (``IncMatch``) against a graph + pattern,
+    with the compiled bitset engine or the legacy set-based engine, and
+    report the affected areas and elapsed time per batch.
+
 Examples
 --------
 ::
@@ -30,6 +35,8 @@ Examples
     python -m repro stats youtube.json
     python -m repro match --graph youtube.json --pattern pattern.json
     python -m repro experiment fig9
+    python -m repro incremental --graph youtube.json --pattern pattern.json \\
+        --updates delta.json --engine compiled --batch-size 50
 """
 
 from __future__ import annotations
@@ -106,6 +113,41 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument(
         "name", choices=sorted(ALL_EXPERIMENTS) + ["all"], help="experiment id or 'all'"
     )
+
+    incremental_parser = subparsers.add_parser(
+        "incremental", help="replay an update stream with IncMatch"
+    )
+    incremental_parser.add_argument("--graph", required=True, help="data graph JSON file")
+    incremental_parser.add_argument("--pattern", required=True, help="pattern JSON file")
+    incremental_parser.add_argument(
+        "--updates",
+        required=True,
+        help=(
+            "JSON update stream: a list of {\"op\": \"insert\"|\"delete\", "
+            "\"source\": ..., \"target\": ...} objects, applied in order"
+        ),
+    )
+    incremental_parser.add_argument(
+        "--engine",
+        choices=["compiled", "legacy"],
+        default="compiled",
+        help="compiled bitset engine (default) or the legacy set-based engine",
+    )
+    incremental_parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=0,
+        help="apply the stream in batches of this size (0 = one IncMatch batch)",
+    )
+    incremental_parser.add_argument(
+        "--on-cyclic",
+        choices=["raise", "recompute"],
+        default="raise",
+        help="behaviour for insertions with cyclic patterns",
+    )
+    incremental_parser.add_argument(
+        "--json", action="store_true", help="print a JSON report instead of text"
+    )
     return parser
 
 
@@ -171,11 +213,85 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_updates(path: str) -> List["EdgeUpdate"]:
+    from repro.distance.incremental import EdgeUpdate
+
+    with open(path, "r", encoding="utf-8") as handle:
+        raw = json.load(handle)
+    if not isinstance(raw, list):
+        raise SystemExit(f"{path}: expected a JSON list of updates")
+    updates = []
+    for i, entry in enumerate(raw):
+        try:
+            updates.append(EdgeUpdate(entry["op"], entry["source"], entry["target"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SystemExit(f"{path}: bad update at index {i}: {exc}")
+    return updates
+
+
+def _command_incremental(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.matching.incremental import IncrementalMatcher
+    from repro.workloads.updates import split_batches
+
+    graph = load_graph_json(args.graph)
+    pattern = load_pattern_json(args.pattern)
+    updates = _load_updates(args.updates)
+    matcher = IncrementalMatcher(
+        pattern,
+        graph,
+        on_cyclic=args.on_cyclic,
+        use_compiled=args.engine == "compiled",
+    )
+    batches = (
+        split_batches(updates, args.batch_size) if args.batch_size > 0 else [updates]
+    )
+    report = []
+    total_seconds = 0.0
+    for index, batch in enumerate(batches):
+        start = time.perf_counter()
+        area = matcher.apply(batch)
+        elapsed = time.perf_counter() - start
+        total_seconds += elapsed
+        row = {"batch": index, "size": len(batch), "seconds": round(elapsed, 4)}
+        row.update(area.summary())
+        report.append(row)
+    result = matcher.match
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "engine": args.engine,
+                    "batches": report,
+                    "total_seconds": round(total_seconds, 4),
+                    "match_pairs": len(result),
+                    "match_empty": result.is_empty,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for row in report:
+            print(
+                f"batch {row['batch']:>3}  |delta|={row['size']:>5}  "
+                f"{row['seconds']:.4f}s  AFF1={row['aff1']} AFF2={row['aff2']} "
+                f"(+{row['added']}/-{row['removed']})"
+            )
+        print(
+            f"{args.engine} engine: {len(batches)} batch(es), "
+            f"{total_seconds:.4f}s total; final match: {len(result)} pairs"
+        )
+    return 0 if result else 1
+
+
 _COMMANDS = {
     "match": _command_match,
     "generate": _command_generate,
     "stats": _command_stats,
     "experiment": _command_experiment,
+    "incremental": _command_incremental,
 }
 
 

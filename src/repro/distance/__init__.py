@@ -6,11 +6,15 @@ from repro.distance.incremental import (
     EdgeUpdate,
     apply_updates,
     merge_affected,
+    merge_affected_into,
     update_matrix_batch,
     update_matrix_delete,
     update_matrix_insert,
+    update_store_batch,
+    update_store_delete,
+    update_store_insert,
 )
-from repro.distance.matrix import DistanceMatrix
+from repro.distance.matrix import DistanceMatrix, InternedDistanceStore
 from repro.distance.oracle import INF, DistanceOracle
 from repro.distance.twohop import TwoHopOracle
 
@@ -18,6 +22,7 @@ __all__ = [
     "INF",
     "DistanceOracle",
     "DistanceMatrix",
+    "InternedDistanceStore",
     "BFSDistanceOracle",
     "TwoHopOracle",
     "EdgeUpdate",
@@ -25,6 +30,10 @@ __all__ = [
     "update_matrix_insert",
     "update_matrix_delete",
     "update_matrix_batch",
+    "update_store_insert",
+    "update_store_delete",
+    "update_store_batch",
     "merge_affected",
+    "merge_affected_into",
     "apply_updates",
 ]

@@ -24,6 +24,23 @@ those sources with a Dijkstra-style priority queue seeded from unaffected
 neighbours.  The insertion repair uses the classic
 ``d(x, y) <- min(d(x, y), d(x, s) + 1 + d(t, y))`` relaxation restricted to
 ancestors of ``s`` × descendants of ``t``.
+
+Compiled counterparts
+---------------------
+The ``update_store_*`` functions are the same procedures ported onto the
+compiled substrate used by ``IncrementalMatcher(use_compiled=True)``: the
+distances live in an
+:class:`~repro.distance.matrix.InternedDistanceStore` keyed by the dense
+integer ids of a pinned :class:`~repro.graph.compiled.CompiledGraph`,
+adjacency comes from the snapshot's CSR arrays (plus its patch overlay), and
+each edge update *patches* the snapshot instead of forcing a recompile.  The
+insertion relaxation additionally applies the two-sided Ramalingam–Reps
+restriction — only sources whose distance to the edge tail's head improves
+(``d(x, s) + 1 < d(x, t)``) are relaxed, mirroring the existing sink-side
+restriction — which is a pure pruning: skipped pairs provably cannot
+improve.  Both variants return the exact same ``AFF1`` (the compiled one in
+interned ids, decoded at the :class:`~repro.matching.affected.AffectedArea`
+boundary).
 """
 
 from __future__ import annotations
@@ -33,7 +50,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import DistanceOracleError
 from repro.graph.datagraph import DataGraph, NodeId
-from repro.distance.matrix import DistanceMatrix
+from repro.distance.matrix import DistanceMatrix, InternedDistanceStore
 from repro.distance.oracle import INF
 from repro.utils.priority_queue import AddressablePriorityQueue
 
@@ -43,12 +60,19 @@ __all__ = [
     "update_matrix_insert",
     "update_matrix_delete",
     "update_matrix_batch",
+    "update_store_insert",
+    "update_store_delete",
+    "update_store_batch",
     "merge_affected",
+    "merge_affected_into",
     "apply_updates",
 ]
 
 #: ``AFF1``: node pairs mapped to their (old, new) distances.
 AffectedPairs = Dict[Tuple[NodeId, NodeId], Tuple[float, float]]
+
+#: ``AFF1`` over the interned ids of a compiled snapshot.
+InternedAffectedPairs = Dict[Tuple[int, int], Tuple[float, float]]
 
 
 @dataclass(frozen=True)
@@ -303,9 +327,15 @@ def merge_affected(first: AffectedPairs, second: AffectedPairs) -> AffectedPairs
     """Compose two AFF1 mappings applied in sequence.
 
     The old distance comes from the earliest record, the new distance from
-    the latest; pairs whose distance returns to its original value drop out.
+    the latest; pairs whose merged net change is ``old == new`` — e.g. an
+    edge deleted and re-inserted within one batch — drop out, so the result
+    never reports a pair whose distance is back where it started (such
+    entries would inflate ``|AFF1|`` and schedule useless recheck work in
+    both match-propagation phases).
     """
-    merged: AffectedPairs = dict(first)
+    merged: AffectedPairs = {
+        pair: change for pair, change in first.items() if change[0] != change[1]
+    }
     for pair, (old, new) in second.items():
         if pair in merged:
             original_old = merged[pair][0]
@@ -313,9 +343,289 @@ def merge_affected(first: AffectedPairs, second: AffectedPairs) -> AffectedPairs
                 del merged[pair]
             else:
                 merged[pair] = (original_old, new)
-        else:
+        elif old != new:
             merged[pair] = (old, new)
     return merged
+
+
+def merge_affected_into(net: AffectedPairs, step: AffectedPairs) -> AffectedPairs:
+    """In-place :func:`merge_affected`: fold *step* into *net* and return it.
+
+    The batch procedures merge one step per update; the copying variant is
+    O(accumulated AFF1) per step, which makes long update lists quadratic.
+    """
+    for pair, (old, new) in step.items():
+        current = net.get(pair)
+        if current is None:
+            if old != new:
+                net[pair] = (old, new)
+        elif current[0] == new:
+            del net[pair]
+        else:
+            net[pair] = (current[0], new)
+    return net
+
+
+# ----------------------------------------------------------------------
+# Compiled UpdateM / UpdateBM — interned-id store + patched CSR snapshot
+# ----------------------------------------------------------------------
+
+def _store_graph(store: InternedDistanceStore) -> DataGraph:
+    graph = store.compiled.graph
+    if graph is None:
+        raise DistanceOracleError(
+            "the data graph behind the compiled snapshot has been collected"
+        )
+    return graph
+
+
+def _store_index(store: InternedDistanceStore, node: NodeId, other: NodeId) -> int:
+    try:
+        return store.compiled.id_of(node)
+    except Exception:
+        raise DistanceOracleError(
+            f"cannot update edge ({node!r}, {other!r}): unknown endpoint"
+        ) from None
+
+
+def update_store_insert(
+    store: InternedDistanceStore, source: NodeId, target: NodeId
+) -> InternedAffectedPairs:
+    """Compiled ``UpdateM`` insertion: mutate the graph, patch the snapshot,
+    repair *store*.
+
+    Returns ``AFF1`` over interned ids (decode with
+    ``store.compiled.node_of``).  Inserting an existing edge is a true no-op:
+    the graph, the snapshot and the store are left untouched and an empty
+    mapping is returned.
+    """
+    graph = _store_graph(store)
+    si = _store_index(store, source, target)
+    ti = _store_index(store, target, source)
+    compiled = store.compiled
+    if compiled.has_edge_indices(si, ti):
+        return {}
+    graph.add_edge(source, target)
+    compiled.patch_edge_insert(source, target)
+    store.clear_memo()
+    return _relax_store_insert(store, si, ti)
+
+
+def _relax_store_insert(
+    store: InternedDistanceStore, si: int, ti: int
+) -> InternedAffectedPairs:
+    """The insertion relaxation over interned rows/columns.
+
+    Every new shortest path decomposes as ``x ->* si -> ti ->* y``; a pair
+    can only improve when *both* endpoints improve against the inserted
+    edge's endpoints (the two-sided restriction — see the module docstring),
+    so the relaxation touches ``|improved ancestors| x |improved sinks|``
+    pairs instead of ``|ancestors| x |improved sinks|``.
+    """
+    rows = store.rows
+    cols = store.cols
+    row_s = rows[si]
+    row_t = rows[ti]
+    col_s = cols[si]
+    col_t = cols[ti]
+    affected: InternedAffectedPairs = {}
+    sinks = [
+        (y, dist_from_target)
+        for y, dist_from_target in row_t.items()
+        if dist_from_target + 1 < row_s.get(y, INF)
+    ]
+    if not sinks:
+        return affected
+    sources = [
+        (x, dist_to_source)
+        for x, dist_to_source in col_s.items()
+        if dist_to_source + 1 < col_t.get(x, INF)
+    ]
+    if not sources:
+        return affected
+    for y, dist_from_target in sinks:
+        col_y = cols[y]
+        base = dist_from_target + 1
+        for x, dist_to_source in sources:
+            candidate = dist_to_source + base
+            old = col_y.get(x, INF)
+            if candidate < old:
+                affected[(x, y)] = (old, candidate)
+                col_y[x] = candidate
+                rows[x][y] = candidate
+    return affected
+
+
+def update_store_delete(
+    store: InternedDistanceStore, source: NodeId, target: NodeId
+) -> InternedAffectedPairs:
+    """Compiled ``UpdateM`` deletion: mutate the graph, patch the snapshot,
+    repair *store*.
+
+    Returns ``AFF1`` over interned ids.  Deleting a missing edge is a true
+    no-op (graph, snapshot and store untouched; empty mapping returned).
+    """
+    graph = _store_graph(store)
+    si = _store_index(store, source, target)
+    ti = _store_index(store, target, source)
+    compiled = store.compiled
+    if not compiled.has_edge_indices(si, ti):
+        return {}
+    graph.remove_edge(source, target)
+    compiled.patch_edge_delete(source, target)
+    store.clear_memo()
+
+    affected: InternedAffectedPairs = {}
+    rows = store.rows
+    cols = store.cols
+    row_s = rows[si]
+    candidate_sinks = [
+        y
+        for y, dist_from_target in rows[ti].items()
+        if row_s.get(y) == dist_from_target + 1
+    ]
+    adjacency = compiled.adjacency_arrays()
+    # The support scan of the edge tail is the hot early exit of the repair
+    # (most candidate sinks keep their distances); its successor list is the
+    # same for every sink, so resolve it once.
+    fwd_offsets, fwd_targets, patched_fwd = adjacency[0], adjacency[1], adjacency[2]
+    tail_successors = patched_fwd.get(si)
+    if tail_successors is None:
+        tail_successors = fwd_targets[fwd_offsets[si] : fwd_offsets[si + 1]]
+    for sink in candidate_sinks:
+        if sink == si:
+            continue
+        col = cols[sink]  # live dict: old distances into sink
+        col_get = col.get
+        tail_old = col_get(si)
+        if tail_old is None:
+            continue
+        supported = False
+        for j in tail_successors:
+            dist = col_get(j)
+            if dist is not None and dist < tail_old:  # dist + 1 <= tail_old
+                supported = True  # an unaffected successor still certifies
+                break
+        if not supported:
+            _repair_store_sink(store, adjacency, sink, si, tail_old, affected)
+    return affected
+
+
+def _repair_store_sink(
+    store: InternedDistanceStore,
+    adjacency: Tuple,
+    sink: int,
+    edge_tail: int,
+    tail_old: int,
+    affected: InternedAffectedPairs,
+) -> None:
+    """Two-phase per-sink deletion repair over interned ids and CSR adjacency.
+
+    Same algorithm as :func:`_repair_sink_after_deletion`, with flat loops:
+    the affected-set growth and support checks read neighbours straight from
+    the snapshot's CSR slices (or its patch overlay) and distances from the
+    int-keyed column of *sink*.  The caller has already established that
+    *edge_tail* (at old distance *tail_old*) lost its support.
+    """
+    col = store.cols[sink]
+    fwd_offsets, fwd_targets, patched_fwd, rev_offsets, rev_targets, patched_rev = adjacency
+    col_get = col.get
+
+    # ---- Phase 1: grow the affected set outwards from the edge tail ----
+    affected_sources = {edge_tail}
+    worklist: List[int] = [edge_tail]
+    index = 0
+    while index < len(worklist):
+        node = worklist[index]
+        index += 1
+        pred_dist = col_get(node, INF) + 1
+        predecessors = patched_rev.get(node)
+        if predecessors is None:
+            predecessors = rev_targets[rev_offsets[node] : rev_offsets[node + 1]]
+        for pred in predecessors:
+            if pred in affected_sources or pred == sink:
+                continue
+            # Only predecessors whose shortest path went through `node` can
+            # become unsupported.
+            if col_get(pred, INF) != pred_dist:
+                continue
+            successors = patched_fwd.get(pred)
+            if successors is None:
+                successors = fwd_targets[fwd_offsets[pred] : fwd_offsets[pred + 1]]
+            unsupported = True
+            for j in successors:
+                if j in affected_sources:
+                    continue
+                dist = col_get(j)
+                if dist is not None and dist < pred_dist:  # dist + 1 <= pred old
+                    unsupported = False
+                    break
+            if unsupported:
+                affected_sources.add(pred)
+                worklist.append(pred)
+
+    # ---- Phase 2: re-settle affected sources ---------------------------
+    queue = AddressablePriorityQueue()
+    for node in affected_sources:
+        best = INF
+        successors = patched_fwd.get(node)
+        if successors is None:
+            successors = fwd_targets[fwd_offsets[node] : fwd_offsets[node + 1]]
+        for j in successors:
+            if j in affected_sources:
+                continue
+            support = col_get(j)
+            if support is not None and support + 1 < best:
+                best = support + 1
+        if best < INF:
+            queue.push(node, best)
+
+    rows = store.rows
+    settled: Set[int] = set()
+    while not queue.empty():
+        node, dist = queue.pop()
+        settled.add(node)
+        old_value = col_get(node, INF)
+        if dist != old_value:
+            affected[(node, sink)] = (old_value, dist)
+            col[node] = dist
+            rows[node][sink] = dist
+        predecessors = patched_rev.get(node)
+        if predecessors is None:
+            predecessors = rev_targets[rev_offsets[node] : rev_offsets[node + 1]]
+        for pred in predecessors:
+            if pred in affected_sources and pred not in settled:
+                queue.push_if_smaller(pred, dist + 1)
+
+    if len(settled) != len(affected_sources):
+        for node in affected_sources:
+            if node in settled:
+                continue
+            old_value = col_get(node, INF)
+            if old_value != INF:
+                affected[(node, sink)] = (old_value, INF)
+                del col[node]
+                del rows[node][sink]
+
+
+def update_store_batch(
+    store: InternedDistanceStore, updates: Sequence[EdgeUpdate]
+) -> InternedAffectedPairs:
+    """Compiled ``UpdateBM``: apply ``δ`` through the store, netting ``AFF1``.
+
+    The graph is mutated and the snapshot patched update by update (no-op
+    updates — deleting a missing edge, inserting an existing one — touch
+    nothing); the returned mapping nets out transient changes exactly like
+    :func:`update_matrix_batch`, in interned ids.
+    """
+    net: InternedAffectedPairs = {}
+    for update in updates:
+        if update.is_insert:
+            step = update_store_insert(store, update.source, update.target)
+        else:
+            step = update_store_delete(store, update.source, update.target)
+        merge_affected_into(net, step)
+    return net
 
 
 def apply_updates(graph: DataGraph, updates: Iterable[EdgeUpdate]) -> None:

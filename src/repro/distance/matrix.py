@@ -23,7 +23,7 @@ from repro.distance.oracle import INF, DistanceOracle
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.graph.compiled import CompiledGraph
 
-__all__ = ["DistanceMatrix"]
+__all__ = ["DistanceMatrix", "InternedDistanceStore"]
 
 
 class DistanceMatrix(DistanceOracle):
@@ -220,3 +220,159 @@ class DistanceMatrix(DistanceOracle):
         mine = {(s, t): d for s, t, d in self.finite_pairs()}
         theirs = {(s, t): d for s, t, d in other.finite_pairs()}
         return mine == theirs
+
+
+class InternedDistanceStore:
+    """The matrix ``M`` re-keyed by the interned ids of a compiled snapshot.
+
+    The compiled incremental engine repairs distances in the dense integer id
+    space of a pinned :class:`~repro.graph.compiled.CompiledGraph`: rows and
+    columns are plain ``dict[int, int]`` (only finite entries, exactly like
+    :class:`DistanceMatrix`), so the Ramalingam–Reps repair loops hash small
+    integers instead of arbitrary node ids, and bounded-reachability answers
+    come out as bitsets ready for ``&``/``bit_count()`` support counting.
+
+    The store is built from an up-to-date :class:`DistanceMatrix` and can
+    flush its accumulated changes back with :meth:`flush_into`, so the
+    NodeId-keyed matrix remains available at the API boundary without being
+    repaired twice.
+    """
+
+    __slots__ = ("compiled", "rows", "cols", "_bits_memo")
+
+    def __init__(self, compiled: "CompiledGraph") -> None:
+        self.compiled = compiled
+        n = compiled.num_nodes
+        self.rows: list = [None] * n
+        self.cols: list = [None] * n
+        for i in range(n):
+            self.rows[i] = {i: 0}
+            self.cols[i] = {i: 0}
+        # Memoised reachability bitsets keyed by (index, bound, forward?);
+        # valid between repairs — the engine clears it after every repair
+        # phase and before propagation.
+        self._bits_memo: Dict[Tuple[int, Optional[int], bool], int] = {}
+
+    @classmethod
+    def from_matrix(
+        cls, matrix: DistanceMatrix, compiled: "CompiledGraph"
+    ) -> "InternedDistanceStore":
+        """Re-key the finite entries of *matrix* into *compiled*'s id space."""
+        store = cls(compiled)
+        id_of = compiled.id_of
+        rows = store.rows
+        cols = store.cols
+        for source, target, dist in matrix.finite_pairs():
+            i = id_of(source)
+            j = id_of(target)
+            rows[i][j] = dist
+            cols[j][i] = dist
+        return store
+
+    def ensure_index(self, index: int) -> None:
+        """Grow the store to cover a freshly interned *index*."""
+        while len(self.rows) <= index:
+            i = len(self.rows)
+            self.rows.append({i: 0})
+            self.cols.append({i: 0})
+
+    def distance(self, source: int, target: int) -> float:
+        """Finite distance or :data:`INF` (0 on the diagonal)."""
+        return self.rows[source].get(target, INF)
+
+    def set_distance(self, source: int, target: int, value: float) -> None:
+        """Set ``dist(source, target)``; :data:`INF` removes the entry."""
+        if value == INF:
+            self.rows[source].pop(target, None)
+            self.cols[target].pop(source, None)
+        else:
+            value = int(value)
+            self.rows[source][target] = value
+            self.cols[target][source] = value
+
+    def clear_memo(self) -> None:
+        """Drop the memoised reachability bitsets (call after repairs)."""
+        if self._bits_memo:
+            self._bits_memo = {}
+
+    # ------------------------------------------------------------------
+    # bitset reachability (nonempty-path semantics, as the matching needs)
+    # ------------------------------------------------------------------
+
+    def _on_cycle_within(self, index: int, bound: Optional[int]) -> bool:
+        """Whether *index* lies on a directed cycle of length <= *bound*."""
+        limit = None if bound is None else bound - 1
+        col = self.cols[index]
+        for successor in self.compiled.successors_indices(index):
+            if successor == index:
+                return True
+            dist = col.get(successor)
+            if dist is not None and (limit is None or dist <= limit):
+                return True
+        return False
+
+    def _encode_within(self, entries: Dict[int, int], bound: Optional[int]) -> int:
+        bits = 0
+        if bound is None:
+            for j, dist in entries.items():
+                if dist >= 1:
+                    bits |= 1 << j
+        else:
+            for j, dist in entries.items():
+                if 1 <= dist <= bound:
+                    bits |= 1 << j
+        return bits
+
+    def descendants_within_bits(
+        self, compiled: "CompiledGraph", source: int, bound: Optional[int]
+    ) -> int:
+        """Bitset of nodes reachable from *source* within *bound* (memoised).
+
+        Takes the snapshot positionally to satisfy the
+        :class:`~repro.distance.oracle.DistanceOracle` bitset signature, so
+        the store can stand in as the oracle of
+        :func:`~repro.matching.bounded.refine_bits_to_fixpoint`.
+        """
+        key = (source, bound, True)
+        bits = self._bits_memo.get(key)
+        if bits is None:
+            bits = self._encode_within(self.rows[source], bound)
+            if self._on_cycle_within(source, bound):
+                bits |= 1 << source
+            self._bits_memo[key] = bits
+        return bits
+
+    def ancestors_within_bits(
+        self, compiled: "CompiledGraph", target: int, bound: Optional[int]
+    ) -> int:
+        """Bitset of nodes reaching *target* within *bound* (memoised)."""
+        key = (target, bound, False)
+        bits = self._bits_memo.get(key)
+        if bits is None:
+            bits = self._encode_within(self.cols[target], bound)
+            if self._on_cycle_within(target, bound):
+                bits |= 1 << target
+            self._bits_memo[key] = bits
+        return bits
+
+    # ------------------------------------------------------------------
+    # write-back into the NodeId-keyed matrix
+    # ------------------------------------------------------------------
+
+    def flush_into(
+        self,
+        matrix: DistanceMatrix,
+        changes: Dict[Tuple[int, int], float],
+    ) -> None:
+        """Write the accumulated repairs back into *matrix* and re-sync it.
+
+        *changes* maps interned ``(source, target)`` pairs to their new
+        distance (:data:`INF` removes the entry) — exactly the shape the
+        compiled repair procedures accumulate.
+        """
+        node_of = self.compiled.node_of
+        for (i, j), value in changes.items():
+            matrix.set_distance(node_of(i), node_of(j), value)
+        for node in self.compiled.node_ids():
+            matrix.ensure_node(node)
+        matrix.mark_synchronized()

@@ -1,9 +1,9 @@
-"""Compiled, immutable snapshots of :class:`~repro.graph.datagraph.DataGraph`.
+"""Compiled snapshots of :class:`~repro.graph.datagraph.DataGraph`.
 
 The mutable :class:`DataGraph` is convenient for the incremental algorithms of
 Section 4, but its dict-of-sets adjacency and per-node attribute dicts make
 the matching inner loops pay Python hashing costs on every operation.  This
-module provides :class:`CompiledGraph`, a read-only snapshot that
+module provides :class:`CompiledGraph`, a snapshot that
 
 * **interns** arbitrary hashable node ids into dense integers ``0..n-1``;
 * stores forward and reverse adjacency in **CSR form** (``array('i')``
@@ -16,10 +16,28 @@ module provides :class:`CompiledGraph`, a read-only snapshot that
   with ``&`` and support counting with ``int.bit_count()``.
 
 Snapshots are cheap to look up and lazily (re)built: :func:`compile_graph`
-caches one snapshot per :class:`DataGraph` and recompiles only when the
-graph's :attr:`~repro.graph.datagraph.DataGraph.version` counter has moved,
-so the incremental algorithms keep mutating the graph freely while the batch
-matchers always see a fresh compiled view.
+caches one snapshot per :class:`DataGraph` (weakly, so discarded graphs are
+collectable) and recompiles only when the graph's
+:attr:`~repro.graph.datagraph.DataGraph.version` counter has moved.
+
+Mutation tolerance
+------------------
+The CSR core is immutable, but a snapshot can be **patched** to follow the
+edge updates of the incremental algorithms instead of being recompiled from
+scratch on every mutation:
+
+* :meth:`CompiledGraph.patch_edge_insert` / :meth:`patch_edge_delete` record
+  the new adjacency of the two endpoints in a per-node bitset overlay (the
+  CSR arrays stay untouched and serve every unpatched node);
+* :meth:`CompiledGraph.intern_node` appends a fresh node at the next dense
+  index, so existing interned ids — and therefore every bitset held by a
+  caller — stay valid while ``all_bits`` grows (Python-int bitsets resize
+  for free);
+* each patch re-synchronises :attr:`version` with the source graph **only**
+  when the graph moved by exactly the one mutation being patched; any
+  out-of-band change leaves the snapshot stale, which downstream consumers
+  (:func:`compile_graph`, the oracles' staleness guards) detect and answer
+  with a full recompile.
 
 Match results decode back to the original node ids at the API boundary, so
 callers never observe the interned integers.
@@ -58,6 +76,7 @@ class CompiledGraph:
     __slots__ = (
         "version",
         "num_nodes",
+        "num_edges",
         "all_bits",
         "out_nonzero_bits",
         "_id_of",
@@ -71,6 +90,10 @@ class CompiledGraph:
         "_unindexed_attrs",
         "_succ_bits",
         "_pred_bits",
+        "_patched_fwd",
+        "_patched_rev",
+        "_patched_fwd_seq",
+        "_patched_rev_seq",
         "_graph_ref",
     )
 
@@ -122,6 +145,7 @@ class CompiledGraph:
 
         self.version = graph.version
         self.num_nodes = n
+        self.num_edges = len(fwd_targets)
         self.all_bits = (1 << n) - 1
         self.out_nonzero_bits = out_nonzero
         self._id_of = id_of
@@ -135,6 +159,14 @@ class CompiledGraph:
         self._unindexed_attrs = unindexed
         self._succ_bits: List[Optional[int]] = [None] * n
         self._pred_bits: List[Optional[int]] = [None] * n
+        # Patched adjacency overlay: index -> authoritative neighbour bitset
+        # for nodes whose edges changed after compilation (the CSR arrays
+        # keep serving every other node), plus the same neighbours as a
+        # tuple so iteration-heavy consumers skip the bit decoding.
+        self._patched_fwd: Dict[int, int] = {}
+        self._patched_rev: Dict[int, int] = {}
+        self._patched_fwd_seq: Dict[int, Tuple[int, ...]] = {}
+        self._patched_rev_seq: Dict[int, Tuple[int, ...]] = {}
         self._graph_ref = weakref.ref(graph)
         return self
 
@@ -183,7 +215,7 @@ class CompiledGraph:
     def __repr__(self) -> str:
         return (
             f"<CompiledGraph |V|={self.num_nodes} "
-            f"|E|={len(self._fwd_targets)} v{self.version}>"
+            f"|E|={self.num_edges} v{self.version}>"
         )
 
     # ------------------------------------------------------------------
@@ -239,40 +271,167 @@ class CompiledGraph:
     # ------------------------------------------------------------------
 
     def successors_indices(self, index: int) -> Iterable[int]:
-        """The successor indices of *index* (a CSR slice)."""
+        """The successor indices of *index* (a CSR slice, or the patch overlay)."""
+        patched = self._patched_fwd_seq.get(index)
+        if patched is not None:
+            return patched
         return self._fwd_targets[self._fwd_offsets[index] : self._fwd_offsets[index + 1]]
 
     def predecessors_indices(self, index: int) -> Iterable[int]:
-        """The predecessor indices of *index* (a CSR slice)."""
+        """The predecessor indices of *index* (a CSR slice, or the patch overlay)."""
+        patched = self._patched_rev_seq.get(index)
+        if patched is not None:
+            return patched
         return self._rev_targets[self._rev_offsets[index] : self._rev_offsets[index + 1]]
 
     def out_degree(self, index: int) -> int:
         """Out-degree of *index*."""
+        patched = self._patched_fwd.get(index)
+        if patched is not None:
+            return patched.bit_count()
         return self._fwd_offsets[index + 1] - self._fwd_offsets[index]
 
     def in_degree(self, index: int) -> int:
         """In-degree of *index*."""
+        patched = self._patched_rev.get(index)
+        if patched is not None:
+            return patched.bit_count()
         return self._rev_offsets[index + 1] - self._rev_offsets[index]
 
     def successors_bits(self, index: int) -> int:
         """The direct successors of *index* as a bitset (lazily cached)."""
+        patched = self._patched_fwd.get(index)
+        if patched is not None:
+            return patched
         bits = self._succ_bits[index]
         if bits is None:
             bits = 0
-            for j in self.successors_indices(index):
+            offsets = self._fwd_offsets
+            for j in self._fwd_targets[offsets[index] : offsets[index + 1]]:
                 bits |= 1 << j
             self._succ_bits[index] = bits
         return bits
 
     def predecessors_bits(self, index: int) -> int:
         """The direct predecessors of *index* as a bitset (lazily cached)."""
+        patched = self._patched_rev.get(index)
+        if patched is not None:
+            return patched
         bits = self._pred_bits[index]
         if bits is None:
             bits = 0
-            for j in self.predecessors_indices(index):
+            offsets = self._rev_offsets
+            for j in self._rev_targets[offsets[index] : offsets[index + 1]]:
                 bits |= 1 << j
             self._pred_bits[index] = bits
         return bits
+
+    def has_edge_indices(self, source: int, target: int) -> bool:
+        """``True`` when the edge ``source -> target`` exists (patch-aware)."""
+        return bool(self.successors_bits(source) >> target & 1)
+
+    def adjacency_arrays(
+        self,
+    ) -> Tuple[array, array, Dict[int, Tuple[int, ...]], array, array, Dict[int, Tuple[int, ...]]]:
+        """The raw adjacency substrate, for hot repair loops.
+
+        Returns ``(fwd_offsets, fwd_targets, patched_fwd_seq, rev_offsets,
+        rev_targets, patched_rev_seq)``.  A node present in a patch dict
+        must be answered from its overlay tuple; every other node from the
+        CSR slice.  Callers must treat all six structures as read-only.
+        """
+        return (
+            self._fwd_offsets,
+            self._fwd_targets,
+            self._patched_fwd_seq,
+            self._rev_offsets,
+            self._rev_targets,
+            self._patched_rev_seq,
+        )
+
+    # ------------------------------------------------------------------
+    # snapshot patching (the mutation-tolerant layer)
+    # ------------------------------------------------------------------
+
+    def _sync_version_after_patch(self) -> None:
+        """Adopt the graph's version iff it moved by exactly this one mutation.
+
+        Patches are applied *after* the corresponding graph mutation, so a
+        faithful patch sees the version exactly one ahead.  Any larger gap
+        means something else mutated the graph out of band; the snapshot then
+        stays stale so every version-guarded consumer falls back to a full
+        recompile instead of trusting a partially patched view.
+        """
+        graph = self._graph_ref()
+        if graph is not None and graph.version == self.version + 1:
+            self.version = graph.version
+
+    def patch_edge_insert(self, source: NodeId, target: NodeId) -> None:
+        """Record the edge ``source -> target`` in the adjacency overlay.
+
+        Call immediately after ``graph.add_edge(source, target)``; the
+        snapshot re-synchronises its version with the graph.
+        """
+        i = self.id_of(source)
+        j = self.id_of(target)
+        succ = self.successors_bits(i) | (1 << j)
+        pred = self.predecessors_bits(j) | (1 << i)
+        self._patched_fwd[i] = succ
+        self._patched_rev[j] = pred
+        self._patched_fwd_seq[i] = tuple(iter_bits(succ))
+        self._patched_rev_seq[j] = tuple(iter_bits(pred))
+        self.out_nonzero_bits |= 1 << i
+        self.num_edges += 1
+        self._sync_version_after_patch()
+
+    def patch_edge_delete(self, source: NodeId, target: NodeId) -> None:
+        """Remove the edge ``source -> target`` from the adjacency overlay.
+
+        Call immediately after ``graph.remove_edge(source, target)``.
+        """
+        i = self.id_of(source)
+        j = self.id_of(target)
+        succ = self.successors_bits(i) & ~(1 << j)
+        pred = self.predecessors_bits(j) & ~(1 << i)
+        self._patched_fwd[i] = succ
+        self._patched_rev[j] = pred
+        self._patched_fwd_seq[i] = tuple(iter_bits(succ))
+        self._patched_rev_seq[j] = tuple(iter_bits(pred))
+        if not succ:
+            self.out_nonzero_bits &= ~(1 << i)
+        self.num_edges -= 1
+        self._sync_version_after_patch()
+
+    def intern_node(self, node: NodeId, attributes: Mapping[str, Any]) -> int:
+        """Intern a node added to the graph after compilation; returns its index.
+
+        The node is appended at the next dense index, so every previously
+        issued index and bitset stays valid (``all_bits`` simply grows).
+        Call immediately after ``graph.add_node(node, ...)``; idempotent for
+        already-interned nodes.
+        """
+        existing = self._id_of.get(node)
+        if existing is not None:
+            return existing
+        index = self.num_nodes
+        self._id_of[node] = index
+        self._node_of.append(node)
+        self._fwd_offsets.append(self._fwd_offsets[-1])
+        self._rev_offsets.append(self._rev_offsets[-1])
+        self._succ_bits.append(None)
+        self._pred_bits.append(None)
+        node_attrs = dict(attributes)
+        self._attrs.append(node_attrs)
+        bit = 1 << index
+        for key, value in node_attrs.items():
+            try:
+                self._eq_index[(key, value)] = self._eq_index.get((key, value), 0) | bit
+            except TypeError:
+                self._unindexed_attrs.add(key)
+        self.num_nodes += 1
+        self.all_bits |= bit
+        self._sync_version_after_patch()
+        return index
 
     # ------------------------------------------------------------------
     # candidate retrieval (inverted attribute index)
@@ -328,13 +487,13 @@ class CompiledGraph:
         semantics as :meth:`DataGraph.descendants_within`.
         """
         return self._bounded_bfs_bits(
-            source, bound, self._fwd_offsets, self._fwd_targets
+            source, bound, self._fwd_offsets, self._fwd_targets, self._patched_fwd_seq
         )
 
     def ancestors_within_bits(self, target: int, bound: Optional[int]) -> int:
         """Bitset of nodes reaching *target* via a nonempty path ``<= bound``."""
         return self._bounded_bfs_bits(
-            target, bound, self._rev_offsets, self._rev_targets
+            target, bound, self._rev_offsets, self._rev_targets, self._patched_rev_seq
         )
 
     def _bounded_bfs_bits(
@@ -343,18 +502,26 @@ class CompiledGraph:
         bound: Optional[int],
         offsets: array,
         targets: array,
+        patched: Dict[int, Tuple[int, ...]],
     ) -> int:
         self_bit = 1 << source
         visited = self_bit
         hit_source = False
         frontier = [source]
         depth = 0
+        consult_patch = bool(patched)
         while frontier and (bound is None or depth < bound):
             depth += 1
             next_frontier: List[int] = []
             append = next_frontier.append
             for i in frontier:
-                for j in targets[offsets[i] : offsets[i + 1]]:
+                if consult_patch:
+                    neighbours = patched.get(i)
+                    if neighbours is None:
+                        neighbours = targets[offsets[i] : offsets[i + 1]]
+                else:
+                    neighbours = targets[offsets[i] : offsets[i + 1]]
+                for j in neighbours:
                     if j == source:
                         hit_source = True
                     bit = 1 << j
@@ -380,10 +547,15 @@ _COMPILE_CACHE: "weakref.WeakKeyDictionary[DataGraph, CompiledGraph]" = (
 def compile_graph(graph: DataGraph) -> CompiledGraph:
     """Return the compiled snapshot of *graph*, recompiling when stale.
 
-    One snapshot is cached per graph (weakly, so graphs are collectable) and
-    invalidated through the graph's monotonic ``version`` counter: any
-    mutation bumps the version, and the next call recompiles.  Repeated
-    matching against an unchanged graph therefore compiles exactly once.
+    One snapshot is cached per graph (weakly, so graphs are collectable —
+    update-stream workloads that discard thousands of graphs must not pin
+    their snapshots) and invalidated through the graph's monotonic
+    ``version`` counter: any mutation bumps the version, and the next call
+    recompiles.  Repeated matching against an unchanged graph therefore
+    compiles exactly once — and a snapshot kept current through the patching
+    API (:meth:`CompiledGraph.patch_edge_insert` and friends, as driven by
+    the compiled incremental matcher) is served as-is, so an update stream
+    pays one compile for the whole stream instead of one per mutation.
     """
     snapshot = _COMPILE_CACHE.get(graph)
     if snapshot is None or snapshot.version != graph.version:

@@ -93,7 +93,19 @@ class DataGraph:
 
     @property
     def version(self) -> int:
-        """Monotonic counter bumped on every mutation (for cache invalidation)."""
+        """Monotonic counter bumped on every mutation (for cache invalidation).
+
+        Contract: every individual mutation — one node added or removed, one
+        edge added or removed, one attribute update — bumps the counter by
+        exactly one (``add_edge(..., create_nodes=True)`` may therefore bump
+        it up to three times), and no-op calls (``add_edge`` on an existing
+        edge with ``strict=False``, ``remove_edge`` on a missing edge, ...)
+        do not bump it at all.  The compiled snapshot's patch layer
+        (:meth:`repro.graph.compiled.CompiledGraph.patch_edge_insert` and
+        friends) depends on this one-bump-per-mutation behaviour to decide
+        whether a patch brings the snapshot back in sync or an out-of-band
+        change slipped in.
+        """
         return self._version
 
     def number_of_nodes(self) -> int:

@@ -84,9 +84,18 @@ class AffectedArea:
     # ------------------------------------------------------------------
 
     def merge(self, other: "AffectedArea") -> "AffectedArea":
-        """Compose two affected areas from consecutive operations."""
+        """Compose two affected areas from consecutive operations.
+
+        Distance pairs whose merged net change is ``old == new`` (a change
+        undone by the later operation) drop out — they are not part of the
+        composed ``AFF1``.
+        """
         merged = AffectedArea(
-            distance_changes=dict(self.distance_changes),
+            distance_changes={
+                pair: change
+                for pair, change in self.distance_changes.items()
+                if change[0] != change[1]
+            },
             removed_matches=set(self.removed_matches),
             added_matches=set(self.added_matches),
         )
@@ -97,7 +106,7 @@ class AffectedArea:
                     del merged.distance_changes[pair]
                 else:
                     merged.distance_changes[pair] = (original_old, new)
-            else:
+            elif old != new:
                 merged.distance_changes[pair] = (old, new)
         # A pair removed then re-added (or vice versa) nets out.
         for pair in other.removed_matches:

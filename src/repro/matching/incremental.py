@@ -31,6 +31,44 @@ dependent (each is valid only if the other is made), which bottom-up
 worklist propagation cannot discover; the paper leaves cyclic patterns open
 and so do we — a :class:`~repro.exceptions.CyclicPatternError` is raised
 unless ``on_cyclic="recompute"`` asks for a full recomputation fallback.
+
+The compiled incremental mode
+-----------------------------
+By default (``use_compiled=True``) the matcher runs on the compiled bitset
+core: it pins a :class:`~repro.graph.compiled.CompiledGraph` snapshot of the
+data graph, keeps ``mat(u)``/``can(u)`` as Python-int bitsets over the
+snapshot's interned id space, repairs distances in an
+:class:`~repro.distance.matrix.InternedDistanceStore` with the compiled
+``UpdateM``/``UpdateBM`` procedures (CSR adjacency, two-sided affected-pair
+restriction), and propagates match changes with bitset support counting
+(one ``&`` plus ``bit_count()`` per check).  Results are decoded to original
+node ids only at the :class:`AffectedArea`/:class:`MatchResult` boundary.
+``use_compiled=False`` selects the original set/dict implementation, kept as
+a bit-identical cross-checking reference.
+
+Staleness and re-interning rules (compiled mode):
+
+* every edge update applied *through the matcher* patches the pinned
+  snapshot in place (:meth:`CompiledGraph.patch_edge_insert` /
+  ``patch_edge_delete``) and re-synchronises its version with the graph, so
+  an update stream never triggers a full recompile — and batch
+  :func:`~repro.matching.bounded.match` calls against the same graph reuse
+  the patched snapshot through the :func:`~repro.graph.compiled.compile_graph`
+  cache;
+* nodes added to the graph *between* matcher operations are re-interned at
+  the next operation: they get fresh dense indices appended at the end, so
+  all existing bitsets remain valid (``intern_node``).  Node growth is a
+  compiled-mode capability — the legacy mode freezes its candidate sets at
+  construction and never matches nodes added later;
+* any other out-of-band mutation (edges changed behind the matcher's back,
+  attribute updates) is detected through the graph's version counter and
+  answered with a full re-pin — recompile, matrix refresh, fixpoint rebuild
+  — at the start of the next operation.  Such changes are repaired but not
+  reported: ``AffectedArea``\\ s only cover updates applied through the
+  matcher;
+* the NodeId-keyed :attr:`matrix` is repaired lazily: compiled repairs
+  accumulate and are flushed into it on first access, so the hot path never
+  pays for double bookkeeping.
 """
 
 from __future__ import annotations
@@ -40,16 +78,26 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from repro.distance.incremental import (
     AffectedPairs,
     EdgeUpdate,
+    InternedAffectedPairs,
     merge_affected,
+    merge_affected_into,
     update_matrix_delete,
     update_matrix_insert,
+    update_store_delete,
+    update_store_insert,
 )
-from repro.distance.matrix import DistanceMatrix
+from repro.distance.matrix import DistanceMatrix, InternedDistanceStore
 from repro.exceptions import CyclicPatternError, IncrementalError
+from repro.graph.compiled import CompiledGraph, compile_graph, iter_bits
 from repro.graph.datagraph import DataGraph, NodeId
 from repro.graph.pattern import Pattern, PatternNodeId
 from repro.matching.affected import AffectedArea
-from repro.matching.bounded import candidate_sets, refine_to_fixpoint
+from repro.matching.bounded import (
+    candidate_bits,
+    candidate_sets,
+    refine_bits_to_fixpoint,
+    refine_to_fixpoint,
+)
 from repro.matching.match_result import MatchResult
 
 __all__ = ["IncrementalMatcher"]
@@ -72,6 +120,15 @@ class IncrementalMatcher:
         ``"raise"`` (default) raises :class:`CyclicPatternError`;
         ``"recompute"`` falls back to recomputing the match from scratch
         (using the incrementally maintained matrix).
+    use_compiled:
+        When ``True`` (default) the matcher runs on the compiled bitset core
+        (see the module docstring); ``False`` selects the original set-based
+        implementation, kept as a cross-checking reference and old-vs-new
+        benchmark baseline.  For edge-update streams over a fixed node set
+        the two modes produce identical matches and
+        :class:`AffectedArea`\\ s; nodes added to the graph between
+        operations are picked up only by the compiled mode (the legacy
+        candidate sets are frozen at construction).
     """
 
     def __init__(
@@ -81,6 +138,7 @@ class IncrementalMatcher:
         *,
         matrix: Optional[DistanceMatrix] = None,
         on_cyclic: str = "raise",
+        use_compiled: bool = True,
     ) -> None:
         if on_cyclic not in ("raise", "recompute"):
             raise IncrementalError(
@@ -93,40 +151,169 @@ class IncrementalMatcher:
             matrix = DistanceMatrix(graph)
         elif matrix.graph is not graph:
             raise IncrementalError("the distance matrix must be built over the same graph")
-        self.matrix = matrix
+        self._matrix = matrix
         self._pattern_is_dag = pattern.is_dag()
-        # All nodes satisfying each predicate (fixed: updates never change attributes).
-        self._candidates: Dict[PatternNodeId, Set[NodeId]] = candidate_sets(
-            pattern, graph, out_degree_filter=False
-        )
-        self._mat: Dict[PatternNodeId, Set[NodeId]] = {}
-        self._can: Dict[PatternNodeId, Set[NodeId]] = {}
-        self._rebuild_match_sets()
+        self._use_compiled = use_compiled
+        if use_compiled:
+            self._pin_snapshot()
+        else:
+            # All nodes satisfying each predicate (fixed: updates never
+            # change attributes).
+            self._candidates: Dict[PatternNodeId, Set[NodeId]] = candidate_sets(
+                pattern, graph, out_degree_filter=False
+            )
+            self._mat: Dict[PatternNodeId, Set[NodeId]] = {}
+            self._can: Dict[PatternNodeId, Set[NodeId]] = {}
+            self._rebuild_match_sets()
 
     # ------------------------------------------------------------------
     # state
     # ------------------------------------------------------------------
 
     @property
+    def use_compiled(self) -> bool:
+        """Whether this matcher runs on the compiled bitset core."""
+        return self._use_compiled
+
+    @property
+    def matrix(self) -> DistanceMatrix:
+        """The maintained NodeId-keyed distance matrix ``M``.
+
+        In compiled mode the matrix is repaired lazily: pending compiled
+        repairs are flushed into it on access.
+        """
+        if self._use_compiled and self._matrix_dirty:
+            self._flush_matrix()
+        return self._matrix
+
+    @property
     def match(self) -> MatchResult:
         """The current maximum match ``S`` (empty when some ``mat(u)`` is empty)."""
+        if self._use_compiled:
+            decode = self._compiled.decode
+            return MatchResult(
+                {u: decode(bits) for u, bits in self._mat_bits.items()},
+                pattern_nodes=self.pattern.node_list(),
+            )
         return MatchResult(self._mat, pattern_nodes=self.pattern.node_list())
 
     def mat(self, pattern_node: PatternNodeId) -> Set[NodeId]:
         """The current ``mat(u)`` set (a copy)."""
+        if self._use_compiled:
+            return self._compiled.decode(self._mat_bits[pattern_node])
         return set(self._mat[pattern_node])
 
     def can(self, pattern_node: PatternNodeId) -> Set[NodeId]:
         """The current ``can(u)`` set (predicate-satisfying non-matches, a copy)."""
+        if self._use_compiled:
+            return self._compiled.decode(self._can_bits[pattern_node])
         return set(self._can[pattern_node])
 
     def _rebuild_match_sets(self) -> None:
         """(Re)compute the greatest fixpoint from scratch (initialisation / fallback)."""
         self._mat = {u: set(vs) for u, vs in self._candidates.items()}
-        refine_to_fixpoint(self.pattern, self.matrix, self._mat)
+        refine_to_fixpoint(self.pattern, self._matrix, self._mat)
         self._can = {
             u: self._candidates[u] - self._mat[u] for u in self._candidates
         }
+
+    # ------------------------------------------------------------------
+    # compiled-mode state: snapshot pinning, staleness, write-back
+    # ------------------------------------------------------------------
+
+    def _pin_snapshot(self) -> None:
+        """(Re)pin the compiled snapshot and rebuild every derived structure.
+
+        Used at construction and as the full re-pin of the staleness
+        protocol; requires ``self._matrix`` to be in sync with the graph.
+        """
+        self._compiled: CompiledGraph = compile_graph(self.graph)
+        self._store = InternedDistanceStore.from_matrix(self._matrix, self._compiled)
+        self._synced_version = self.graph.version
+        self._pending_matrix: Dict[Tuple[int, int], float] = {}
+        self._matrix_dirty = False
+        self._cand_bits: Dict[PatternNodeId, int] = candidate_bits(
+            self.pattern, self._compiled, out_degree_filter=False
+        )
+        self._mat_bits: Dict[PatternNodeId, int] = {}
+        self._can_bits: Dict[PatternNodeId, int] = {}
+        self._rebuild_match_sets_bits()
+
+    def _rebuild_match_sets_bits(self) -> None:
+        """Bitset counterpart of :meth:`_rebuild_match_sets`."""
+        self._mat_bits = dict(self._cand_bits)
+        refine_bits_to_fixpoint(
+            self.pattern, self._store, self._compiled, self._mat_bits
+        )
+        self._can_bits = {
+            u: self._cand_bits[u] & ~self._mat_bits[u] for u in self._cand_bits
+        }
+
+    def _flush_matrix(self) -> None:
+        """Write pending compiled repairs into the NodeId-keyed matrix."""
+        self._store.flush_into(self._matrix, self._pending_matrix)
+        self._pending_matrix = {}
+        self._matrix_dirty = False
+
+    def _ensure_synced(self) -> None:
+        """Apply the staleness rules before a compiled-mode operation.
+
+        Pure node additions since the last operation are re-interned in
+        place (appended indices keep all bitsets valid); anything else is a
+        full re-pin.  See the module docstring.
+        """
+        graph = self.graph
+        if graph.version == self._synced_version:
+            return
+        compiled = self._compiled
+        new_nodes = [node for node in graph.nodes() if node not in compiled]
+        if new_nodes and graph.version - self._synced_version == len(new_nodes):
+            for node in new_nodes:
+                attrs = graph.attributes(node)
+                index = compiled.intern_node(node, attrs)
+                self._store.ensure_index(index)
+                self._matrix.ensure_node(node)
+                bit = 1 << index
+                for u in self.pattern.nodes():
+                    if self.pattern.predicate(u).evaluate(attrs):
+                        self._cand_bits[u] |= bit
+                        # A fresh node has no edges: it matches u only when
+                        # u has no outgoing pattern edges to satisfy.
+                        if self._satisfies_all_children_bits(index, u):
+                            self._mat_bits[u] |= bit
+                        else:
+                            self._can_bits[u] |= bit
+            # Batched additions move the version by more than one patch
+            # step; the loop above replayed them all, so adopt the graph's
+            # version wholesale.
+            compiled.version = graph.version
+        else:
+            if self._matrix_dirty:
+                self._pending_matrix = {}
+                self._matrix_dirty = False
+            self._matrix.refresh()
+            self._pin_snapshot()
+        self._synced_version = graph.version
+
+    def _record_store_changes(self, aff1: InternedAffectedPairs) -> None:
+        """Track compiled repairs for the lazy matrix write-back."""
+        pending = self._pending_matrix
+        for pair, (_, new) in aff1.items():
+            pending[pair] = new
+        self._matrix_dirty = True
+        self._synced_version = self.graph.version
+
+    def _decode_aff1(self, aff1: InternedAffectedPairs) -> AffectedPairs:
+        node_of = self._compiled.node_of
+        return {
+            (node_of(x), node_of(y)): change for (x, y), change in aff1.items()
+        }
+
+    def _decode_match_pairs(
+        self, pairs: Set[Tuple[PatternNodeId, int]]
+    ) -> Set[Tuple[PatternNodeId, NodeId]]:
+        node_of = self._compiled.node_of
+        return {(u, node_of(v)) for u, v in pairs}
 
     # ------------------------------------------------------------------
     # unit updates
@@ -136,23 +323,46 @@ class IncrementalMatcher:
         """``Match⁻``: delete edge ``(source, target)`` and repair the match.
 
         Works for arbitrary (possibly cyclic) patterns and data graphs.
-        Deleting an edge that does not exist is a no-op.
+        Deleting an edge that does not exist is a true no-op: the graph, the
+        matrix and the match are untouched and the returned
+        :class:`AffectedArea` is empty.
         """
+        if self._use_compiled:
+            return self._delete_edge_bits(source, target)
         existed = self.graph.has_edge(source, target)
-        aff1 = update_matrix_delete(self.matrix, source, target)
+        aff1 = update_matrix_delete(self._matrix, source, target)
         removed = self._process_distance_increases(
             aff1, touched_tails={source} if existed else set()
         )
         return AffectedArea(distance_changes=dict(aff1), removed_matches=removed)
 
+    def _delete_edge_bits(self, source: NodeId, target: NodeId) -> AffectedArea:
+        self._ensure_synced()
+        existed = self.graph.has_edge(source, target)
+        aff1 = update_store_delete(self._store, source, target)
+        if existed:
+            self._record_store_changes(aff1)
+            tails = (self._compiled.id_of(source),)
+        else:
+            tails = ()
+        removed = self._process_distance_increases_bits(aff1, touched_tails=tails)
+        return AffectedArea(
+            distance_changes=self._decode_aff1(aff1),
+            removed_matches=self._decode_match_pairs(removed),
+        )
+
     def insert_edge(self, source: NodeId, target: NodeId) -> AffectedArea:
         """``Match⁺``: insert edge ``(source, target)`` and repair the match.
 
         Requires a DAG pattern (see the module docstring); inserting an edge
-        that already exists is a no-op.
+        that already exists is a true no-op (nothing is mutated, the
+        returned :class:`AffectedArea` is empty, and no DAG check is
+        performed).
         """
+        if self._use_compiled:
+            return self._insert_edge_bits(source, target)
         existed = self.graph.has_edge(source, target)
-        aff1 = update_matrix_insert(self.matrix, source, target)
+        aff1 = update_matrix_insert(self._matrix, source, target)
         if existed:
             return AffectedArea(distance_changes=dict(aff1))
         if not self._pattern_is_dag:
@@ -165,6 +375,28 @@ class IncrementalMatcher:
         added = self._process_distance_decreases(aff1, touched_tails={source})
         return AffectedArea(distance_changes=dict(aff1), added_matches=added)
 
+    def _insert_edge_bits(self, source: NodeId, target: NodeId) -> AffectedArea:
+        self._ensure_synced()
+        existed = self.graph.has_edge(source, target)
+        aff1 = update_store_insert(self._store, source, target)
+        if existed:
+            return AffectedArea(distance_changes=self._decode_aff1(aff1))
+        self._record_store_changes(aff1)
+        if not self._pattern_is_dag:
+            if self.on_cyclic == "raise":
+                raise CyclicPatternError(
+                    "Match+ requires a DAG pattern; construct the matcher with "
+                    "on_cyclic='recompute' to fall back to full recomputation"
+                )
+            return self._recompute_fallback_bits(aff1)
+        added = self._process_distance_decreases_bits(
+            aff1, touched_tails=(self._compiled.id_of(source),)
+        )
+        return AffectedArea(
+            distance_changes=self._decode_aff1(aff1),
+            added_matches=self._decode_match_pairs(added),
+        )
+
     # ------------------------------------------------------------------
     # batch updates — IncMatch
     # ------------------------------------------------------------------
@@ -176,8 +408,11 @@ class IncrementalMatcher:
         the resulting ``AFF1`` pairs are then processed — increases with the
         ``Match⁻`` removal propagation, decreases with the ``Match⁺``
         addition propagation.  Requires a DAG pattern when ``δ`` contains
-        insertions.
+        insertions (no-op insertions — re-inserting an existing edge — do
+        not count).
         """
+        if self._use_compiled:
+            return self._apply_bits(updates)
         aff1: AffectedPairs = {}
         delete_tails: Set[NodeId] = set()
         insert_tails: Set[NodeId] = set()
@@ -185,11 +420,11 @@ class IncrementalMatcher:
             if update.is_insert:
                 if not self.graph.has_edge(update.source, update.target):
                     insert_tails.add(update.source)
-                step = update_matrix_insert(self.matrix, update.source, update.target)
+                step = update_matrix_insert(self._matrix, update.source, update.target)
             else:
                 if self.graph.has_edge(update.source, update.target):
                     delete_tails.add(update.source)
-                step = update_matrix_delete(self.matrix, update.source, update.target)
+                step = update_matrix_delete(self._matrix, update.source, update.target)
             aff1 = merge_affected(aff1, step)
 
         increases = {pair: change for pair, change in aff1.items() if change[1] > change[0]}
@@ -211,6 +446,52 @@ class IncrementalMatcher:
             distance_changes=dict(aff1),
             removed_matches=removed - added,
             added_matches=added - removed,
+        )
+
+    def _apply_bits(self, updates: Sequence[EdgeUpdate]) -> AffectedArea:
+        self._ensure_synced()
+        graph = self.graph
+        aff1: InternedAffectedPairs = {}
+        delete_tails: Set[int] = set()
+        insert_tails: Set[int] = set()
+        mutated = False
+        for update in updates:
+            existed = graph.has_edge(update.source, update.target)
+            if update.is_insert:
+                step = update_store_insert(self._store, update.source, update.target)
+                if not existed:
+                    insert_tails.add(self._compiled.id_of(update.source))
+                    mutated = True
+            else:
+                step = update_store_delete(self._store, update.source, update.target)
+                if existed:
+                    delete_tails.add(self._compiled.id_of(update.source))
+                    mutated = True
+            merge_affected_into(aff1, step)
+        if mutated:
+            self._record_store_changes(aff1)
+
+        increases = {pair: change for pair, change in aff1.items() if change[1] > change[0]}
+        decreases = {pair: change for pair, change in aff1.items() if change[1] < change[0]}
+
+        if (decreases or insert_tails) and not self._pattern_is_dag:
+            if self.on_cyclic == "raise":
+                raise CyclicPatternError(
+                    "IncMatch with insertions requires a DAG pattern; construct "
+                    "the matcher with on_cyclic='recompute' for a fallback"
+                )
+            return self._recompute_fallback_bits(aff1)
+
+        removed = self._process_distance_increases_bits(
+            increases, touched_tails=delete_tails
+        )
+        added = self._process_distance_decreases_bits(
+            decreases, touched_tails=insert_tails
+        )
+        return AffectedArea(
+            distance_changes=self._decode_aff1(aff1),
+            removed_matches=self._decode_match_pairs(removed - added),
+            added_matches=self._decode_match_pairs(added - removed),
         )
 
     # ------------------------------------------------------------------
@@ -354,6 +635,130 @@ class IncrementalMatcher:
         return added
 
     # ------------------------------------------------------------------
+    # bitset propagation (the compiled counterparts of the two phases)
+    # ------------------------------------------------------------------
+
+    def _process_distance_increases_bits(
+        self,
+        aff1: InternedAffectedPairs,
+        *,
+        touched_tails: Iterable[int] = (),
+    ) -> Set[Tuple[PatternNodeId, int]]:
+        """Bitset counterpart of :meth:`_process_distance_increases`."""
+        pattern = self.pattern
+        store = self._store
+        compiled = self._compiled
+        mat = self._mat_bits
+        can = self._can_bits
+
+        recheck_sources: Set[int] = set(touched_tails)
+        for (v_source, v_target), (old, new) in aff1.items():
+            if new <= old:
+                continue
+            recheck_sources.add(v_source)
+            if compiled.has_edge_indices(v_target, v_source):
+                recheck_sources.add(v_target)
+
+        worklist: List[Tuple[PatternNodeId, int]] = []
+        scheduled: Set[Tuple[PatternNodeId, int]] = set()
+
+        for v in recheck_sources:
+            vbit = 1 << v
+            for u_parent in pattern.nodes():
+                if not mat[u_parent] & vbit:
+                    continue
+                if self._satisfies_all_children_bits(v, u_parent):
+                    continue
+                pair = (u_parent, v)
+                if pair not in scheduled:
+                    scheduled.add(pair)
+                    worklist.append(pair)
+
+        removed: Set[Tuple[PatternNodeId, int]] = set()
+        index = 0
+        while index < len(worklist):
+            u, v = worklist[index]
+            index += 1
+            vbit = 1 << v
+            if not mat[u] & vbit:
+                continue
+            mat[u] &= ~vbit
+            can[u] |= vbit
+            removed.add((u, v))
+            for u_parent in pattern.predecessors(u):
+                bound = pattern.bound(u_parent, u)
+                affected = store.ancestors_within_bits(compiled, v, bound) & mat[u_parent]
+                for w in iter_bits(affected):
+                    if self._has_support_bits(w, u, bound):
+                        continue
+                    pair = (u_parent, w)
+                    if pair not in scheduled:
+                        scheduled.add(pair)
+                        worklist.append(pair)
+        return removed
+
+    def _process_distance_decreases_bits(
+        self,
+        aff1: InternedAffectedPairs,
+        *,
+        touched_tails: Iterable[int] = (),
+    ) -> Set[Tuple[PatternNodeId, int]]:
+        """Bitset counterpart of :meth:`_process_distance_decreases`."""
+        pattern = self.pattern
+        store = self._store
+        compiled = self._compiled
+        mat = self._mat_bits
+        can = self._can_bits
+
+        recheck_sources: Set[int] = set(touched_tails)
+        for (v_source, v_target), (old, new) in aff1.items():
+            if new >= old:
+                continue
+            recheck_sources.add(v_source)
+            if compiled.has_edge_indices(v_target, v_source):
+                recheck_sources.add(v_target)
+
+        worklist: List[Tuple[PatternNodeId, int]] = []
+        scheduled: Set[Tuple[PatternNodeId, int]] = set()
+
+        for v in recheck_sources:
+            vbit = 1 << v
+            for u_parent in pattern.nodes():
+                if not can[u_parent] & vbit:
+                    continue
+                if not self._satisfies_all_children_bits(v, u_parent):
+                    continue
+                pair = (u_parent, v)
+                if pair not in scheduled:
+                    scheduled.add(pair)
+                    worklist.append(pair)
+
+        added: Set[Tuple[PatternNodeId, int]] = set()
+        index = 0
+        while index < len(worklist):
+            u, v = worklist[index]
+            index += 1
+            vbit = 1 << v
+            if not can[u] & vbit:
+                continue
+            if not self._satisfies_all_children_bits(v, u):
+                continue
+            can[u] &= ~vbit
+            mat[u] |= vbit
+            added.add((u, v))
+            for u_parent in pattern.predecessors(u):
+                bound = pattern.bound(u_parent, u)
+                affected = store.ancestors_within_bits(compiled, v, bound) & can[u_parent]
+                for w in iter_bits(affected):
+                    if not self._satisfies_all_children_bits(w, u_parent):
+                        continue
+                    pair = (u_parent, w)
+                    if pair not in scheduled:
+                        scheduled.add(pair)
+                        worklist.append(pair)
+        return added
+
+    # ------------------------------------------------------------------
     # shared helpers
     # ------------------------------------------------------------------
 
@@ -361,7 +766,7 @@ class IncrementalMatcher:
         self, data_node: NodeId, u_child: PatternNodeId, bound: Optional[int]
     ) -> bool:
         """``True`` when *data_node* reaches some current match of *u_child* within *bound*."""
-        reachable = self.matrix.descendants_within(data_node, bound)
+        reachable = self._matrix.descendants_within(data_node, bound)
         return bool(reachable & self._mat[u_child])
 
     def _satisfies_all_children(self, data_node: NodeId, u: PatternNodeId) -> bool:
@@ -369,6 +774,23 @@ class IncrementalMatcher:
         for u_child in self.pattern.successors(u):
             bound = self.pattern.bound(u, u_child)
             if not self._has_support(data_node, u_child, bound):
+                return False
+        return True
+
+    def _has_support_bits(
+        self, index: int, u_child: PatternNodeId, bound: Optional[int]
+    ) -> bool:
+        """``True`` when *index* reaches some current match of *u_child* within *bound*."""
+        return bool(
+            self._store.descendants_within_bits(self._compiled, index, bound)
+            & self._mat_bits[u_child]
+        )
+
+    def _satisfies_all_children_bits(self, index: int, u: PatternNodeId) -> bool:
+        """``True`` when every outgoing pattern edge of *u* is satisfied by *index*."""
+        for u_child in self.pattern.successors(u):
+            bound = self.pattern.bound(u, u_child)
+            if not self._has_support_bits(index, u_child, bound):
                 return False
         return True
 
@@ -381,4 +803,22 @@ class IncrementalMatcher:
             distance_changes=dict(aff1),
             removed_matches=old_pairs - new_pairs,
             added_matches=new_pairs - old_pairs,
+        )
+
+    def _recompute_fallback_bits(self, aff1: InternedAffectedPairs) -> AffectedArea:
+        """Compiled fallback: rebuild the fixpoint over bitsets and diff."""
+        old_bits = dict(self._mat_bits)
+        self._rebuild_match_sets_bits()
+        removed: Set[Tuple[PatternNodeId, int]] = set()
+        added: Set[Tuple[PatternNodeId, int]] = set()
+        for u, new_bits in self._mat_bits.items():
+            before = old_bits.get(u, 0)
+            for v in iter_bits(before & ~new_bits):
+                removed.add((u, v))
+            for v in iter_bits(new_bits & ~before):
+                added.add((u, v))
+        return AffectedArea(
+            distance_changes=self._decode_aff1(aff1),
+            removed_matches=self._decode_match_pairs(removed),
+            added_matches=self._decode_match_pairs(added),
         )

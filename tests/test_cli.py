@@ -145,3 +145,69 @@ class TestExperimentCommand:
         exit_code = main(["experiment", "table-datasets"])
         assert exit_code == 0
         assert "table-datasets" in capsys.readouterr().out
+
+
+class TestIncrementalCommand:
+    @pytest.fixture
+    def updates_file(self, tmp_path):
+        path = tmp_path / "updates.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {"op": "delete", "source": "b", "target": "d"},
+                    {"op": "insert", "source": "b", "target": "d"},
+                    {"op": "insert", "source": "a", "target": "d"},
+                ]
+            )
+        )
+        return path
+
+    @pytest.mark.parametrize("engine", ["compiled", "legacy"])
+    def test_incremental_stream_runs(
+        self, graph_file, pattern_file, updates_file, engine, capsys
+    ):
+        exit_code = main(
+            [
+                "incremental",
+                "--graph", str(graph_file),
+                "--pattern", str(pattern_file),
+                "--updates", str(updates_file),
+                "--engine", engine,
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert f"{engine} engine" in captured
+        assert "final match" in captured
+
+    def test_incremental_json_report_with_batches(
+        self, graph_file, pattern_file, updates_file, capsys
+    ):
+        exit_code = main(
+            [
+                "incremental",
+                "--graph", str(graph_file),
+                "--pattern", str(pattern_file),
+                "--updates", str(updates_file),
+                "--batch-size", "2",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["engine"] == "compiled"
+        assert len(report["batches"]) == 2
+        assert report["match_pairs"] > 0
+
+    def test_incremental_bad_updates_file(self, graph_file, pattern_file, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps([{"op": "explode", "source": "a", "target": "b"}]))
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "incremental",
+                    "--graph", str(graph_file),
+                    "--pattern", str(pattern_file),
+                    "--updates", str(bad),
+                ]
+            )

@@ -1,0 +1,461 @@
+"""Tests for the compiled incremental engine and its edge-semantics hardening.
+
+Covers the PR-2 surface:
+
+* randomized incremental-vs-scratch equivalence for mixed insert/delete
+  streams (including repeat-edge batches) over DAG and cyclic patterns, in
+  both the legacy and the compiled matcher modes;
+* true no-op semantics for deleting missing / inserting existing edges;
+* AFF1 netting (``merge_affected`` drops pairs whose net change is
+  ``old == new``);
+* the snapshot patch layer (``patch_edge_insert``/``patch_edge_delete``/
+  ``intern_node``) against full recompilation;
+* the weak compile cache (discarded graphs must not leak snapshots);
+* the compiled ``UpdateM``/``UpdateBM`` against the legacy matrix repair.
+"""
+
+from __future__ import annotations
+
+import gc
+import random
+
+import pytest
+
+from repro.distance.incremental import (
+    EdgeUpdate,
+    merge_affected,
+    merge_affected_into,
+    update_matrix_batch,
+    update_store_batch,
+    update_store_delete,
+    update_store_insert,
+)
+from repro.distance.matrix import DistanceMatrix, InternedDistanceStore
+from repro.distance.oracle import INF
+from repro.exceptions import CyclicPatternError, DistanceOracleError
+from repro.graph.compiled import CompiledGraph, compile_graph, _COMPILE_CACHE
+from repro.graph.datagraph import DataGraph
+from repro.graph.generators import random_data_graph
+from repro.graph.pattern import Pattern
+from repro.graph.pattern_generator import PatternGenerator
+from repro.matching.bounded import match
+from repro.matching.incremental import IncrementalMatcher
+
+
+def simple_dag_pattern() -> Pattern:
+    pattern = Pattern()
+    pattern.add_node("A", "A")
+    pattern.add_node("B", "B")
+    pattern.add_node("C", "C")
+    pattern.add_edge("A", "B", 2)
+    pattern.add_edge("B", "C", 2)
+    return pattern
+
+
+def simple_graph() -> DataGraph:
+    graph = DataGraph()
+    for node, label in [("a1", "A"), ("a2", "A"), ("b1", "B"), ("b2", "B"), ("c1", "C")]:
+        graph.add_node(node, label=label)
+    graph.add_edge("a1", "b1")
+    graph.add_edge("a2", "b2")
+    graph.add_edge("b1", "c1")
+    graph.add_edge("b2", "c1")
+    return graph
+
+
+def cyclic_pattern() -> Pattern:
+    pattern = Pattern()
+    pattern.add_node("X", "X")
+    pattern.add_node("Y", "Y")
+    pattern.add_edge("X", "Y", 2)
+    pattern.add_edge("Y", "X", 2)
+    return pattern
+
+
+def mixed_stream(graph, rng, count):
+    """A stream mixing deletions, insertions and deliberate repeat edges."""
+    updates = []
+    nodes = graph.node_list()
+    edges = graph.edge_list()
+    for _ in range(count):
+        roll = rng.random()
+        if roll < 0.4 and edges:
+            updates.append(EdgeUpdate.delete(*rng.choice(edges)))
+        elif roll < 0.8:
+            source, target = rng.choice(nodes), rng.choice(nodes)
+            if source != target:
+                updates.append(EdgeUpdate.insert(source, target))
+        elif edges:
+            # Delete + re-insert the same edge within one batch: the net
+            # AFF1 must cancel out.
+            edge = rng.choice(edges)
+            updates.append(EdgeUpdate.delete(*edge))
+            updates.append(EdgeUpdate.insert(*edge))
+    return updates
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_mixed_streams_dag_pattern(self, seed):
+        rng = random.Random(seed)
+        compiled_graph = random_data_graph(20, 45, num_labels=4, seed=seed)
+        legacy_graph = compiled_graph.copy()
+        generator = PatternGenerator(compiled_graph, seed=seed)
+        pattern = generator.generate_dag(4, 5, 3)
+        compiled_m = IncrementalMatcher(pattern, compiled_graph, use_compiled=True)
+        legacy_m = IncrementalMatcher(pattern, legacy_graph, use_compiled=False)
+        for _ in range(4):
+            updates = mixed_stream(compiled_graph, rng, 6)
+            compiled_area = compiled_m.apply(updates)
+            legacy_area = legacy_m.apply(updates)
+            assert compiled_area.distance_changes == legacy_area.distance_changes
+            assert compiled_area.removed_matches == legacy_area.removed_matches
+            assert compiled_area.added_matches == legacy_area.added_matches
+            scratch = match(pattern, compiled_graph.copy())
+            assert compiled_m.match == scratch
+            assert legacy_m.match == scratch
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_deletion_streams_cyclic_pattern(self, seed):
+        rng = random.Random(seed)
+        graph = random_data_graph(16, 40, num_labels=2, seed=seed)
+        # Relabel so the cyclic pattern has candidates.
+        for i, node in enumerate(graph.node_list()):
+            graph.set_attributes(node, label="X" if i % 2 else "Y")
+        legacy_graph = graph.copy()
+        pattern = cyclic_pattern()
+        compiled_m = IncrementalMatcher(pattern, graph, use_compiled=True)
+        legacy_m = IncrementalMatcher(pattern, legacy_graph, use_compiled=False)
+        for _ in range(3):
+            edges = graph.edge_list()
+            updates = [EdgeUpdate.delete(*rng.choice(edges)) for _ in range(4)]
+            compiled_area = compiled_m.apply(updates)
+            legacy_area = legacy_m.apply(updates)
+            assert compiled_area.distance_changes == legacy_area.distance_changes
+            assert compiled_area.removed_matches == legacy_area.removed_matches
+            scratch = match(pattern, graph.copy())
+            assert compiled_m.match == scratch
+            assert legacy_m.match == scratch
+
+    def test_matrix_flushes_lazily_to_scratch_state(self):
+        graph = random_data_graph(18, 40, num_labels=3, seed=7)
+        pattern = PatternGenerator(graph, seed=7).generate_dag(4, 5, 3)
+        matcher = IncrementalMatcher(pattern, graph, use_compiled=True)
+        matcher.apply(mixed_stream(graph, random.Random(7), 8))
+        assert matcher.matrix.equals(DistanceMatrix(graph.copy()))
+        assert matcher.matrix.in_sync
+
+    @pytest.mark.parametrize("use_compiled", [True, False])
+    def test_cyclic_insert_raises_in_both_modes(self, use_compiled):
+        graph = simple_graph()
+        for node, label in [("x1", "X"), ("y1", "Y")]:
+            graph.add_node(node, label=label)
+        graph.add_edge("x1", "y1")
+        graph.add_edge("y1", "x1")
+        matcher = IncrementalMatcher(cyclic_pattern(), graph, use_compiled=use_compiled)
+        with pytest.raises(CyclicPatternError):
+            matcher.insert_edge("a1", "x1")
+
+    def test_cyclic_insert_recompute_fallback_equivalence(self):
+        graph = simple_graph()
+        for node, label in [("x1", "X"), ("y1", "Y"), ("x2", "X")]:
+            graph.add_node(node, label=label)
+        graph.add_edge("x1", "y1")
+        graph.add_edge("y1", "x1")
+        legacy_graph = graph.copy()
+        pattern = cyclic_pattern()
+        compiled_m = IncrementalMatcher(
+            pattern, graph, on_cyclic="recompute", use_compiled=True
+        )
+        legacy_m = IncrementalMatcher(
+            pattern, legacy_graph, on_cyclic="recompute", use_compiled=False
+        )
+        compiled_area = compiled_m.insert_edge("x2", "y1")
+        legacy_area = legacy_m.insert_edge("x2", "y1")
+        assert compiled_area.distance_changes == legacy_area.distance_changes
+        assert compiled_area.added_matches == legacy_area.added_matches
+        assert compiled_area.removed_matches == legacy_area.removed_matches
+        assert compiled_m.match == legacy_m.match == match(pattern, graph.copy())
+
+
+class TestNoOpHardening:
+    @pytest.mark.parametrize("use_compiled", [True, False])
+    def test_delete_missing_edge_is_true_noop(self, use_compiled):
+        graph = simple_graph()
+        matcher = IncrementalMatcher(
+            simple_dag_pattern(), graph, use_compiled=use_compiled
+        )
+        version = graph.version
+        snapshot = DistanceMatrix(graph.copy())
+        before = matcher.match
+        area = matcher.delete_edge("c1", "a1")
+        assert area.aff1_size == 0
+        assert not area.removed_matches and not area.added_matches
+        assert graph.version == version  # the graph was not mutated
+        assert matcher.matrix.equals(snapshot)  # nor the matrix
+        assert matcher.match == before
+
+    @pytest.mark.parametrize("use_compiled", [True, False])
+    def test_insert_existing_edge_is_true_noop(self, use_compiled):
+        graph = simple_graph()
+        matcher = IncrementalMatcher(
+            simple_dag_pattern(), graph, use_compiled=use_compiled
+        )
+        version = graph.version
+        snapshot = DistanceMatrix(graph.copy())
+        before = matcher.match
+        area = matcher.insert_edge("a1", "b1")
+        assert area.aff1_size == 0
+        assert not area.added_matches and not area.removed_matches
+        assert graph.version == version
+        assert matcher.matrix.equals(snapshot)
+        assert matcher.match == before
+
+    def test_insert_existing_edge_does_not_require_dag(self):
+        """A no-op insertion must not trip the cyclic-pattern guard."""
+        graph = simple_graph()
+        graph.add_node("x1", label="X")
+        graph.add_node("y1", label="Y")
+        graph.add_edge("x1", "y1")
+        for use_compiled in (True, False):
+            matcher = IncrementalMatcher(
+                cyclic_pattern(), graph.copy(), use_compiled=use_compiled
+            )
+            area = matcher.insert_edge("x1", "y1")  # exists: no CyclicPatternError
+            assert area.aff1_size == 0
+
+    @pytest.mark.parametrize("use_compiled", [True, False])
+    def test_batch_of_noops_is_empty(self, use_compiled):
+        graph = simple_graph()
+        matcher = IncrementalMatcher(
+            simple_dag_pattern(), graph, use_compiled=use_compiled
+        )
+        version = graph.version
+        area = matcher.apply(
+            [
+                EdgeUpdate.delete("c1", "a1"),   # missing edge
+                EdgeUpdate.insert("a1", "b1"),   # existing edge
+                EdgeUpdate.delete("a1", "c1"),   # missing edge
+            ]
+        )
+        assert area.total_size == 0
+        assert graph.version == version
+
+    @pytest.mark.parametrize("use_compiled", [True, False])
+    def test_repeated_delete_in_one_batch(self, use_compiled):
+        """The second deletion of the same edge must be a no-op."""
+        graph = simple_graph()
+        legacy = graph.copy()
+        pattern = simple_dag_pattern()
+        matcher = IncrementalMatcher(pattern, graph, use_compiled=use_compiled)
+        updates = [EdgeUpdate.delete("b2", "c1"), EdgeUpdate.delete("b2", "c1")]
+        matcher.apply(updates)
+        assert matcher.match == match(pattern, graph.copy())
+        assert not graph.has_edge("b2", "c1")
+        assert legacy.number_of_edges() - graph.number_of_edges() == 1
+
+    @pytest.mark.parametrize("use_compiled", [True, False])
+    def test_unknown_endpoints_raise(self, use_compiled):
+        graph = simple_graph()
+        matcher = IncrementalMatcher(
+            simple_dag_pattern(), graph, use_compiled=use_compiled
+        )
+        with pytest.raises(DistanceOracleError):
+            matcher.delete_edge("nope", "c1")
+        with pytest.raises(DistanceOracleError):
+            matcher.insert_edge("a1", "nope")
+
+
+class TestAff1Netting:
+    @pytest.mark.parametrize("use_compiled", [True, False])
+    def test_delete_then_reinsert_nets_to_empty_aff1(self, use_compiled):
+        graph = simple_graph()
+        pattern = simple_dag_pattern()
+        matcher = IncrementalMatcher(pattern, graph, use_compiled=use_compiled)
+        area = matcher.apply(
+            [EdgeUpdate.delete("b1", "c1"), EdgeUpdate.insert("b1", "c1")]
+        )
+        assert area.aff1_size == 0
+        assert not area.removed_matches and not area.added_matches
+        assert matcher.match == match(pattern, graph.copy())
+
+    def test_merge_affected_drops_netted_pairs(self):
+        first = {("a", "b"): (2, INF), ("a", "c"): (3, 4)}
+        second = {("a", "b"): (INF, 2), ("a", "c"): (4, 5)}
+        merged = merge_affected(first, second)
+        assert ("a", "b") not in merged
+        assert merged[("a", "c")] == (3, 5)
+
+    def test_merge_affected_drops_degenerate_inputs(self):
+        # Defensive: an old == new record must never survive a merge.
+        assert merge_affected({}, {("x", "y"): (2, 2)}) == {}
+        assert merge_affected({("x", "y"): (2, 2)}, {}) == {}
+
+    def test_affected_area_merge_drops_netted_pairs(self):
+        from repro.matching.affected import AffectedArea
+
+        first = AffectedArea(distance_changes={("a", "b"): (2, INF)})
+        second = AffectedArea(distance_changes={("a", "b"): (INF, 2)})
+        assert first.merge(second).aff1_size == 0
+
+    def test_merge_affected_into_matches_copying_variant(self):
+        rng = random.Random(5)
+        nodes = list("abcdef")
+        steps = []
+        for _ in range(6):
+            step = {}
+            for _ in range(5):
+                pair = (rng.choice(nodes), rng.choice(nodes))
+                old, new = rng.randint(1, 4), rng.randint(1, 4)
+                step[pair] = (old, new)
+            steps.append(step)
+        copying = {}
+        for step in steps:
+            copying = merge_affected(copying, step)
+        in_place = {}
+        for step in steps:
+            merge_affected_into(in_place, step)
+        assert copying == in_place
+
+
+class TestCompiledUpdateProcedures:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_store_batch_matches_matrix_batch(self, seed):
+        rng = random.Random(seed)
+        graph = random_data_graph(15, 30, num_labels=3, seed=seed)
+        legacy_graph = graph.copy()
+        matrix = DistanceMatrix(legacy_graph)
+        compiled = compile_graph(graph)
+        store = InternedDistanceStore.from_matrix(DistanceMatrix(graph), compiled)
+        updates = mixed_stream(graph, rng, 8)
+        interned = update_store_batch(store, updates)
+        legacy = update_matrix_batch(matrix, updates)
+        node_of = compiled.node_of
+        decoded = {
+            (node_of(x), node_of(y)): change for (x, y), change in interned.items()
+        }
+        assert decoded == legacy
+
+    def test_store_noop_updates_touch_nothing(self):
+        graph = simple_graph()
+        compiled = compile_graph(graph)
+        store = InternedDistanceStore.from_matrix(DistanceMatrix(graph), compiled)
+        version = graph.version
+        edges = compiled.num_edges
+        assert update_store_delete(store, "c1", "a1") == {}
+        assert update_store_insert(store, "a1", "b1") == {}
+        assert graph.version == version
+        assert compiled.num_edges == edges
+
+
+class TestSnapshotPatching:
+    def test_patched_snapshot_equals_recompiled(self):
+        rng = random.Random(11)
+        graph = random_data_graph(14, 30, num_labels=3, seed=11)
+        compiled = CompiledGraph.from_graph(graph)
+        for _ in range(10):
+            edges = graph.edge_list()
+            if rng.random() < 0.5 and edges:
+                source, target = rng.choice(edges)
+                graph.remove_edge(source, target)
+                compiled.patch_edge_delete(source, target)
+            else:
+                nodes = graph.node_list()
+                source, target = rng.choice(nodes), rng.choice(nodes)
+                if source == target or graph.has_edge(source, target):
+                    continue
+                graph.add_edge(source, target)
+                compiled.patch_edge_insert(source, target)
+        assert compiled.version == graph.version
+        fresh = CompiledGraph.from_graph(graph)
+        assert compiled.num_edges == fresh.num_edges
+        assert compiled.out_nonzero_bits == fresh.out_nonzero_bits
+        for node in graph.nodes():
+            i = compiled.id_of(node)
+            assert set(compiled.successors_indices(i)) == {
+                compiled.id_of(s) for s in graph.successors(node)
+            }
+            assert set(compiled.predecessors_indices(i)) == {
+                compiled.id_of(p) for p in graph.predecessors(node)
+            }
+            assert compiled.out_degree(i) == graph.out_degree(node)
+            assert compiled.in_degree(i) == graph.in_degree(node)
+            for bound in (1, 2, None):
+                assert compiled.decode(
+                    compiled.descendants_within_bits(i, bound)
+                ) == graph.descendants_within(node, bound)
+                assert compiled.decode(
+                    compiled.ancestors_within_bits(i, bound)
+                ) == graph.ancestors_within(node, bound)
+
+    def test_compile_cache_serves_patched_snapshot_without_recompile(self):
+        graph = simple_graph()
+        pattern = simple_dag_pattern()
+        matcher = IncrementalMatcher(pattern, graph, use_compiled=True)
+        pinned = compile_graph(graph)
+        matcher.apply(
+            [EdgeUpdate.delete("b2", "c1"), EdgeUpdate.insert("b1", "b2")]
+        )
+        # The stream patched the pinned snapshot in place; a batch match
+        # against the same graph reuses it instead of recompiling.
+        assert compile_graph(graph) is pinned
+        assert pinned.version == graph.version
+        assert matcher.match == match(pattern, graph.copy())
+
+    def test_intern_node_appends_stable_indices(self):
+        graph = simple_graph()
+        compiled = CompiledGraph.from_graph(graph)
+        old_ids = {node: compiled.id_of(node) for node in graph.nodes()}
+        old_all_bits = compiled.all_bits
+        graph.add_node("z9", label="C")
+        index = compiled.intern_node("z9", graph.attributes("z9"))
+        assert index == len(old_ids)
+        assert compiled.version == graph.version
+        for node, i in old_ids.items():
+            assert compiled.id_of(node) == i
+        assert compiled.all_bits == (old_all_bits << 1) | 1 | old_all_bits
+        assert compiled.out_degree(index) == 0
+        assert "z9" in compiled
+        assert compiled.decode(compiled.encode(["z9"])) == {"z9"}
+
+    def test_out_of_band_node_growth_reinterned_by_matcher(self):
+        graph = simple_graph()
+        pattern = simple_dag_pattern()
+        matcher = IncrementalMatcher(pattern, graph, use_compiled=True)
+        graph.add_node("b3", label="B")
+        graph.add_node("a3", label="A")
+        area = matcher.apply(
+            [EdgeUpdate.insert("a3", "b3"), EdgeUpdate.insert("b3", "c1")]
+        )
+        assert ("B", "b3") in area.added_matches
+        assert ("A", "a3") in area.added_matches
+        assert matcher.match == match(pattern, graph.copy())
+
+    def test_out_of_band_edge_mutation_triggers_full_repin(self):
+        graph = simple_graph()
+        pattern = simple_dag_pattern()
+        matcher = IncrementalMatcher(pattern, graph, use_compiled=True)
+        # Mutate behind the matcher's back: the next operation must re-pin
+        # and repair rather than trust the stale snapshot.
+        graph.remove_edge("b2", "c1")
+        area = matcher.delete_edge("b1", "c1")
+        assert area is not None
+        assert matcher.match == match(pattern, graph.copy())
+
+
+class TestWeakCompileCache:
+    def test_discarded_graphs_do_not_leak_snapshots(self):
+        baseline = len(_COMPILE_CACHE)
+        for seed in range(30):
+            graph = random_data_graph(8, 12, num_labels=2, seed=seed)
+            compile_graph(graph)
+            del graph
+        gc.collect()
+        assert len(_COMPILE_CACHE) <= baseline + 1
+
+    def test_snapshot_does_not_keep_graph_alive(self):
+        graph = random_data_graph(8, 12, num_labels=2, seed=3)
+        snapshot = compile_graph(graph)
+        del graph
+        gc.collect()
+        assert snapshot.graph is None

@@ -48,6 +48,7 @@ from typing import List, Optional, Sequence
 
 from repro.datasets import DATASET_BUILDERS
 from repro.distance.bfs import BFSDistanceOracle
+from repro.distance.compiled import CompiledDistanceMatrix
 from repro.distance.matrix import DistanceMatrix
 from repro.distance.twohop import TwoHopOracle
 from repro.experiments import ALL_EXPERIMENTS, run_experiment
@@ -60,6 +61,7 @@ from repro.matching.result_graph import build_result_graph
 __all__ = ["main", "build_parser"]
 
 _ORACLES = {
+    "compiled": CompiledDistanceMatrix,
     "matrix": DistanceMatrix,
     "bfs": BFSDistanceOracle,
     "2hop": TwoHopOracle,
@@ -80,8 +82,8 @@ def build_parser() -> argparse.ArgumentParser:
     match_parser.add_argument(
         "--oracle",
         choices=sorted(_ORACLES),
-        default="matrix",
-        help="distance substrate (default: matrix)",
+        default="compiled",
+        help="distance substrate (default: compiled — the lazy flat-array engine)",
     )
     match_parser.add_argument(
         "--json", action="store_true", help="print the match as JSON instead of text"

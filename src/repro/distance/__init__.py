@@ -1,10 +1,59 @@
-"""Distance substrates: the matrix ``M``, BFS, 2-hop labels, and incremental APSP."""
+"""Distance substrates: matrix ``M``, BFS, 2-hop labels, compiled engine, incremental APSP.
+
+Oracle selection guide
+----------------------
+Four oracles answer the bounded-connectivity queries of Algorithm ``Match``;
+all implement :class:`~repro.distance.oracle.DistanceOracle` and return
+identical answers (the equivalence suites assert it):
+
+:class:`~repro.distance.compiled.CompiledDistanceMatrix`
+    **The default of ``match()``.**  Lazy flat-array engine over the
+    compiled snapshot: rows/columns are per-node ``array('i')`` vectors
+    computed by the :class:`~repro.distance.compiled.FlatBFSKernel` on first
+    use (behind a size-capped LRU), bounded balls come out as bitsets.
+    Precompute is proportional to what the query actually touches, so it
+    wins whenever the candidate sets are smaller than the graph — which is
+    essentially always.  Prefer it unless one of the cases below applies.
+
+:class:`~repro.distance.matrix.DistanceMatrix`
+    The paper's precomputed matrix ``M`` — one BFS per node, O(1) lookups,
+    ``O(|V|^2)`` memory.  Required by the incremental repair procedures
+    (``UpdateM``/``UpdateBM`` mutate it in place) and still the right call
+    when *every* pair will be queried many times.  ``refresh()`` builds rows
+    only; columns materialise lazily per sink.
+
+:class:`~repro.distance.bfs.BFSDistanceOracle`
+    On-demand memoised BFS — no precompute at all.  The paper's ``BFS``
+    variant; useful when only a handful of queries will ever be asked and
+    even lazy vectors are too much.
+
+:class:`~repro.distance.twohop.TwoHopOracle`
+    Pruned-landmark 2-hop labels — the paper's ``2-hop`` variant.  Pays a
+    label build to answer *point* distance/reachability queries from a
+    compact index; best when the graph is large, mostly disconnected, and
+    ball queries are rare.
+
+Staleness/epoch rules: every oracle watches its graph's ``version`` counter
+and drops derived state when it moves (``DistanceMatrix`` requires an
+explicit ``refresh()`` or an incremental repair, by contract).  Bitset
+queries additionally check that the snapshot they are handed was compiled
+from the oracle's graph at the current version; anything else falls back to
+a slow, correct path.  All bitset memos share the size-capped
+:class:`~repro.distance.oracle.BoundedBitsCache` LRU.
+
+For IncMatch, :func:`~repro.distance.incremental.build_store` (or
+:meth:`CompiledDistanceMatrix.to_store`) hands the repair procedures a fully
+populated :class:`~repro.distance.matrix.InternedDistanceStore` built by the
+flat kernel.
+"""
 
 from repro.distance.bfs import BFSDistanceOracle
+from repro.distance.compiled import CompiledDistanceMatrix, FlatBFSKernel
 from repro.distance.incremental import (
     AffectedPairs,
     EdgeUpdate,
     apply_updates,
+    build_store,
     merge_affected,
     merge_affected_into,
     update_matrix_batch,
@@ -15,18 +64,26 @@ from repro.distance.incremental import (
     update_store_insert,
 )
 from repro.distance.matrix import DistanceMatrix, InternedDistanceStore
-from repro.distance.oracle import INF, DistanceOracle
+from repro.distance.oracle import (
+    INF,
+    BoundedBitsCache,
+    DistanceOracle,
+)
 from repro.distance.twohop import TwoHopOracle
 
 __all__ = [
     "INF",
     "DistanceOracle",
+    "BoundedBitsCache",
     "DistanceMatrix",
     "InternedDistanceStore",
     "BFSDistanceOracle",
     "TwoHopOracle",
+    "CompiledDistanceMatrix",
+    "FlatBFSKernel",
     "EdgeUpdate",
     "AffectedPairs",
+    "build_store",
     "update_matrix_insert",
     "update_matrix_delete",
     "update_matrix_batch",

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
 
 from repro.graph.datagraph import DataGraph, NodeId
-from repro.distance.oracle import INF, DistanceOracle
+from repro.distance.oracle import DEFAULT_BITS_CACHE_SIZE, INF, DistanceOracle
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.graph.compiled import CompiledGraph
@@ -32,15 +32,19 @@ class BFSDistanceOracle(DistanceOracle):
         cache is invalidated automatically when the graph's version changes.
     """
 
-    def __init__(self, graph: DataGraph, *, cache: bool = True) -> None:
-        super().__init__(graph)
+    def __init__(
+        self,
+        graph: DataGraph,
+        *,
+        cache: bool = True,
+        bits_cache_size: int = DEFAULT_BITS_CACHE_SIZE,
+    ) -> None:
+        super().__init__(graph, bits_cache_size=bits_cache_size)
         self._cache_enabled = cache
         self._forward: Dict[NodeId, Dict[NodeId, int]] = {}
         self._backward: Dict[NodeId, Dict[NodeId, int]] = {}
-        # Memoised bitset frontiers for the compiled matching path,
-        # keyed by (interned index, bound).
-        self._forward_bits: Dict[Tuple[int, Optional[int]], int] = {}
-        self._backward_bits: Dict[Tuple[int, Optional[int]], int] = {}
+        # Bitset frontiers for the compiled matching path are memoised in
+        # the shared size-capped LRU, keyed by (index, bound, forward?).
         self._graph_version = graph.version
 
     # ------------------------------------------------------------------
@@ -51,8 +55,7 @@ class BFSDistanceOracle(DistanceOracle):
         """Drop all memoised searches."""
         self._forward.clear()
         self._backward.clear()
-        self._forward_bits.clear()
-        self._backward_bits.clear()
+        self._bits_lru.clear()
         self._graph_version = self._graph.version
 
     def _check_version(self) -> None:
@@ -119,11 +122,11 @@ class BFSDistanceOracle(DistanceOracle):
         self._check_version()
         if not self._cache_enabled:
             return compiled.descendants_within_bits(source, bound)
-        key = (source, bound)
-        bits = self._forward_bits.get(key)
+        key = (source, bound, True)
+        bits = self._bits_lru.get(key)
         if bits is None:
             bits = compiled.descendants_within_bits(source, bound)
-            self._forward_bits[key] = bits
+            self._bits_lru.put(key, bits)
         return bits
 
     def ancestors_within_bits(
@@ -135,11 +138,11 @@ class BFSDistanceOracle(DistanceOracle):
         self._check_version()
         if not self._cache_enabled:
             return compiled.ancestors_within_bits(target, bound)
-        key = (target, bound)
-        bits = self._backward_bits.get(key)
+        key = (target, bound, False)
+        bits = self._bits_lru.get(key)
         if bits is None:
             bits = compiled.ancestors_within_bits(target, bound)
-            self._backward_bits[key] = bits
+            self._bits_lru.put(key, bits)
         return bits
 
     # ------------------------------------------------------------------

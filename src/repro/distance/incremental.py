@@ -46,7 +46,7 @@ boundary).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import DistanceOracleError
 from repro.graph.datagraph import DataGraph, NodeId
@@ -54,9 +54,13 @@ from repro.distance.matrix import DistanceMatrix, InternedDistanceStore
 from repro.distance.oracle import INF
 from repro.utils.priority_queue import AddressablePriorityQueue
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.compiled import CompiledGraph
+
 __all__ = [
     "EdgeUpdate",
     "AffectedPairs",
+    "build_store",
     "update_matrix_insert",
     "update_matrix_delete",
     "update_matrix_batch",
@@ -114,6 +118,34 @@ class EdgeUpdate:
         """The update that undoes this one."""
         kind = self.DELETE if self.is_insert else self.INSERT
         return EdgeUpdate(kind, self.source, self.target)
+
+
+# ----------------------------------------------------------------------
+# full-M build on the compiled substrate (the IncMatch handoff)
+# ----------------------------------------------------------------------
+
+def build_store(compiled: "CompiledGraph") -> InternedDistanceStore:
+    """Build a fully populated :class:`InternedDistanceStore` from *compiled*.
+
+    The ``update_store_*`` repair procedures need a complete matrix ``M`` to
+    start from.  The legacy route builds a :class:`DistanceMatrix` (one
+    dict-based BFS per node over the :class:`DataGraph`) and re-keys it with
+    :meth:`InternedDistanceStore.from_matrix`; this one runs the snapshot's
+    flat BFS kernel once per node and fills the interned rows/columns
+    directly, skipping the NodeId-keyed intermediate entirely.  Both produce
+    identical stores (the equivalence suite asserts it).
+    """
+    store = InternedDistanceStore(compiled)
+    kernel = compiled.flat_kernel()
+    rows = store.rows
+    cols = store.cols
+    for i in range(compiled.num_nodes):
+        distances = kernel.sparse_distances(i)
+        rows[i] = distances
+        for j, dist in distances.items():
+            if j != i:
+                cols[j][i] = dist
+    return store
 
 
 # ----------------------------------------------------------------------

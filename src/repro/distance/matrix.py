@@ -6,9 +6,13 @@ computed with one BFS per node — ``O(|V| (|V| + |E|))`` for unweighted graphs,
 matching the paper's analysis — and stored sparsely (only finite entries).
 
 Both a forward index (``row(u) = {v: dist(u, v)}``) and a reverse index
-(``column(v) = {u: dist(u, v)}``) are maintained: the matching algorithm needs
-descendant queries (rows) and ancestor queries (columns) with equal frequency.
-The incremental procedures ``UpdateM`` / ``UpdateBM`` (see
+(``column(v) = {u: dist(u, v)}``) are available: the matching algorithm needs
+descendant queries (rows) and ancestor queries (columns) with equal
+frequency.  :meth:`DistanceMatrix.refresh` computes **rows only**; a column
+is materialised lazily from the rows on first access and kept in sync from
+then on, so a workload that never asks an ancestor query (or asks about a
+few sinks) does not pay the second ``O(|V|^2)`` dict build.  The incremental
+procedures ``UpdateM`` / ``UpdateBM`` (see
 :mod:`repro.distance.incremental`) mutate this structure in place.
 """
 
@@ -18,7 +22,12 @@ from typing import TYPE_CHECKING, Dict, Iterator, Optional, Set, Tuple
 
 from repro.exceptions import DistanceOracleError
 from repro.graph.datagraph import DataGraph, NodeId
-from repro.distance.oracle import INF, DistanceOracle
+from repro.distance.oracle import (
+    DEFAULT_BITS_CACHE_SIZE,
+    INF,
+    BoundedBitsCache,
+    DistanceOracle,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.graph.compiled import CompiledGraph
@@ -37,8 +46,10 @@ class DistanceMatrix(DistanceOracle):
         update procedures for edge insertions/deletions.
     """
 
-    def __init__(self, graph: DataGraph) -> None:
-        super().__init__(graph)
+    def __init__(
+        self, graph: DataGraph, *, bits_cache_size: int = DEFAULT_BITS_CACHE_SIZE
+    ) -> None:
+        super().__init__(graph, bits_cache_size=bits_cache_size)
         self._rows: Dict[NodeId, Dict[NodeId, int]] = {}
         self._columns: Dict[NodeId, Dict[NodeId, int]] = {}
         self._graph_version = -1
@@ -49,22 +60,24 @@ class DistanceMatrix(DistanceOracle):
     # ------------------------------------------------------------------
 
     def refresh(self) -> None:
-        """Recompute the full matrix from the current graph (one BFS per node)."""
-        # Memoised bitset rows for the compiled matching path, keyed by
-        # (index, bound, forward?) and invalidated with the graph version.
-        self._bits_cache: Dict[Tuple[int, Optional[int], bool], int] = {}
+        """Recompute the rows from the current graph (one BFS per node).
+
+        Columns are *not* rebuilt here: the reverse index is materialised
+        lazily per sink on first access (see :meth:`column`), so a refresh
+        does row work only.
+        """
+        # Memoised bitset rows (keyed by (index, bound, forward?)) are
+        # invalidated with the graph version.
+        self._bits_lru.clear()
         self._bits_cache_version = self._graph.version
         # Self-loop memos taken between a mutation and this refresh were
         # computed from stale rows (possibly under the current version).
         self._self_loop_cache.clear()
         self._self_loop_version = self._graph.version
         self._rows = {}
-        self._columns = {node: {} for node in self._graph.nodes()}
+        self._columns = {}
         for source in self._graph.nodes():
-            row = self._graph.bfs_distances(source)
-            self._rows[source] = row
-            for target, dist in row.items():
-                self._columns[target][source] = dist
+            self._rows[source] = self._graph.bfs_distances(source)
         self._graph_version = self._graph.version
 
     @property
@@ -101,7 +114,7 @@ class DistanceMatrix(DistanceOracle):
         return result
 
     def ancestors_within(self, target: NodeId, bound: Optional[int]) -> Set[NodeId]:
-        column = self._columns.get(target, {})
+        column = self.column(target)
         result = {
             node
             for node, dist in column.items()
@@ -127,7 +140,7 @@ class DistanceMatrix(DistanceOracle):
             bits = compiled.encode_within(self._rows.get(node, {}), bound)
             if self._on_cycle_within(node, bound):
                 bits |= 1 << source
-            cache[key] = bits
+            cache.put(key, bits)
         return bits
 
     def ancestors_within_bits(
@@ -140,17 +153,17 @@ class DistanceMatrix(DistanceOracle):
         bits = cache.get(key)
         if bits is None:
             node = compiled.node_of(target)
-            bits = compiled.encode_within(self._columns.get(node, {}), bound)
+            bits = compiled.encode_within(self.column(node), bound)
             if self._on_cycle_within(node, bound):
                 bits |= 1 << target
-            cache[key] = bits
+            cache.put(key, bits)
         return bits
 
-    def _bits_cache_for_version(self) -> Dict[Tuple[int, Optional[int], bool], int]:
+    def _bits_cache_for_version(self) -> BoundedBitsCache:
         if self._bits_cache_version != self._graph.version:
-            self._bits_cache = {}
+            self._bits_lru.clear()
             self._bits_cache_version = self._graph.version
-        return self._bits_cache
+        return self._bits_lru
 
     def _on_cycle_within(self, node: NodeId, bound: Optional[int]) -> bool:
         """Whether *node* lies on a directed cycle of length <= *bound*."""
@@ -170,29 +183,54 @@ class DistanceMatrix(DistanceOracle):
         return self._rows.setdefault(source, {source: 0})
 
     def column(self, target: NodeId) -> Dict[NodeId, int]:
-        """The finite distances into *target* (live dict — do not mutate)."""
-        return self._columns.setdefault(target, {})
+        """The finite distances into *target* (live dict — do not mutate).
+
+        Materialised lazily on first access by scanning the rows — *not* by
+        a graph BFS, so the answer is consistent with the matrix state even
+        mid-repair, when the graph has already mutated but the matrix still
+        holds the pre-update distances.  Once materialised, the column is
+        kept in sync by :meth:`set_distance`.
+        """
+        column = self._columns.get(target)
+        if column is None:
+            column = {}
+            for source, row in self._rows.items():
+                dist = row.get(target)
+                if dist is not None:
+                    column[source] = dist
+            self._columns[target] = column
+        return column
+
+    def materialized_columns(self) -> int:
+        """How many columns have been materialised (for tests/diagnostics)."""
+        return len(self._columns)
 
     def set_distance(self, source: NodeId, target: NodeId, value: float) -> None:
         """Set ``dist(source, target)``; :data:`INF` removes the entry."""
-        if self._bits_cache:
-            self._bits_cache = {}
+        if len(self._bits_lru):
+            self._bits_lru.clear()
         # Direct matrix mutation can change shortest-cycle lengths without a
         # graph version bump, so the memoised self-loop distances go too.
         if self._self_loop_cache:
             self._self_loop_cache.clear()
+        # Only a materialised column needs the write-through; an
+        # unmaterialised one will pick the value up from the rows.
+        column = self._columns.get(target)
         if value == INF:
             self._rows.get(source, {}).pop(target, None)
-            self._columns.get(target, {}).pop(source, None)
+            if column is not None:
+                column.pop(source, None)
             return
         self._rows.setdefault(source, {})[target] = int(value)
-        self._columns.setdefault(target, {})[source] = int(value)
+        if column is not None:
+            column[source] = int(value)
 
     def ensure_node(self, node: NodeId) -> None:
         """Make sure *node* has (possibly empty) row/column entries."""
         self._rows.setdefault(node, {node: 0})
-        self._columns.setdefault(node, {})
-        self._columns[node].setdefault(node, 0)
+        column = self._columns.get(node)
+        if column is not None:
+            column.setdefault(node, 0)
 
     def finite_pairs(self) -> Iterator[Tuple[NodeId, NodeId, int]]:
         """Iterate over all finite ``(source, target, distance)`` triples."""
@@ -207,11 +245,10 @@ class DistanceMatrix(DistanceOracle):
     def copy(self) -> "DistanceMatrix":
         """Return a deep copy sharing the same graph reference."""
         clone = object.__new__(DistanceMatrix)
-        DistanceOracle.__init__(clone, self._graph)
+        DistanceOracle.__init__(clone, self._graph, bits_cache_size=self._bits_lru.max_size)
         clone._rows = {source: dict(row) for source, row in self._rows.items()}
         clone._columns = {target: dict(col) for target, col in self._columns.items()}
         clone._graph_version = self._graph_version
-        clone._bits_cache = {}
         clone._bits_cache_version = self._bits_cache_version
         return clone
 
@@ -250,8 +287,8 @@ class InternedDistanceStore:
             self.cols[i] = {i: 0}
         # Memoised reachability bitsets keyed by (index, bound, forward?);
         # valid between repairs — the engine clears it after every repair
-        # phase and before propagation.
-        self._bits_memo: Dict[Tuple[int, Optional[int], bool], int] = {}
+        # phase and before propagation.  Size-capped like every oracle memo.
+        self._bits_memo = BoundedBitsCache()
 
     @classmethod
     def from_matrix(
@@ -292,8 +329,8 @@ class InternedDistanceStore:
 
     def clear_memo(self) -> None:
         """Drop the memoised reachability bitsets (call after repairs)."""
-        if self._bits_memo:
-            self._bits_memo = {}
+        if len(self._bits_memo):
+            self._bits_memo.clear()
 
     # ------------------------------------------------------------------
     # bitset reachability (nonempty-path semantics, as the matching needs)
@@ -339,7 +376,7 @@ class InternedDistanceStore:
             bits = self._encode_within(self.rows[source], bound)
             if self._on_cycle_within(source, bound):
                 bits |= 1 << source
-            self._bits_memo[key] = bits
+            self._bits_memo.put(key, bits)
         return bits
 
     def ancestors_within_bits(
@@ -352,7 +389,7 @@ class InternedDistanceStore:
             bits = self._encode_within(self.cols[target], bound)
             if self._on_cycle_within(target, bound):
                 bits |= 1 << target
-            self._bits_memo[key] = bits
+            self._bits_memo.put(key, bits)
         return bits
 
     # ------------------------------------------------------------------

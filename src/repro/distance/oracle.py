@@ -25,32 +25,92 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Dict, Optional, Set
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Dict, Hashable, Optional, Set
 
 from repro.graph.datagraph import DataGraph, NodeId
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.graph.compiled import CompiledGraph
 
-__all__ = ["INF", "DistanceOracle"]
+__all__ = ["INF", "DistanceOracle", "BoundedBitsCache", "DEFAULT_BITS_CACHE_SIZE"]
 
 #: Distance value representing "unreachable".
 INF = math.inf
+
+#: Default entry cap of the memoised-bitset LRU shared by all oracles.
+DEFAULT_BITS_CACHE_SIZE = 4096
+
+
+class BoundedBitsCache:
+    """A size-capped LRU for memoised reachability answers.
+
+    Every oracle memoises ``(index, bound, direction) -> bitset`` answers
+    for the compiled matching path, and the compiled oracle additionally
+    caches dense distance rows — the cache is value-agnostic.  An unbounded
+    dict grows by one entry per distinct key for the lifetime of the oracle
+    — on large graphs with many bounds that is effectively a leak — so the
+    shared cache evicts the least recently used entry once *max_size* is
+    exceeded (``None`` disables eviction).  A value of ``0`` is a
+    legitimate cached answer; callers must test ``get`` against ``None``,
+    not for truthiness.
+    """
+
+    __slots__ = ("max_size", "_data")
+
+    def __init__(self, max_size: Optional[int] = DEFAULT_BITS_CACHE_SIZE) -> None:
+        if max_size is not None and max_size < 1:
+            raise ValueError(f"max_size must be positive, got {max_size}")
+        self.max_size = max_size
+        self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+
+    def get(self, key: Hashable):
+        """The cached value for *key*, or ``None``; refreshes its recency."""
+        data = self._data
+        value = data.get(key)
+        if value is not None:
+            data.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value) -> None:
+        """Cache *value* under *key*, evicting the oldest entry past the cap."""
+        data = self._data
+        data[key] = value
+        data.move_to_end(key)
+        if self.max_size is not None and len(data) > self.max_size:
+            data.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every cached entry."""
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
 
 
 class DistanceOracle(ABC):
     """Answers (bounded) distance and reachability queries over a data graph.
 
     Subclasses must implement :meth:`distance`, :meth:`descendants_within`
-    and :meth:`ancestors_within`; the nonempty-path logic is shared here.
+    and :meth:`ancestors_within`; the nonempty-path logic is shared here, as
+    is the size-capped bitset LRU (:attr:`_bits_lru`) the concrete oracles
+    memoise their compiled-path answers in, keyed by
+    ``(interned index, bound, forward?)``.
     """
 
-    def __init__(self, graph: DataGraph) -> None:
+    def __init__(
+        self, graph: DataGraph, *, bits_cache_size: int = DEFAULT_BITS_CACHE_SIZE
+    ) -> None:
         self._graph = graph
         # Shortest-cycle lengths per node (nonempty self-distances), keyed by
         # the graph version they were computed at.
         self._self_loop_cache: Dict[NodeId, float] = {}
         self._self_loop_version = graph.version
+        # Memoised reachability bitsets for the compiled matching path.
+        self._bits_lru = BoundedBitsCache(bits_cache_size)
 
     @property
     def graph(self) -> DataGraph:

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.graph.datagraph import DataGraph, NodeId
-from repro.distance.oracle import INF, DistanceOracle
+from repro.distance.oracle import DEFAULT_BITS_CACHE_SIZE, INF, DistanceOracle
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.graph.compiled import CompiledGraph
@@ -54,8 +54,9 @@ class TwoHopOracle(DistanceOracle):
         *,
         reachability_only: bool = False,
         hub_order: Optional[List[NodeId]] = None,
+        bits_cache_size: int = DEFAULT_BITS_CACHE_SIZE,
     ) -> None:
-        super().__init__(graph)
+        super().__init__(graph, bits_cache_size=bits_cache_size)
         self.reachability_only = reachability_only
         self._hub_order = list(hub_order) if hub_order is not None else None
         self._label_out: Dict[NodeId, Dict[NodeId, int]] = {}
@@ -77,9 +78,9 @@ class TwoHopOracle(DistanceOracle):
         self._label_out = {node: {} for node in graph.nodes()}
         self._label_in = {node: {} for node in graph.nodes()}
         self._bfs_cache = {}
-        # Memoised bitset reachability for the compiled matching path.
-        self._desc_bits_cache: Dict[Tuple[int, Optional[int]], int] = {}
-        self._anc_bits_cache: Dict[Tuple[int, Optional[int]], int] = {}
+        # Bitset reachability memos live in the shared size-capped LRU,
+        # keyed by (index, bound, forward?).
+        self._bits_lru.clear()
 
         for hub in order:
             self._pruned_bfs(hub, forward=True)
@@ -172,11 +173,11 @@ class TwoHopOracle(DistanceOracle):
             # never gets poisoned with a foreign or stale snapshot's adjacency.
             return super().descendants_within_bits(compiled, source, bound)
         self._check_version()
-        key = (source, bound)
-        bits = self._desc_bits_cache.get(key)
+        key = (source, bound, True)
+        bits = self._bits_lru.get(key)
         if bits is None:
             bits = compiled.descendants_within_bits(source, bound)
-            self._desc_bits_cache[key] = bits
+            self._bits_lru.put(key, bits)
         return bits
 
     def ancestors_within_bits(
@@ -186,11 +187,11 @@ class TwoHopOracle(DistanceOracle):
         if not self._snapshot_is_current(compiled):
             return super().ancestors_within_bits(compiled, target, bound)
         self._check_version()
-        key = (target, bound)
-        bits = self._anc_bits_cache.get(key)
+        key = (target, bound, False)
+        bits = self._bits_lru.get(key)
         if bits is None:
             bits = compiled.ancestors_within_bits(target, bound)
-            self._anc_bits_cache[key] = bits
+            self._bits_lru.put(key, bits)
         return bits
 
     # ------------------------------------------------------------------

@@ -94,6 +94,7 @@ class CompiledGraph:
         "_patched_rev",
         "_patched_fwd_seq",
         "_patched_rev_seq",
+        "_flat_kernel",
         "_graph_ref",
     )
 
@@ -167,6 +168,7 @@ class CompiledGraph:
         self._patched_rev: Dict[int, int] = {}
         self._patched_fwd_seq: Dict[int, Tuple[int, ...]] = {}
         self._patched_rev_seq: Dict[int, Tuple[int, ...]] = {}
+        self._flat_kernel = None
         self._graph_ref = weakref.ref(graph)
         return self
 
@@ -330,6 +332,22 @@ class CompiledGraph:
         """``True`` when the edge ``source -> target`` exists (patch-aware)."""
         return bool(self.successors_bits(source) >> target & 1)
 
+    def adjacency_bits(
+        self, *, reverse: bool = False
+    ) -> Tuple[List[Optional[int]], Dict[int, int]]:
+        """The lazy per-node adjacency bitset cache and its patch overlay.
+
+        For hot BFS loops that OR whole neighbour rows at once: entry ``i``
+        of the list is the cached :meth:`successors_bits` /
+        :meth:`predecessors_bits` value (``None`` until first materialised —
+        call the corresponding method to fill it); a node present in the
+        overlay dict must be answered from the overlay instead.  Both
+        structures are live views — treat as read-only.
+        """
+        if reverse:
+            return self._pred_bits, self._patched_rev
+        return self._succ_bits, self._patched_fwd
+
     def adjacency_arrays(
         self,
     ) -> Tuple[array, array, Dict[int, Tuple[int, ...]], array, array, Dict[int, Tuple[int, ...]]]:
@@ -476,8 +494,24 @@ class CompiledGraph:
         return self._attrs[index]
 
     # ------------------------------------------------------------------
-    # bounded reachability (bitset BFS over CSR)
+    # bounded reachability (flat BFS kernel over CSR)
     # ------------------------------------------------------------------
+
+    def flat_kernel(self):
+        """The snapshot's shared flat BFS kernel (lazily created).
+
+        One :class:`~repro.distance.compiled.FlatBFSKernel` is kept per
+        snapshot so its shared state — the all ``-1`` row template and the
+        tuple-decoded CSR adjacency — is reused by every consumer (ball
+        queries, lazy distance rows, the full store build) instead of being
+        re-derived per search.
+        """
+        kernel = self._flat_kernel
+        if kernel is None:
+            from repro.distance.compiled import FlatBFSKernel
+
+            kernel = self._flat_kernel = FlatBFSKernel(self)
+        return kernel
 
     def descendants_within_bits(self, source: int, bound: Optional[int]) -> int:
         """Bitset of nodes reachable from *source* via a nonempty path ``<= bound``.
@@ -486,53 +520,11 @@ class CompiledGraph:
         it lies on a cycle of length within the bound — the same nonempty-path
         semantics as :meth:`DataGraph.descendants_within`.
         """
-        return self._bounded_bfs_bits(
-            source, bound, self._fwd_offsets, self._fwd_targets, self._patched_fwd_seq
-        )
+        return self.flat_kernel().ball_bits(source, bound)
 
     def ancestors_within_bits(self, target: int, bound: Optional[int]) -> int:
         """Bitset of nodes reaching *target* via a nonempty path ``<= bound``."""
-        return self._bounded_bfs_bits(
-            target, bound, self._rev_offsets, self._rev_targets, self._patched_rev_seq
-        )
-
-    def _bounded_bfs_bits(
-        self,
-        source: int,
-        bound: Optional[int],
-        offsets: array,
-        targets: array,
-        patched: Dict[int, Tuple[int, ...]],
-    ) -> int:
-        self_bit = 1 << source
-        visited = self_bit
-        hit_source = False
-        frontier = [source]
-        depth = 0
-        consult_patch = bool(patched)
-        while frontier and (bound is None or depth < bound):
-            depth += 1
-            next_frontier: List[int] = []
-            append = next_frontier.append
-            for i in frontier:
-                if consult_patch:
-                    neighbours = patched.get(i)
-                    if neighbours is None:
-                        neighbours = targets[offsets[i] : offsets[i + 1]]
-                else:
-                    neighbours = targets[offsets[i] : offsets[i + 1]]
-                for j in neighbours:
-                    if j == source:
-                        hit_source = True
-                    bit = 1 << j
-                    if not visited & bit:
-                        visited |= bit
-                        append(j)
-            frontier = next_frontier
-        result = visited & ~self_bit
-        if hit_source:
-            result |= self_bit
-        return result
+        return self.flat_kernel().ball_bits(target, bound, reverse=True)
 
 
 # ----------------------------------------------------------------------

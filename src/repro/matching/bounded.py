@@ -40,8 +40,10 @@ which the incremental matcher still uses over the mutable graph).
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.distance.compiled import CompiledDistanceMatrix
 from repro.distance.matrix import DistanceMatrix
 from repro.distance.oracle import DistanceOracle
 from repro.graph.compiled import CompiledGraph, compile_graph, iter_bits
@@ -118,11 +120,16 @@ def match(
     pattern, graph:
         The pattern ``P`` and data graph ``G``.
     oracle:
-        The distance substrate used for bounded-connectivity checks.  Defaults
-        to a freshly built :class:`~repro.distance.matrix.DistanceMatrix`
-        (the paper's Algorithm Match, line 1); pass a
+        The distance substrate used for bounded-connectivity checks.  By
+        default the compiled path gets a
+        :class:`~repro.distance.compiled.CompiledDistanceMatrix` — the lazy
+        flat-array engine, which together with the worklist refinement
+        computes balls only for live candidates — and the legacy path a
+        freshly built :class:`~repro.distance.matrix.DistanceMatrix` (the
+        paper's Algorithm Match, line 1).  Pass a
         :class:`~repro.distance.bfs.BFSDistanceOracle` or
-        :class:`~repro.distance.twohop.TwoHopOracle` for the other variants.
+        :class:`~repro.distance.twohop.TwoHopOracle` for the other paper
+        variants.
     use_compiled:
         When ``True`` (default) the refinement runs over the compiled
         integer/bitset snapshot of *graph* (see :mod:`repro.graph.compiled`)
@@ -141,7 +148,7 @@ def match(
     if graph.number_of_nodes() == 0:
         return MatchResult.empty()
     if oracle is None:
-        oracle = DistanceMatrix(graph)
+        oracle = CompiledDistanceMatrix(graph) if use_compiled else DistanceMatrix(graph)
 
     if use_compiled:
         compiled = compile_graph(graph)
@@ -149,7 +156,9 @@ def match(
         for bits in mat_bits.values():
             if not bits:
                 return MatchResult.empty()
-        refine_bits_to_fixpoint(pattern, oracle, compiled, mat_bits)
+        refine_bits_to_fixpoint(
+            pattern, oracle, compiled, mat_bits, stop_when_empty=True
+        )
         if any(not bits for bits in mat_bits.values()):
             return MatchResult.empty()
         return MatchResult(
@@ -228,6 +237,8 @@ def refine_bits_to_fixpoint(
     oracle: DistanceOracle,
     compiled: CompiledGraph,
     mat_bits: Dict[PatternNodeId, int],
+    *,
+    stop_when_empty: bool = False,
 ) -> Set[Tuple[PatternNodeId, int]]:
     """Bitset counterpart of :func:`refine_to_fixpoint` over interned node ids.
 
@@ -236,51 +247,97 @@ def refine_bits_to_fixpoint(
     (:meth:`~repro.distance.oracle.DistanceOracle.descendants_within_bits`).
     Refines *mat_bits* in place and returns the removed
     ``(pattern node, interned data index)`` pairs.
+
+    The fixpoint is driven by an **edge worklist** rather than per-removal
+    ancestor propagation: a pattern edge ``(u, u')`` is (re)checked only
+    when ``mat(u')`` shrank since its last check, and the recheck decrements
+    each live candidate's support by ``|desc ∩ removed-delta|``.  Chaotic
+    iteration of a monotone operator converges to the same greatest
+    fixpoint regardless of order, so the result is identical to the paper's
+    formulation — but only *forward* balls of *live* candidates are ever
+    computed (never an ancestor ball, never a ball of a non-candidate),
+    which is what lets the lazy compiled oracle skip the ``O(|V|^2)``
+    precompute entirely.  Balls are memoised for the duration of the
+    fixpoint in a local ``(index, bound)`` table sized exactly to the live
+    working set, so rechecks never recompute a ball even when the oracle's
+    own LRU is smaller than the candidate sets.
+
+    With *stop_when_empty* the refinement returns as soon as some
+    ``mat(u)`` empties — the overall match is then the empty relation and
+    the remaining cascade is wasted work.  In that case *mat_bits* and the
+    returned removals are **partial** (not the greatest fixpoint); callers
+    that consume the refined sets themselves (the incremental matcher) must
+    keep the default.
     """
-    # support_count[(u, u')][v]: |descendants of v within the bound ∩ mat(u')|
-    support_count: Dict[
-        Tuple[PatternNodeId, PatternNodeId], Dict[int, int]
-    ] = {}
-    removal_list: List[Tuple[PatternNodeId, int]] = []
     removed: Set[Tuple[PatternNodeId, int]] = set()
+    edges = pattern.edge_list()
+    if not edges:
+        return removed
 
     descendants = oracle.descendants_within_bits
-    ancestors = oracle.ancestors_within_bits
+    # Fixpoint-local ball memo, keyed by (index, bound).
+    balls: Dict[Tuple[int, Optional[int]], int] = {}
+    # support_count[(u, u')][v]: |descendants of v within the bound ∩ mat(u')|
+    support_count: Dict[Tuple[PatternNodeId, PatternNodeId], Dict[int, int]] = {}
+    # mat(u') as of the last time the edge (u, u') was checked.
+    checked_child_bits: Dict[Tuple[PatternNodeId, PatternNodeId], int] = {}
+    # Edges to recheck when mat(u) shrinks: all pattern edges *into* u.
+    edges_into: Dict[PatternNodeId, List[Tuple[PatternNodeId, PatternNodeId]]] = {}
+    for edge in edges:
+        edges_into.setdefault(edge[1], []).append(edge)
 
-    for u, u_child in pattern.edges():
-        bound = pattern.bound(u, u_child)
+    worklist = deque(edges)
+    queued = set(edges)
+    while worklist:
+        edge = worklist.popleft()
+        queued.discard(edge)
+        u, u_child = edge
         child_bits = mat_bits[u_child]
-        counts: Dict[int, int] = {}
-        for v in iter_bits(mat_bits[u]):
-            count = (descendants(compiled, v, bound) & child_bits).bit_count()
-            counts[v] = count
-            if count == 0 and (u, v) not in removed:
-                removed.add((u, v))
-                removal_list.append((u, v))
-        support_count[(u, u_child)] = counts
-
-    index = 0
-    while index < len(removal_list):
-        u, v = removal_list[index]
-        index += 1
-        mat_bits[u] &= ~(1 << v)
-        # Removing (u, v) can only invalidate candidates of parents of u that
-        # reach v within the bound of the corresponding pattern edge.
-        for u_parent in pattern.predecessors(u):
-            bound = pattern.bound(u_parent, u)
-            counts = support_count.get((u_parent, u))
-            if counts is None:
-                continue
-            affected = ancestors(compiled, v, bound) & mat_bits[u_parent]
-            for w in iter_bits(affected):
-                count = counts.get(w)
-                if count is None:
-                    continue
-                count -= 1
-                counts[w] = count
-                if count == 0 and (u_parent, w) not in removed:
-                    removed.add((u_parent, w))
-                    removal_list.append((u_parent, w))
+        counts = support_count.get(edge)
+        shrunk = False
+        if counts is None:
+            # First check: full support counts for every live candidate.
+            bound = pattern.bound(u, u_child)
+            counts = {}
+            support_count[edge] = counts
+            for v in iter_bits(mat_bits[u]):
+                key = (v, bound)
+                ball = balls.get(key)
+                if ball is None:
+                    ball = descendants(compiled, v, bound)
+                    balls[key] = ball
+                count = (ball & child_bits).bit_count()
+                counts[v] = count
+                if count == 0:
+                    mat_bits[u] &= ~(1 << v)
+                    removed.add((u, v))
+                    shrunk = True
+        else:
+            delta = checked_child_bits[edge] & ~child_bits
+            if delta:
+                bound = pattern.bound(u, u_child)
+                for v in iter_bits(mat_bits[u]):
+                    count = counts[v]
+                    if count:
+                        key = (v, bound)
+                        ball = balls.get(key)
+                        if ball is None:
+                            ball = descendants(compiled, v, bound)
+                            balls[key] = ball
+                        count -= (ball & delta).bit_count()
+                        counts[v] = count
+                        if count == 0:
+                            mat_bits[u] &= ~(1 << v)
+                            removed.add((u, v))
+                            shrunk = True
+        checked_child_bits[edge] = child_bits
+        if shrunk:
+            if stop_when_empty and not mat_bits[u]:
+                return removed
+            for parent_edge in edges_into.get(u, ()):
+                if parent_edge not in queued:
+                    queued.add(parent_edge)
+                    worklist.append(parent_edge)
     return removed
 
 

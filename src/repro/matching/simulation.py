@@ -14,22 +14,54 @@ running time is ``O((|V| + |V_p|)(|E| + |E_p|))`` as cited in the paper.
 
 By default the refinement runs over the compiled snapshot of the graph
 (:mod:`repro.graph.compiled`): candidate sets are bitsets over interned
-integer ids, successor/predecessor lookups hit the CSR adjacency, and
-support counting is ``(succ & mat).bit_count()``.  The original set-based
-implementation is retained under ``use_compiled=False`` as a cross-checking
-reference and for old-vs-new benchmarking; both produce identical relations.
+integer ids and the fixpoint is the shared edge-worklist refinement of
+:func:`repro.matching.bounded.refine_bits_to_fixpoint`, driven by a
+"distance oracle" whose balls are simply the CSR adjacency rows — graph
+simulation *is* bounded simulation with every ball truncated at one hop, so
+the two algorithms share one engine.  The original set-based implementation
+is retained under ``use_compiled=False`` as a cross-checking reference and
+for old-vs-new benchmarking; both produce identical relations.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-from repro.graph.compiled import compile_graph, iter_bits
+from repro.graph.compiled import CompiledGraph, compile_graph
 from repro.graph.datagraph import DataGraph, NodeId
 from repro.graph.pattern import Pattern, PatternNodeId
+from repro.matching.bounded import refine_bits_to_fixpoint
 from repro.matching.match_result import MatchResult
 
 __all__ = ["graph_simulation", "simulates"]
+
+
+class _AdjacencyOracle:
+    """The default oracle of plain simulation: balls are the direct adjacency.
+
+    Graph simulation maps pattern edges to single data edges, so the
+    "descendants within the bound" of a candidate are exactly its direct
+    successors (a node's own bit appears iff it carries a self-loop — the
+    one-hop case of the cycle rule).  Bounds on the pattern are ignored by
+    design: this oracle *defines* the edge-to-edge semantics.
+    """
+
+    __slots__ = ()
+
+    @staticmethod
+    def descendants_within_bits(
+        compiled: CompiledGraph, source: int, bound: Optional[int]
+    ) -> int:
+        return compiled.successors_bits(source)
+
+    @staticmethod
+    def ancestors_within_bits(
+        compiled: CompiledGraph, target: int, bound: Optional[int]
+    ) -> int:
+        return compiled.predecessors_bits(target)
+
+
+_ADJACENCY_ORACLE = _AdjacencyOracle()
 
 
 def graph_simulation(
@@ -55,49 +87,12 @@ def graph_simulation(
             return MatchResult.empty()
         candidates[u] = bits
 
-    # support_count[(u, u')][v]: number of successors of v in candidates[u'].
-    support_count: Dict[Tuple[PatternNodeId, PatternNodeId], Dict[int, int]] = {}
-    removal_list: List[Tuple[PatternNodeId, int]] = []
-    removed: Set[Tuple[PatternNodeId, int]] = set()
+    refine_bits_to_fixpoint(
+        pattern, _ADJACENCY_ORACLE, compiled, candidates, stop_when_empty=True
+    )
 
-    successors_bits = compiled.successors_bits
-    predecessors_bits = compiled.predecessors_bits
-
-    for u, u_child in pattern.edges():
-        counts: Dict[int, int] = {}
-        child_bits = candidates[u_child]
-        for v in iter_bits(candidates[u]):
-            count = (successors_bits(v) & child_bits).bit_count()
-            counts[v] = count
-            if count == 0 and (u, v) not in removed:
-                removed.add((u, v))
-                removal_list.append((u, v))
-        support_count[(u, u_child)] = counts
-
-    # Propagate removals until the relation stabilises.
-    index = 0
-    while index < len(removal_list):
-        u, v = removal_list[index]
-        index += 1
-        candidates[u] &= ~(1 << v)
-        if not candidates[u]:
-            return MatchResult.empty()
-        # v no longer matches u: every predecessor w of v loses one unit of
-        # support for every pattern edge (u_parent, u).
-        for u_parent in pattern.predecessors(u):
-            counts = support_count.get((u_parent, u))
-            if counts is None:
-                continue
-            for w in iter_bits(predecessors_bits(v)):
-                count = counts.get(w)
-                if count is None:
-                    continue
-                count -= 1
-                counts[w] = count
-                if count == 0 and (u_parent, w) not in removed:
-                    removed.add((u_parent, w))
-                    removal_list.append((u_parent, w))
-
+    if any(not bits for bits in candidates.values()):
+        return MatchResult.empty()
     return MatchResult(
         {u: compiled.decode(bits) for u, bits in candidates.items()},
         pattern_nodes=pattern.node_list(),

@@ -91,7 +91,7 @@ class TestMatchCommand:
         )
         assert "result graph:" in capsys.readouterr().out
 
-    @pytest.mark.parametrize("oracle", ["matrix", "bfs", "2hop"])
+    @pytest.mark.parametrize("oracle", ["compiled", "matrix", "bfs", "2hop"])
     def test_all_oracles(self, graph_file, pattern_file, oracle, capsys):
         exit_code = main(
             [

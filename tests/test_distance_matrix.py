@@ -151,3 +151,74 @@ class TestMaintenanceHelpers:
         matrix = DistanceMatrix(chain_graph)
         assert matrix.row("n0")["n2"] == 2
         assert matrix.column("n2")["n0"] == 2
+
+
+class TestLazyColumns:
+    def test_refresh_is_row_only(self):
+        graph = random_data_graph(30, 90, seed=12)
+        matrix = DistanceMatrix(graph)
+        assert matrix.materialized_columns() == 0
+        matrix.refresh()
+        assert matrix.materialized_columns() == 0
+
+    def test_column_materializes_on_demand_only(self):
+        graph = random_data_graph(30, 90, seed=12)
+        matrix = DistanceMatrix(graph)
+        node = next(iter(graph.nodes()))
+        matrix.ancestors_within(node, 2)
+        assert matrix.materialized_columns() == 1
+
+    def test_materialized_column_matches_reverse_bfs(self):
+        graph = random_data_graph(30, 90, seed=13)
+        matrix = DistanceMatrix(graph)
+        for node in graph.nodes():
+            assert matrix.column(node) == graph.bfs_distances(node, reverse=True)
+
+    def test_set_distance_updates_materialized_column(self, chain_graph):
+        matrix = DistanceMatrix(chain_graph)
+        column = matrix.column("n0")  # materialise before mutating
+        matrix.set_distance("n4", "n0", 7)
+        assert column["n4"] == 7
+        matrix.set_distance("n4", "n0", INF)
+        assert "n4" not in column
+
+    def test_set_distance_then_materialize_is_consistent(self, chain_graph):
+        matrix = DistanceMatrix(chain_graph)
+        matrix.set_distance("n4", "n0", 7)  # column n0 not yet materialised
+        assert matrix.column("n0")["n4"] == 7
+
+    def test_ensure_node_does_not_materialize_columns(self, chain_graph):
+        matrix = DistanceMatrix(chain_graph)
+        chain_graph.add_node("extra")
+        matrix.ensure_node("extra")
+        assert matrix.materialized_columns() == 0
+        assert matrix.column("extra") == {"extra": 0}
+
+
+class TestBitsCacheBound:
+    def test_bits_lru_is_capped(self):
+        from repro.graph.compiled import compile_graph
+
+        graph = random_data_graph(30, 90, seed=14)
+        matrix = DistanceMatrix(graph, bits_cache_size=10)
+        compiled = compile_graph(graph)
+        for node in graph.nodes():
+            index = compiled.id_of(node)
+            for bound in (1, 2, 3, None):
+                matrix.descendants_within_bits(compiled, index, bound)
+                matrix.ancestors_within_bits(compiled, index, bound)
+        assert len(matrix._bits_lru) <= 10
+
+    def test_capped_cache_still_correct(self):
+        from repro.graph.compiled import compile_graph
+
+        graph = random_data_graph(25, 70, seed=15)
+        small = DistanceMatrix(graph, bits_cache_size=2)
+        large = DistanceMatrix(graph)
+        compiled = compile_graph(graph)
+        for node in graph.nodes():
+            index = compiled.id_of(node)
+            for bound in (1, 3, None):
+                assert small.descendants_within_bits(
+                    compiled, index, bound
+                ) == large.descendants_within_bits(compiled, index, bound)

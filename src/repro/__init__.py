@@ -70,6 +70,7 @@ from repro.graph import (
     scale_free_graph,
     small_world_graph,
 )
+from repro.engine import MatchSession, QueryPlan
 from repro.matching import (
     AffectedArea,
     IncrementalMatcher,
@@ -109,6 +110,9 @@ __all__ = [
     "update_matrix_insert",
     "update_matrix_delete",
     "update_matrix_batch",
+    # engine
+    "MatchSession",
+    "QueryPlan",
     # matching
     "match",
     "matches",

@@ -9,7 +9,16 @@ Subcommands
 ``match``
     Compute the maximum bounded-simulation match of a pattern in a data
     graph and print it (optionally as JSON, optionally with the result
-    graph summary).
+    graph summary).  Runs through a :class:`~repro.engine.MatchSession`.
+
+``query``
+    Batch mode: open **one** :class:`~repro.engine.MatchSession` over the
+    graph and serve every pattern given via ``--patterns`` from the shared
+    snapshot (``session.match_many``).  ``--repeat N`` replays the workload
+    so later rounds hit the session's result cache; ``--parallel fork``
+    forces the fork-based process pool, ``serial`` disables it and ``auto``
+    (default) decides from the workload size; ``--explain`` prints each
+    pattern's query plan (chosen strategy and why).
 
 ``generate``
     Generate a synthetic data graph (uniform random, scale-free,
@@ -34,6 +43,8 @@ Examples
     python -m repro generate --kind youtube --scale 0.02 --out youtube.json
     python -m repro stats youtube.json
     python -m repro match --graph youtube.json --pattern pattern.json
+    python -m repro query --graph youtube.json --patterns p1.json p2.json p3.json \\
+        --repeat 2 --explain
     python -m repro experiment fig9
     python -m repro incremental --graph youtube.json --pattern pattern.json \\
         --updates delta.json --engine compiled --batch-size 50
@@ -47,6 +58,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.datasets import DATASET_BUILDERS
+from repro.engine import MatchSession
 from repro.distance.bfs import BFSDistanceOracle
 from repro.distance.compiled import CompiledDistanceMatrix
 from repro.distance.matrix import DistanceMatrix
@@ -90,6 +102,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     match_parser.add_argument(
         "--result-graph", action="store_true", help="also print the result-graph summary"
+    )
+
+    query_parser = subparsers.add_parser(
+        "query", help="serve a batch of patterns from one MatchSession"
+    )
+    query_parser.add_argument("--graph", required=True, help="data graph JSON file")
+    query_parser.add_argument(
+        "--patterns",
+        required=True,
+        nargs="+",
+        metavar="PATTERN",
+        help="one or more pattern JSON files served from the shared snapshot",
+    )
+    query_parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="replay the workload N times (later rounds hit the result cache)",
+    )
+    query_parser.add_argument(
+        "--parallel",
+        choices=["auto", "fork", "serial"],
+        default="auto",
+        help="batch execution: fork-based pool, serial, or size-based auto (default)",
+    )
+    query_parser.add_argument(
+        "--max-workers", type=int, default=None, help="fork pool size cap"
+    )
+    query_parser.add_argument(
+        "--explain", action="store_true", help="print each pattern's query plan"
+    )
+    query_parser.add_argument(
+        "--json", action="store_true", help="print a JSON report instead of text"
     )
 
     generate_parser = subparsers.add_parser("generate", help="generate a synthetic data graph")
@@ -156,8 +201,11 @@ def build_parser() -> argparse.ArgumentParser:
 def _command_match(args: argparse.Namespace) -> int:
     graph = load_graph_json(args.graph)
     pattern = load_pattern_json(args.pattern)
-    oracle = _ORACLES[args.oracle](graph)
-    result = match(pattern, graph, oracle)
+    # "compiled" is the session's own lazy oracle; anything else is an
+    # explicit substrate the session must not bypass.
+    oracle = None if args.oracle == "compiled" else _ORACLES[args.oracle](graph)
+    session = MatchSession(graph, oracle=oracle)
+    result = session.match(pattern)
 
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
@@ -170,12 +218,67 @@ def _command_match(args: argparse.Namespace) -> int:
             print(f"  {pattern_node} -> {{{nodes}}}")
 
     if args.result_graph and result:
-        result_graph = build_result_graph(pattern, graph, result, oracle)
+        result_graph = build_result_graph(pattern, graph, result, session.oracle)
         print(
             f"result graph: {result_graph.number_of_nodes()} nodes, "
             f"{result_graph.number_of_edges()} edges"
         )
     return 0 if result else 1
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    graph = load_graph_json(args.graph)
+    patterns = [load_pattern_json(path) for path in args.patterns]
+    parallel = {"auto": None, "fork": True, "serial": False}[args.parallel]
+    session = MatchSession(graph)
+
+    if args.explain and not args.json:
+        for path, pattern in zip(args.patterns, patterns):
+            print(f"# {path}")
+            print(session.explain(pattern))
+        print()
+
+    import time
+
+    results = []
+    round_seconds = []
+    for _ in range(max(1, args.repeat)):
+        start = time.perf_counter()
+        results = session.match_many(
+            patterns, parallel=parallel, max_workers=args.max_workers
+        )
+        round_seconds.append(round(time.perf_counter() - start, 4))
+
+    rows = [
+        {
+            "pattern": path,
+            "name": pattern.name,
+            "fingerprint": pattern.fingerprint()[:12],
+            "matched": bool(result),
+            "match_pairs": len(result),
+        }
+        for path, pattern, result in zip(args.patterns, patterns, results)
+    ]
+    stats = session.stats()
+    if args.json:
+        print(
+            json.dumps(
+                {"patterns": rows, "rounds_s": round_seconds, "session": stats},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for row in rows:
+            status = f"{row['match_pairs']} pairs" if row["matched"] else "no match"
+            print(f"  {row['pattern']}: {status}")
+        rounds = ", ".join(f"{seconds}s" for seconds in round_seconds)
+        print(
+            f"{len(patterns)} pattern(s) x {max(1, args.repeat)} round(s) "
+            f"[{rounds}]; cache hits/misses: "
+            f"{stats['cache_hits']}/{stats['cache_misses']}; plans: {stats['plans']}"
+        )
+    return 0 if all(row["matched"] for row in rows) else 1
 
 
 def _command_generate(args: argparse.Namespace) -> int:
@@ -290,6 +393,7 @@ def _command_incremental(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "match": _command_match,
+    "query": _command_query,
     "generate": _command_generate,
     "stats": _command_stats,
     "experiment": _command_experiment,

@@ -283,8 +283,9 @@ class CompiledDistanceMatrix(DistanceOracle):
         *,
         max_rows: Optional[int] = DEFAULT_ROW_CACHE_SIZE,
         bits_cache_size: int = DEFAULT_BITS_CACHE_SIZE,
+        bits_cache: Optional["BoundedBitsCache"] = None,
     ) -> None:
-        super().__init__(graph, bits_cache_size=bits_cache_size)
+        super().__init__(graph, bits_cache_size=bits_cache_size, bits_cache=bits_cache)
         if max_rows is not None and max_rows < 1:
             raise DistanceOracleError(f"max_rows must be positive, got {max_rows}")
         # (index, forward?) -> dense array('i') distance vector.

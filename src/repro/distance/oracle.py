@@ -102,15 +102,23 @@ class DistanceOracle(ABC):
     """
 
     def __init__(
-        self, graph: DataGraph, *, bits_cache_size: int = DEFAULT_BITS_CACHE_SIZE
+        self,
+        graph: DataGraph,
+        *,
+        bits_cache_size: int = DEFAULT_BITS_CACHE_SIZE,
+        bits_cache: Optional[BoundedBitsCache] = None,
     ) -> None:
         self._graph = graph
         # Shortest-cycle lengths per node (nonempty self-distances), keyed by
         # the graph version they were computed at.
         self._self_loop_cache: Dict[NodeId, float] = {}
         self._self_loop_version = graph.version
-        # Memoised reachability bitsets for the compiled matching path.
-        self._bits_lru = BoundedBitsCache(bits_cache_size)
+        # Memoised reachability bitsets for the compiled matching path.  A
+        # caller owning several oracles over the same graph (the engine's
+        # MatchSession) may pass one shared cache instead of a size.
+        self._bits_lru = (
+            bits_cache if bits_cache is not None else BoundedBitsCache(bits_cache_size)
+        )
 
     @property
     def graph(self) -> DataGraph:

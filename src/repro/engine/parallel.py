@@ -1,0 +1,72 @@
+"""Fork-based parallel execution of a pattern workload.
+
+``MatchSession.match_many`` dispatches its cache-missing patterns to a
+process pool created with the ``fork`` start method: every worker inherits
+the parent's pinned :class:`~repro.graph.compiled.CompiledGraph` — the
+``array('i')`` CSR pages, the interning tables and the attribute index —
+through copy-on-write memory, so nothing about the (potentially large)
+snapshot is pickled or copied.  Only the tiny work units (pattern indices)
+travel to the workers and only the decoded :class:`MatchResult` relations
+travel back.
+
+The snapshot is strictly read-only for the workers: ball bitsets and LRU
+entries a worker materialises live in its own copy-on-write pages and are
+discarded with the process, never written back.  On platforms without
+``fork`` (Windows, some macOS configurations) the session silently falls
+back to serial execution — ``spawn`` would have to re-import and re-compile
+everything per worker, which defeats the point of a shared hot snapshot.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import TYPE_CHECKING, List, Sequence, Tuple
+
+from repro.matching.match_result import MatchResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.planner import QueryPlan
+    from repro.engine.session import MatchSession
+    from repro.graph.pattern import Pattern
+
+__all__ = ["fork_available", "run_forked"]
+
+# (session, [(pattern, plan), ...]) published by the parent immediately
+# before forking; workers read it from their inherited memory image.
+_FORK_STATE: Tuple["MatchSession", Sequence[Tuple["Pattern", "QueryPlan"]]] = None
+
+
+def fork_available() -> bool:
+    """``True`` when the ``fork`` start method exists on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _run_work_unit(index: int) -> MatchResult:
+    """Execute one planned query from the inherited fork state."""
+    session, units = _FORK_STATE
+    pattern, plan = units[index]
+    return session._execute(pattern, plan)
+
+
+def run_forked(
+    session: "MatchSession",
+    units: Sequence[Tuple["Pattern", "QueryPlan"]],
+    max_workers: int = None,
+) -> List[MatchResult]:
+    """Run the planned *units* over a fork pool sharing *session*'s snapshot.
+
+    Returns the results in unit order.  The caller must have checked
+    :func:`fork_available` (falling back to serial otherwise).
+    """
+    global _FORK_STATE
+    if max_workers is None:
+        max_workers = os.cpu_count() or 1
+    workers = max(1, min(max_workers, len(units)))
+    context = multiprocessing.get_context("fork")
+    _FORK_STATE = (session, units)
+    try:
+        with context.Pool(processes=workers) as pool:
+            return pool.map(_run_work_unit, range(len(units)))
+    finally:
+        _FORK_STATE = None

@@ -1,0 +1,177 @@
+"""Query planning for :class:`~repro.engine.session.MatchSession`.
+
+Every query admitted by the session is first planned: the planner inspects
+the pattern's bounds (and whether an update stream is attached) and picks
+one of three execution strategies, recording *why* in an explainable
+:class:`QueryPlan`:
+
+* ``simulation`` — every pattern edge carries bound 1, so the bound-1
+  "ball" of a candidate is exactly its direct adjacency row and the
+  fixpoint can run on cached CSR neighbour bitsets without ever touching a
+  distance oracle (graph simulation and bounded simulation coincide here,
+  Remark (2) of the paper);
+* ``bounded`` — some edge carries ``k > 1`` or ``*``, so bounded
+  reachability balls come from the session's compiled distance oracle;
+* ``incremental`` — an update stream is attached, so the session maintains
+  the match with ``IncMatch`` instead of recomputing it after the updates.
+
+The plan also carries the query's cache key: the pattern's canonical
+:meth:`~repro.graph.pattern.Pattern.fingerprint` plus the snapshot version
+the plan was made against, which is what makes the session's result cache
+safe under mutation (a patched or recompiled snapshot has a new version, so
+stale entries can never be served).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.graph.pattern import Pattern
+
+__all__ = [
+    "QueryPlan",
+    "plan_query",
+    "STRATEGY_SIMULATION",
+    "STRATEGY_BOUNDED",
+    "STRATEGY_INCREMENTAL",
+]
+
+#: The bound-1 fixpoint over direct adjacency (no distance oracle).
+STRATEGY_SIMULATION = "simulation"
+#: The general bounded-simulation refinement over distance-oracle balls.
+STRATEGY_BOUNDED = "bounded"
+#: IncMatch maintenance of a standing match under an update stream.
+STRATEGY_INCREMENTAL = "incremental"
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """An explainable record of how the session will execute one query."""
+
+    strategy: str
+    fingerprint: str
+    snapshot_version: int
+    pattern_name: str
+    pattern_nodes: int
+    pattern_edges: int
+    max_bound: Optional[int]
+    has_unbounded: bool
+    reasons: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def cache_key(self) -> Tuple[str, int, str]:
+        """``(pattern fingerprint, snapshot version, strategy)``.
+
+        Including the snapshot version means a mutated graph can never be
+        answered from a result computed against an older snapshot; including
+        the strategy keeps forced graph simulation (which ignores bounds)
+        from colliding with bounded matching of the same pattern.
+        """
+        return (self.fingerprint, self.snapshot_version, self.strategy)
+
+    def explain(self) -> str:
+        """A human-readable account of the planning decision."""
+        bound = "*" if self.has_unbounded else self.max_bound
+        lines = [
+            f"query plan for {self.pattern_name or '<unnamed pattern>'} "
+            f"(|Vp|={self.pattern_nodes}, |Ep|={self.pattern_edges}, "
+            f"max bound={bound})",
+            f"  strategy: {self.strategy}",
+            f"  snapshot version: {self.snapshot_version}",
+            f"  cache key: {self.fingerprint[:12]}…/v{self.snapshot_version}",
+        ]
+        for reason in self.reasons:
+            lines.append(f"  - {reason}")
+        return "\n".join(lines)
+
+
+def plan_query(
+    pattern: Pattern,
+    *,
+    snapshot_version: int,
+    updates: Optional[Sequence] = None,
+    custom_oracle: bool = False,
+    force_simulation: bool = False,
+) -> QueryPlan:
+    """Plan one query against a snapshot at *snapshot_version*.
+
+    Parameters
+    ----------
+    pattern:
+        The query pattern.
+    snapshot_version:
+        Version of the session's pinned compiled snapshot; part of the
+        result-cache key.
+    updates:
+        An attached update stream (any sequence of
+        :class:`~repro.distance.incremental.EdgeUpdate`); when given, the
+        plan selects ``incremental`` regardless of the bounds.
+    custom_oracle:
+        ``True`` when the session was opened with an explicit distance
+        oracle; the planner then never silently bypasses it with the
+        adjacency fast path.
+    force_simulation:
+        Plan a graph-simulation query (bounds ignored by definition);
+        used by :meth:`MatchSession.simulate`.
+    """
+    reasons = []
+    bounds = [pattern.bound(u, v) for u, v in pattern.edges()]
+    has_unbounded = any(b is None for b in bounds)
+    finite = [b for b in bounds if b is not None]
+    max_bound = max(finite) if finite else None
+    all_one = bool(bounds) and not has_unbounded and max_bound == 1
+
+    if updates is not None:
+        strategy = STRATEGY_INCREMENTAL
+        reasons.append(
+            f"update stream attached ({len(updates)} update(s)): maintain the "
+            "standing match with IncMatch instead of recomputing after the batch"
+        )
+    elif force_simulation:
+        strategy = STRATEGY_SIMULATION
+        reasons.append(
+            "graph simulation requested: edge bounds are ignored and every "
+            "pattern edge maps to exactly one data edge"
+        )
+    elif not bounds:
+        strategy = STRATEGY_SIMULATION
+        reasons.append(
+            "the pattern has no edges: candidate retrieval from the attribute "
+            "index is the whole query, no reachability is needed"
+        )
+    elif all_one and not custom_oracle:
+        strategy = STRATEGY_SIMULATION
+        reasons.append(
+            "every pattern edge carries bound 1: the bound-1 ball of a node is "
+            "its direct adjacency row, so the fixpoint runs on cached CSR "
+            "neighbour bitsets without a distance oracle"
+        )
+    else:
+        strategy = STRATEGY_BOUNDED
+        if all_one and custom_oracle:
+            reasons.append(
+                "an explicit distance oracle was supplied, so the adjacency "
+                "fast path is not taken even though every bound is 1"
+            )
+        if has_unbounded:
+            reasons.append(
+                "the pattern has '*' edges: unbounded reachability balls come "
+                "from the compiled distance oracle"
+            )
+        if finite:
+            reasons.append(
+                f"largest finite bound k={max_bound}: bounded balls come from "
+                "the compiled distance oracle (lazy flat BFS, memoised bitsets)"
+            )
+    return QueryPlan(
+        strategy=strategy,
+        fingerprint=pattern.fingerprint(),
+        snapshot_version=snapshot_version,
+        pattern_name=pattern.name,
+        pattern_nodes=pattern.number_of_nodes(),
+        pattern_edges=pattern.number_of_edges(),
+        max_bound=max_bound,
+        has_unbounded=has_unbounded,
+        reasons=tuple(reasons),
+    )

@@ -1,0 +1,471 @@
+"""`MatchSession` — the unified query engine façade.
+
+PRs 1–3 compiled the three pillars of the system (graph core, IncMatch,
+distance kernels) but left every entry point wiring snapshots, oracles and
+caches together by hand, re-deriving state per call.  A
+:class:`MatchSession` pins that state **once** per data graph and amortises
+it across an entire query workload:
+
+* one :class:`~repro.graph.compiled.CompiledGraph` snapshot (through the
+  version-aware :func:`~repro.graph.compiled.compile_graph` cache) plus its
+  :class:`~repro.distance.compiled.FlatBFSKernel`;
+* one :class:`~repro.distance.compiled.CompiledDistanceMatrix` oracle whose
+  ball memos live in a session-owned shared
+  :class:`~repro.distance.oracle.BoundedBitsCache`, so balls computed for
+  one query are reused by the next;
+* lazily, one :class:`~repro.distance.matrix.InternedDistanceStore` for the
+  IncMatch machinery;
+* a result cache keyed by ``(pattern fingerprint, snapshot version,
+  strategy)``, with eviction wired into the snapshot's patch layer so
+  :meth:`patch_edge_insert`/:meth:`patch_edge_delete` (and the update
+  streams of the incremental matcher) invalidate exactly the entries they
+  made stale.
+
+Each query is planned (:mod:`repro.engine.planner`) before execution —
+bound-1 patterns skip the distance oracle entirely, ``k``/``*`` bounds use
+the compiled oracle, attached update streams route to ``IncMatch`` — and
+:meth:`match_many` runs a whole pattern workload over the shared read-only
+snapshot, forking a process pool when the workload is worth it
+(:mod:`repro.engine.parallel`).
+
+The free functions :func:`repro.matching.bounded.match` and
+:func:`repro.matching.simulation.graph_simulation` are thin wrappers that
+open a throwaway session, so the one-shot API keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.distance.compiled import DEFAULT_ROW_CACHE_SIZE, CompiledDistanceMatrix
+from repro.distance.incremental import EdgeUpdate
+from repro.distance.matrix import InternedDistanceStore
+from repro.distance.oracle import (
+    DEFAULT_BITS_CACHE_SIZE,
+    BoundedBitsCache,
+    DistanceOracle,
+)
+from repro.engine.cache import DEFAULT_RESULT_CACHE_SIZE, ResultCache
+from repro.engine.parallel import fork_available, run_forked
+from repro.engine.planner import (
+    STRATEGY_INCREMENTAL,
+    STRATEGY_SIMULATION,
+    QueryPlan,
+    plan_query,
+)
+from repro.graph.compiled import CompiledGraph, compile_graph
+from repro.graph.datagraph import DataGraph, NodeId
+from repro.graph.pattern import Pattern
+from repro.matching.affected import AffectedArea
+from repro.matching.bounded import candidate_bits, refine_bits_to_fixpoint
+from repro.matching.incremental import IncrementalMatcher
+from repro.matching.match_result import MatchResult
+from repro.matching.simulation import ADJACENCY_ORACLE
+
+__all__ = ["MatchSession"]
+
+#: ``parallel=None`` forks only when |V| x pending queries clears this bar —
+#: below it the pool's startup cost dominates the per-query work.
+AUTO_FORK_WORK_FLOOR = 200_000
+#: ``parallel=None`` never forks for fewer pending queries than this.
+AUTO_FORK_MIN_QUERIES = 4
+#: Cap on standing IncrementalMatchers kept per session (each pins a full
+#: interned distance store); least recently used patterns are dropped.
+DEFAULT_MAX_MATCHERS = 16
+
+
+class MatchSession:
+    """A standing query session over one (possibly evolving) data graph.
+
+    Parameters
+    ----------
+    graph:
+        The data graph to serve queries against.  The session follows the
+        graph's version counter: mutations applied through the session (or
+        through an :class:`IncrementalMatcher` it spawned) keep the pinned
+        snapshot patched in place; out-of-band mutations are detected at the
+        next query and answered with a re-pin.
+    oracle:
+        An explicit distance substrate to use instead of the session-owned
+        :class:`CompiledDistanceMatrix`.  Supplying one disables the
+        planner's adjacency fast path (the oracle is always consulted), so
+        the paper's BFS/2-hop variants measure what they claim to.
+    on_cyclic:
+        Passed through to spawned incremental matchers: ``"raise"``
+        (default) or ``"recompute"`` for insertions with cyclic patterns.
+    result_cache_size, bits_cache_size, row_cache_size:
+        Caps for the result cache, the shared ball-bitset LRU and the
+        oracle's dense row LRU (``None`` where accepted = unbounded).
+
+    Examples
+    --------
+    >>> from repro.graph.builders import drug_trafficking_graph, drug_trafficking_pattern
+    >>> session = MatchSession(drug_trafficking_graph())
+    >>> result = session.match(drug_trafficking_pattern())
+    >>> bool(result)
+    True
+    """
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        *,
+        oracle: Optional[DistanceOracle] = None,
+        on_cyclic: str = "raise",
+        result_cache_size: Optional[int] = DEFAULT_RESULT_CACHE_SIZE,
+        bits_cache_size: int = DEFAULT_BITS_CACHE_SIZE,
+        row_cache_size: Optional[int] = DEFAULT_ROW_CACHE_SIZE,
+    ) -> None:
+        self._graph = graph
+        self._on_cyclic = on_cyclic
+        self._bits_cache = BoundedBitsCache(bits_cache_size)
+        self._row_cache_size = row_cache_size
+        self._oracle = oracle
+        self._custom_oracle = oracle is not None
+        self._cache = ResultCache(result_cache_size)
+        self._matchers: "OrderedDict[str, IncrementalMatcher]" = OrderedDict()
+        self._store: Optional[InternedDistanceStore] = None
+        self._store_version: Optional[int] = None
+        self._plan_counts: Dict[str, int] = {}
+        self._parallel_batches = 0
+        self._forked_queries = 0
+        self._compiled: CompiledGraph = compile_graph(graph)
+        self._compiled.add_patch_listener(self._on_snapshot_patched)
+
+    # ------------------------------------------------------------------
+    # pinned state
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> DataGraph:
+        """The data graph this session serves."""
+        return self._graph
+
+    @property
+    def snapshot(self) -> CompiledGraph:
+        """The pinned compiled snapshot (re-pinned when the graph moved)."""
+        return self._sync()
+
+    @property
+    def kernel(self):
+        """The snapshot's shared :class:`FlatBFSKernel`."""
+        return self._sync().flat_kernel()
+
+    @property
+    def oracle(self) -> DistanceOracle:
+        """The session's distance oracle (built lazily for the default).
+
+        Simulation-only workloads never pay for it; the first bounded query
+        materialises a :class:`CompiledDistanceMatrix` whose ball memos live
+        in the session's shared bits cache.
+        """
+        if self._oracle is None:
+            self._oracle = CompiledDistanceMatrix(
+                self._graph,
+                max_rows=self._row_cache_size,
+                bits_cache=self._bits_cache,
+            )
+        return self._oracle
+
+    @property
+    def bits_cache(self) -> BoundedBitsCache:
+        """The shared ball-bitset LRU (one per session, reused across queries)."""
+        return self._bits_cache
+
+    def store(self) -> InternedDistanceStore:
+        """The IncMatch-ready interned distance store (lazy, version-guarded).
+
+        Building it materialises the full matrix ``M`` (one flat BFS per
+        node), so it is computed only on first demand and rebuilt only when
+        the snapshot moved.
+        """
+        compiled = self._sync()
+        if self._store is None or self._store_version != compiled.version:
+            from repro.distance.incremental import build_store
+
+            self._store = build_store(compiled)
+            self._store_version = compiled.version
+        return self._store
+
+    def _sync(self) -> CompiledGraph:
+        """Re-pin the snapshot when the graph's version moved out-of-band."""
+        compiled = self._compiled
+        if compiled.version != self._graph.version:
+            compiled = compile_graph(self._graph)
+            if compiled is not self._compiled:
+                compiled.add_patch_listener(self._on_snapshot_patched)
+                self._compiled = compiled
+            self._cache.evict_stale(compiled.version)
+        return compiled
+
+    def _on_snapshot_patched(self, version_before: int) -> None:
+        """Patch-layer hook: drop results the mutation made stale."""
+        self._cache.evict_stale(self._compiled.version)
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+
+    def plan(
+        self,
+        pattern: Pattern,
+        *,
+        updates: Optional[Sequence[EdgeUpdate]] = None,
+        force_simulation: bool = False,
+    ) -> QueryPlan:
+        """Plan *pattern* against the current snapshot without executing it."""
+        compiled = self._sync()
+        plan = plan_query(
+            pattern,
+            snapshot_version=compiled.version,
+            updates=updates,
+            custom_oracle=self._custom_oracle,
+            force_simulation=force_simulation,
+        )
+        self._plan_counts[plan.strategy] = self._plan_counts.get(plan.strategy, 0) + 1
+        return plan
+
+    def explain(self, pattern: Pattern, **kwargs) -> str:
+        """The human-readable plan for *pattern* (see :meth:`QueryPlan.explain`)."""
+        return self.plan(pattern, **kwargs).explain()
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+
+    def match(
+        self,
+        pattern: Pattern,
+        *,
+        updates: Optional[Sequence[EdgeUpdate]] = None,
+    ) -> MatchResult:
+        """The maximum bounded-simulation match of *pattern*, via the planner.
+
+        With *updates* the session applies the stream through an
+        :class:`IncrementalMatcher` it keeps per pattern fingerprint
+        (IncMatch maintenance) and returns the maintained match; without, it
+        answers from the result cache when the snapshot has not moved and
+        runs the planned fixpoint otherwise.
+        """
+        if updates is not None:
+            result, _ = self.apply_updates(pattern, updates)
+            return result
+        plan = self.plan(pattern)
+        cached = self._cache.get(plan.cache_key)
+        if cached is not None:
+            return cached
+        result = self._execute(pattern, plan)
+        self._cache.put(plan.cache_key, result)
+        return result
+
+    def simulate(self, pattern: Pattern) -> MatchResult:
+        """The maximum graph-simulation relation (bounds ignored), planned/cached."""
+        plan = self.plan(pattern, force_simulation=True)
+        cached = self._cache.get(plan.cache_key)
+        if cached is not None:
+            return cached
+        result = self._execute(pattern, plan)
+        self._cache.put(plan.cache_key, result)
+        return result
+
+    def match_many(
+        self,
+        patterns: Iterable[Pattern],
+        *,
+        parallel: Optional[bool] = None,
+        max_workers: Optional[int] = None,
+    ) -> List[MatchResult]:
+        """Match a whole pattern workload over the shared read-only snapshot.
+
+        Cache hits (and duplicate patterns within the batch) are answered
+        once; the remaining queries run either serially or on a fork-based
+        process pool that shares the snapshot's CSR pages copy-on-write
+        (:mod:`repro.engine.parallel`).
+
+        Parameters
+        ----------
+        parallel:
+            ``True`` forces the fork pool (silently degrading to serial on
+            platforms without ``fork``), ``False`` forces serial, ``None``
+            (default) decides from the workload size.
+        max_workers:
+            Pool size cap (default: CPU count).
+        """
+        patterns = list(patterns)
+        results: List[Optional[MatchResult]] = [None] * len(patterns)
+        pending: Dict[Tuple[str, int, str], List[int]] = {}
+        pending_units: List[Tuple[Pattern, QueryPlan]] = []
+        for index, pattern in enumerate(patterns):
+            plan = self.plan(pattern)
+            cached = self._cache.get(plan.cache_key)
+            if cached is not None:
+                results[index] = cached
+                continue
+            slot = pending.get(plan.cache_key)
+            if slot is None:
+                pending[plan.cache_key] = [index]
+                pending_units.append((pattern, plan))
+            else:
+                slot.append(index)
+        if pending_units:
+            compiled = self._sync()
+            if parallel is None:
+                use_fork = (
+                    fork_available()
+                    and len(pending_units) >= AUTO_FORK_MIN_QUERIES
+                    and compiled.num_nodes * len(pending_units) >= AUTO_FORK_WORK_FLOOR
+                )
+            else:
+                use_fork = parallel and fork_available()
+            if use_fork:
+                computed = run_forked(self, pending_units, max_workers)
+                self._parallel_batches += 1
+                self._forked_queries += len(pending_units)
+            else:
+                computed = [
+                    self._execute(pattern, plan) for pattern, plan in pending_units
+                ]
+            for (key, indices), result in zip(pending.items(), computed):
+                self._cache.put(key, result)
+                for index in indices:
+                    results[index] = result
+        return results
+
+    def _execute(self, pattern: Pattern, plan: QueryPlan) -> MatchResult:
+        """Run the planned fixpoint against the pinned snapshot.
+
+        Uses :attr:`_compiled` directly (not :meth:`_sync`): forked workers
+        must execute against the snapshot pinned before the fork.
+        """
+        compiled = self._compiled
+        pattern_nodes = pattern.node_list()
+        if not pattern_nodes or compiled.num_nodes == 0:
+            return MatchResult.empty(pattern_nodes)
+        mat_bits = candidate_bits(pattern, compiled)
+        for bits in mat_bits.values():
+            if not bits:
+                return MatchResult.empty(pattern_nodes)
+        oracle = (
+            ADJACENCY_ORACLE if plan.strategy == STRATEGY_SIMULATION else self.oracle
+        )
+        refine_bits_to_fixpoint(
+            pattern, oracle, compiled, mat_bits, stop_when_empty=True
+        )
+        if any(not bits for bits in mat_bits.values()):
+            return MatchResult.empty(pattern_nodes)
+        return MatchResult(
+            {u: compiled.decode(bits) for u, bits in mat_bits.items()},
+            pattern_nodes=pattern_nodes,
+        )
+
+    # ------------------------------------------------------------------
+    # incremental maintenance
+    # ------------------------------------------------------------------
+
+    def incremental_matcher(self, pattern: Pattern) -> IncrementalMatcher:
+        """The session's standing :class:`IncrementalMatcher` for *pattern*.
+
+        One matcher is kept per pattern fingerprint; updates applied through
+        it patch the pinned snapshot in place, which fires the result
+        cache's invalidation hook.
+        """
+        fingerprint = pattern.fingerprint()
+        matcher = self._matchers.get(fingerprint)
+        if matcher is None or matcher.graph is not self._graph:
+            matcher = IncrementalMatcher(
+                pattern, self._graph, on_cyclic=self._on_cyclic
+            )
+            self._matchers[fingerprint] = matcher
+        # LRU: unlike the size-capped result/ball caches, each matcher pins
+        # a full interned distance store, so the standing set stays small.
+        self._matchers.move_to_end(fingerprint)
+        while len(self._matchers) > DEFAULT_MAX_MATCHERS:
+            self._matchers.popitem(last=False)
+        return matcher
+
+    def apply_updates(
+        self, pattern: Pattern, updates: Sequence[EdgeUpdate]
+    ) -> Tuple[MatchResult, AffectedArea]:
+        """IncMatch: apply *updates* and return the maintained match + AFF2.
+
+        The maintained match is also seeded into the result cache under the
+        query's post-update cache key, so a follow-up :meth:`match` of the
+        same pattern is a cache hit instead of a recompute.
+        """
+        plan = self.plan(pattern, updates=updates)
+        assert plan.strategy == STRATEGY_INCREMENTAL
+        matcher = self.incremental_matcher(pattern)
+        area = matcher.apply(list(updates))
+        result = matcher.match
+        followup = plan_query(
+            pattern,
+            snapshot_version=self._sync().version,
+            custom_oracle=self._custom_oracle,
+        )
+        self._cache.put(followup.cache_key, result)
+        return result, area
+
+    # ------------------------------------------------------------------
+    # mutation through the session
+    # ------------------------------------------------------------------
+
+    def patch_edge_insert(self, source: NodeId, target: NodeId) -> bool:
+        """Insert edge ``source -> target``: mutate the graph, patch the snapshot.
+
+        Both endpoints must already exist.  Returns ``False`` (a true no-op)
+        when the edge is already present; otherwise the patch layer fires
+        the result cache's invalidation hook and returns ``True``.
+        """
+        compiled = self._sync()
+        if self._graph.has_edge(source, target):
+            return False
+        self._graph.add_edge(source, target)
+        compiled.patch_edge_insert(source, target)
+        return True
+
+    def patch_edge_delete(self, source: NodeId, target: NodeId) -> bool:
+        """Delete edge ``source -> target``; ``False`` when it did not exist."""
+        compiled = self._sync()
+        if not self._graph.has_edge(source, target):
+            return False
+        self._graph.remove_edge(source, target)
+        compiled.patch_edge_delete(source, target)
+        return True
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Counters for tests, benchmarks and the CLI report."""
+        return {
+            "snapshot_version": self._compiled.version,
+            "cache_hits": self._cache.hits,
+            "cache_misses": self._cache.misses,
+            "cache_entries": len(self._cache),
+            "cache_evictions": self._cache.evictions,
+            "plans": dict(self._plan_counts),
+            "parallel_batches": self._parallel_batches,
+            "forked_queries": self._forked_queries,
+            "incremental_matchers": len(self._matchers),
+        }
+
+    def close(self) -> None:
+        """Drop cached state (the session stays usable; caches refill)."""
+        self._cache.clear()
+        self._matchers.clear()
+        self._store = None
+        self._store_version = None
+
+    def __enter__(self) -> "MatchSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<MatchSession over {self._graph!r} "
+            f"v{self._compiled.version} cache={len(self._cache)}>"
+        )

@@ -19,6 +19,7 @@ __all__ = [
     "InvalidBoundError",
     "MatchingError",
     "NoMatchError",
+    "EngineError",
     "IncrementalError",
     "CyclicPatternError",
     "DistanceOracleError",
@@ -110,6 +111,10 @@ class MatchingError(ReproError):
 
 class NoMatchError(MatchingError):
     """Raised by APIs that require a match when ``P`` does not match ``G``."""
+
+
+class EngineError(MatchingError):
+    """Errors raised by the query-engine layer (:mod:`repro.engine`)."""
 
 
 class IncrementalError(MatchingError):

@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.datasets import youtube_graph
 from repro.distance.matrix import DistanceMatrix
+from repro.engine import MatchSession
 from repro.experiments.harness import ExperimentRecord, average, timed
 from repro.graph.datagraph import DataGraph
 from repro.graph.generators import random_data_graph
@@ -58,7 +59,10 @@ def result_graph_experiment(
 ) -> ExperimentRecord:
     """Fig. 6(a): result graphs for the hand-written YouTube patterns."""
     graph = youtube_graph(scale=scale, seed=seed)
-    oracle = DistanceMatrix(graph)
+    # One engine session serves all sample patterns from the shared
+    # snapshot; the ball memos and the session oracle are reused by the
+    # result-graph construction below.
+    session = MatchSession(graph)
     record = ExperimentRecord(
         experiment="fig6a",
         title="Result graphs on YouTube (sample patterns)",
@@ -67,11 +71,12 @@ def result_graph_experiment(
             "nodes can share a data node; result graphs stay small"
         ),
         notes=f"YouTube substitute at scale={scale} "
-        f"(|V|={graph.number_of_nodes()}, |E|={graph.number_of_edges()})",
+        f"(|V|={graph.number_of_nodes()}, |E|={graph.number_of_edges()}); "
+        "served by one MatchSession (shared snapshot + ball memos)",
     )
-    for pattern in youtube_sample_patterns():
-        result = match(pattern, graph, oracle)
-        result_graph = build_result_graph(pattern, graph, result, oracle)
+    patterns = youtube_sample_patterns()
+    for pattern, result in zip(patterns, session.match_many(patterns)):
+        result_graph = build_result_graph(pattern, graph, result, session.oracle)
         record.add_row(
             pattern=pattern.name,
             pattern_nodes=pattern.number_of_nodes(),

@@ -96,6 +96,7 @@ class CompiledGraph:
         "_patched_rev_seq",
         "_flat_kernel",
         "_graph_ref",
+        "_patch_listeners",
     )
 
     def __init__(self) -> None:
@@ -170,6 +171,9 @@ class CompiledGraph:
         self._patched_rev_seq: Dict[int, Tuple[int, ...]] = {}
         self._flat_kernel = None
         self._graph_ref = weakref.ref(graph)
+        # Weakly-held callbacks fired after every patch (see
+        # add_patch_listener); the engine's result caches subscribe here.
+        self._patch_listeners: List[weakref.ReferenceType] = []
         return self
 
     @property
@@ -371,6 +375,44 @@ class CompiledGraph:
     # snapshot patching (the mutation-tolerant layer)
     # ------------------------------------------------------------------
 
+    def add_patch_listener(self, callback) -> None:
+        """Subscribe *callback* to patches of **this** snapshot.
+
+        *callback* is invoked (with the version the snapshot held *before*
+        the patch) after every :meth:`patch_edge_insert`,
+        :meth:`patch_edge_delete` and :meth:`intern_node` — i.e. exactly when
+        this snapshot's answers change without a recompile.  Snapshots of
+        other graphs are unaffected, which is what lets a
+        :class:`~repro.engine.MatchSession` result cache evict only entries
+        the mutation actually invalidated.  Callbacks are held weakly (bound
+        methods through :class:`weakref.WeakMethod`), so a discarded
+        subscriber never keeps state alive and is pruned on the next patch.
+        """
+        try:
+            ref = weakref.WeakMethod(callback)
+        except TypeError:
+            ref = weakref.ref(callback)
+        # Prune here as well as on notify: throwaway sessions (the match()
+        # wrapper) subscribe to the long-lived cached snapshot once per
+        # call, and without pruning an unpatched snapshot would accumulate
+        # one dead weakref per discarded session.
+        listeners = [r for r in self._patch_listeners if r() is not None]
+        listeners.append(ref)
+        self._patch_listeners = listeners
+
+    def _notify_patched(self, version_before: int) -> None:
+        listeners = self._patch_listeners
+        if not listeners:
+            return
+        live = []
+        for ref in listeners:
+            callback = ref()
+            if callback is not None:
+                live.append(ref)
+                callback(version_before)
+        if len(live) != len(listeners):
+            self._patch_listeners = live
+
     def _sync_version_after_patch(self) -> None:
         """Adopt the graph's version iff it moved by exactly this one mutation.
 
@@ -390,6 +432,7 @@ class CompiledGraph:
         Call immediately after ``graph.add_edge(source, target)``; the
         snapshot re-synchronises its version with the graph.
         """
+        version_before = self.version
         i = self.id_of(source)
         j = self.id_of(target)
         succ = self.successors_bits(i) | (1 << j)
@@ -401,12 +444,14 @@ class CompiledGraph:
         self.out_nonzero_bits |= 1 << i
         self.num_edges += 1
         self._sync_version_after_patch()
+        self._notify_patched(version_before)
 
     def patch_edge_delete(self, source: NodeId, target: NodeId) -> None:
         """Remove the edge ``source -> target`` from the adjacency overlay.
 
         Call immediately after ``graph.remove_edge(source, target)``.
         """
+        version_before = self.version
         i = self.id_of(source)
         j = self.id_of(target)
         succ = self.successors_bits(i) & ~(1 << j)
@@ -419,6 +464,7 @@ class CompiledGraph:
             self.out_nonzero_bits &= ~(1 << i)
         self.num_edges -= 1
         self._sync_version_after_patch()
+        self._notify_patched(version_before)
 
     def intern_node(self, node: NodeId, attributes: Mapping[str, Any]) -> int:
         """Intern a node added to the graph after compilation; returns its index.
@@ -431,6 +477,7 @@ class CompiledGraph:
         existing = self._id_of.get(node)
         if existing is not None:
             return existing
+        version_before = self.version
         index = self.num_nodes
         self._id_of[node] = index
         self._node_of.append(node)
@@ -449,6 +496,7 @@ class CompiledGraph:
         self.num_nodes += 1
         self.all_bits |= bit
         self._sync_version_after_patch()
+        self._notify_patched(version_before)
         return index
 
     # ------------------------------------------------------------------

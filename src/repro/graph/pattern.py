@@ -15,6 +15,7 @@ simulation / subgraph isomorphism and is exposed via :meth:`is_traditional`.
 
 from __future__ import annotations
 
+import hashlib
 from typing import (
     Any,
     Dict,
@@ -337,6 +338,43 @@ class Pattern:
             if atom.op != "=" or atom.attribute != Predicate.LABEL_ATTRIBUTE:
                 return False
         return True
+
+    def fingerprint(self) -> str:
+        """A stable content hash of the pattern (nodes, predicates, edges, bounds).
+
+        The fingerprint is canonical: it does not depend on node/edge
+        insertion order or on the order of a predicate's atoms, and it is
+        stable across processes and :meth:`to_dict`/:meth:`from_dict`
+        round-trips (unlike ``hash()``, which is salted per process for
+        strings).  The pattern :attr:`name` is deliberately excluded — two
+        patterns with identical structure and predicates are the same query.
+
+        The engine layer (:mod:`repro.engine`) uses this as its result-cache
+        key together with the snapshot version.
+        """
+        def _token(value: Any) -> str:
+            # Type-tagged repr so e.g. 1, 1.0, True and "1" stay distinct.
+            return f"{type(value).__name__}:{value!r}"
+
+        def _predicate_token(predicate: Predicate) -> str:
+            atoms = sorted(
+                f"{atom.attribute}|{atom.op}|{_token(atom.value)}"
+                for atom in predicate.atoms
+            )
+            return "&".join(atoms)
+
+        node_tokens = sorted(
+            f"N({_token(node)};{_predicate_token(self._predicates[node])})"
+            for node in self._succ
+        )
+        edge_tokens = sorted(
+            f"E({_token(source)}->{_token(target)};"
+            f"b={'*' if bound is None else bound};"
+            f"c={_token(self._colors.get((source, target)))})"
+            for (source, target), bound in self._bounds.items()
+        )
+        canonical = "\n".join(node_tokens + edge_tokens)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def max_bound(self) -> Optional[int]:
         """The largest finite bound, or ``None`` when the pattern has no finite bound."""

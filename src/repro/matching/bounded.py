@@ -43,10 +43,9 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.distance.compiled import CompiledDistanceMatrix
 from repro.distance.matrix import DistanceMatrix
 from repro.distance.oracle import DistanceOracle
-from repro.graph.compiled import CompiledGraph, compile_graph, iter_bits
+from repro.graph.compiled import CompiledGraph, iter_bits
 from repro.graph.datagraph import DataGraph, NodeId
 from repro.graph.pattern import Pattern, PatternNodeId
 from repro.matching.match_result import MatchResult
@@ -131,11 +130,13 @@ def match(
         :class:`~repro.distance.twohop.TwoHopOracle` for the other paper
         variants.
     use_compiled:
-        When ``True`` (default) the refinement runs over the compiled
-        integer/bitset snapshot of *graph* (see :mod:`repro.graph.compiled`)
-        and decodes to original node ids at the end.  ``False`` selects the
-        original set-based implementation, kept as a cross-checking reference
-        and for old-vs-new benchmarking.
+        When ``True`` (default) the call is served by a throwaway
+        :class:`~repro.engine.MatchSession` — planning, compiled snapshot
+        pinning and execution live in :mod:`repro.engine`; hold a session
+        yourself when issuing many queries against one graph so ball memos
+        and cached results survive between calls.  ``False`` selects the
+        original set-based implementation, kept as a cross-checking
+        reference and for old-vs-new benchmarking.
 
     Returns
     -------
@@ -143,39 +144,33 @@ def match(
         The maximum match, or the empty relation when ``P`` does not match
         ``G``.
     """
+    if use_compiled:
+        # A throwaway engine session: planning, snapshot pinning and the
+        # result cache live in repro.engine; callers issuing many queries
+        # against one graph should hold a MatchSession themselves so the
+        # ball memos and cached results survive between calls.
+        from repro.engine.session import MatchSession
+
+        return MatchSession(graph, oracle=oracle).match(pattern)
+
+    pattern_nodes = pattern.node_list()
     if pattern.number_of_nodes() == 0:
         return MatchResult.empty()
     if graph.number_of_nodes() == 0:
-        return MatchResult.empty()
+        return MatchResult.empty(pattern_nodes)
     if oracle is None:
-        oracle = CompiledDistanceMatrix(graph) if use_compiled else DistanceMatrix(graph)
-
-    if use_compiled:
-        compiled = compile_graph(graph)
-        mat_bits = candidate_bits(pattern, compiled)
-        for bits in mat_bits.values():
-            if not bits:
-                return MatchResult.empty()
-        refine_bits_to_fixpoint(
-            pattern, oracle, compiled, mat_bits, stop_when_empty=True
-        )
-        if any(not bits for bits in mat_bits.values()):
-            return MatchResult.empty()
-        return MatchResult(
-            {u: compiled.decode(bits) for u, bits in mat_bits.items()},
-            pattern_nodes=pattern.node_list(),
-        )
+        oracle = DistanceMatrix(graph)
 
     mat = candidate_sets(pattern, graph)
     for u, candidates in mat.items():
         if not candidates:
-            return MatchResult.empty()
+            return MatchResult.empty(pattern_nodes)
 
     refine_to_fixpoint(pattern, oracle, mat)
 
     if any(not candidates for candidates in mat.values()):
-        return MatchResult.empty()
-    return MatchResult(mat, pattern_nodes=pattern.node_list())
+        return MatchResult.empty(pattern_nodes)
+    return MatchResult(mat, pattern_nodes=pattern_nodes)
 
 
 def refine_to_fixpoint(
@@ -381,5 +376,5 @@ def naive_match(pattern: Pattern, graph: DataGraph) -> MatchResult:
                 changed = True
 
     if any(not nodes for nodes in candidates.values()):
-        return MatchResult.empty()
+        return MatchResult.empty(pattern.node_list())
     return MatchResult(candidates, pattern_nodes=pattern.node_list())

@@ -33,7 +33,7 @@ class MatchResult:
         the keys of *mapping* are assumed to be the full set.
     """
 
-    __slots__ = ("_mapping", "_total")
+    __slots__ = ("_mapping", "_total", "_pattern_nodes")
 
     def __init__(
         self,
@@ -52,15 +52,22 @@ class MatchResult:
             frozen = {}
         self._mapping = frozen
         self._total = total
+        self._pattern_nodes = frozenset(required)
 
     # ------------------------------------------------------------------
     # constructors
     # ------------------------------------------------------------------
 
     @classmethod
-    def empty(cls) -> "MatchResult":
-        """The empty relation (``P`` does not match ``G``)."""
-        return cls({}, pattern_nodes=())
+    def empty(
+        cls, pattern_nodes: Iterable[PatternNodeId] = ()
+    ) -> "MatchResult":
+        """The empty relation (``P`` does not match ``G``).
+
+        *pattern_nodes* carries the pattern's node list, so an empty result
+        reports the same :meth:`pattern_nodes` as a non-empty one would.
+        """
+        return cls({}, pattern_nodes=pattern_nodes)
 
     @classmethod
     def from_pairs(
@@ -109,8 +116,14 @@ class MatchResult:
                 yield (u, v)
 
     def pattern_nodes(self) -> FrozenSet[PatternNodeId]:
-        """The pattern nodes with at least one match."""
-        return frozenset(self._mapping)
+        """The pattern's node set as seen at construction time.
+
+        For a non-empty relation this equals the set of matched pattern
+        nodes (the relation is total by definition); an empty result built
+        with ``pattern_nodes=`` still reports the pattern's nodes instead of
+        the empty set.
+        """
+        return self._pattern_nodes
 
     def matched_data_nodes(self) -> FrozenSet[NodeId]:
         """All data nodes appearing in the relation (the result-graph node set)."""

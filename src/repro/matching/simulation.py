@@ -27,13 +27,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.graph.compiled import CompiledGraph, compile_graph
+from repro.graph.compiled import CompiledGraph
 from repro.graph.datagraph import DataGraph, NodeId
 from repro.graph.pattern import Pattern, PatternNodeId
-from repro.matching.bounded import refine_bits_to_fixpoint
 from repro.matching.match_result import MatchResult
 
-__all__ = ["graph_simulation", "simulates"]
+__all__ = ["graph_simulation", "simulates", "ADJACENCY_ORACLE"]
 
 
 class _AdjacencyOracle:
@@ -61,7 +60,9 @@ class _AdjacencyOracle:
         return compiled.predecessors_bits(target)
 
 
-_ADJACENCY_ORACLE = _AdjacencyOracle()
+#: The shared bound-1 "oracle" instance (stateless).  The engine layer
+#: (:mod:`repro.engine`) reuses it for its simulation execution strategy.
+ADJACENCY_ORACLE = _AdjacencyOracle()
 
 
 def graph_simulation(
@@ -76,27 +77,12 @@ def graph_simulation(
     """
     if not use_compiled:
         return _graph_simulation_sets(pattern, graph)
-    if pattern.number_of_nodes() == 0 or graph.number_of_nodes() == 0:
-        return MatchResult.empty()
+    # A throwaway engine session: the compiled snapshot still comes from the
+    # shared compile cache, and callers serving many patterns should hold a
+    # MatchSession themselves to also share ball memos and cached results.
+    from repro.engine.session import MatchSession
 
-    compiled = compile_graph(graph)
-    candidates: Dict[PatternNodeId, int] = {}
-    for u in pattern.nodes():
-        bits = compiled.candidate_bits(pattern.predicate(u))
-        if not bits:
-            return MatchResult.empty()
-        candidates[u] = bits
-
-    refine_bits_to_fixpoint(
-        pattern, _ADJACENCY_ORACLE, compiled, candidates, stop_when_empty=True
-    )
-
-    if any(not bits for bits in candidates.values()):
-        return MatchResult.empty()
-    return MatchResult(
-        {u: compiled.decode(bits) for u, bits in candidates.items()},
-        pattern_nodes=pattern.node_list(),
-    )
+    return MatchSession(graph).simulate(pattern)
 
 
 def _graph_simulation_sets(pattern: Pattern, graph: DataGraph) -> MatchResult:
@@ -108,7 +94,7 @@ def _graph_simulation_sets(pattern: Pattern, graph: DataGraph) -> MatchResult:
             v for v in graph.nodes() if predicate.evaluate(graph.attributes(v))
         }
         if not candidates[u]:
-            return MatchResult.empty()
+            return MatchResult.empty(pattern.node_list())
 
     # support_count[(u, u')][v]: number of successors of v in candidates[u'].
     support_count: Dict[Tuple[PatternNodeId, PatternNodeId], Dict[NodeId, int]] = {}
@@ -133,7 +119,7 @@ def _graph_simulation_sets(pattern: Pattern, graph: DataGraph) -> MatchResult:
         index += 1
         candidates[u].discard(v)
         if not candidates[u]:
-            return MatchResult.empty()
+            return MatchResult.empty(pattern.node_list())
         # v no longer matches u: every predecessor w of v loses one unit of
         # support for every pattern edge (u_parent, u).
         for u_parent in pattern.predecessors(u):

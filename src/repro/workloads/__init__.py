@@ -1,6 +1,7 @@
 """Workload generators: update streams (``δ``) and pattern suites."""
 
 from repro.workloads.patterns import (
+    engine_batch_workload,
     pattern_suite,
     youtube_example_pattern,
     youtube_fig6a_pattern_p1,
@@ -20,6 +21,7 @@ __all__ = [
     "mixed_updates",
     "split_batches",
     "pattern_suite",
+    "engine_batch_workload",
     "youtube_example_pattern",
     "youtube_fig6a_pattern_p1",
     "youtube_fig6a_pattern_p2",

@@ -22,6 +22,7 @@ __all__ = [
     "youtube_fig6a_pattern_p2",
     "youtube_sample_patterns",
     "pattern_suite",
+    "engine_batch_workload",
 ]
 
 
@@ -89,6 +90,36 @@ def youtube_sample_patterns() -> List[Pattern]:
         youtube_fig6a_pattern_p1(),
         youtube_fig6a_pattern_p2(),
     ]
+
+
+def engine_batch_workload(
+    graph: DataGraph,
+    *,
+    num_patterns: int = 8,
+    pattern_nodes: int = 4,
+    pattern_edges: int = 4,
+    bound: int = 3,
+    simulation_share: float = 0.25,
+    seed: RandomLike = 17,
+) -> List[Pattern]:
+    """A mixed pattern workload for ``MatchSession.match_many``.
+
+    Generates *num_patterns* DAG patterns over *graph*'s attribute space;
+    roughly *simulation_share* of them carry bound 1 (so the engine's
+    planner routes them through the adjacency fast path) and the rest carry
+    *bound* (the compiled distance oracle path).  This is the workload shape
+    the engine benchmark (``benchmarks/bench_engine_batch.py``) and the
+    batch CLI are exercised with: many queries, one hot snapshot.
+    """
+    generator = PatternGenerator(graph, seed=seed)
+    num_simulation = max(1, round(num_patterns * simulation_share))
+    patterns: List[Pattern] = []
+    for index in range(num_patterns):
+        edge_bound = 1 if index < num_simulation else bound
+        pattern = generator.generate_dag(pattern_nodes, pattern_edges, edge_bound)
+        pattern.name = f"batch-{index}(k={edge_bound})"
+        patterns.append(pattern)
+    return patterns
 
 
 def pattern_suite(

@@ -211,3 +211,52 @@ class TestIncrementalCommand:
                     "--updates", str(bad),
                 ]
             )
+
+
+class TestQueryCommand:
+    def test_batch_query_text(self, capsys, graph_file, pattern_file, failing_pattern_file):
+        code = main(
+            [
+                "query",
+                "--graph", str(graph_file),
+                "--patterns", str(pattern_file), str(failing_pattern_file),
+                "--repeat", "2",
+                "--explain",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1  # one pattern has no match
+        assert "strategy:" in out          # --explain printed the plans
+        assert "no match" in out
+        assert "cache hits/misses" in out
+
+    def test_batch_query_json(self, capsys, graph_file, pattern_file):
+        code = main(
+            [
+                "query",
+                "--graph", str(graph_file),
+                "--patterns", str(pattern_file), str(pattern_file),
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["patterns"]) == 2
+        assert all(row["matched"] for row in payload["patterns"])
+        # Identical pattern files share one fingerprint -> computed once.
+        assert payload["session"]["cache_entries"] == 1
+
+    def test_serial_matches_forced_fork(self, capsys, graph_file, pattern_file):
+        for mode in ("serial", "fork"):
+            code = main(
+                [
+                    "query",
+                    "--graph", str(graph_file),
+                    "--patterns", str(pattern_file),
+                    "--parallel", mode,
+                    "--json",
+                ]
+            )
+            assert code == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["patterns"][0]["match_pairs"] == 2

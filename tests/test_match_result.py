@@ -102,3 +102,22 @@ class TestComparison:
     def test_repr(self):
         assert "empty" in repr(MatchResult.empty())
         assert "pairs" in repr(MatchResult({"A": {"x"}}))
+
+
+class TestEmptyPatternNodes:
+    def test_empty_carries_pattern_nodes(self):
+        result = MatchResult.empty(["A", "B"])
+        assert result.is_empty
+        assert result.pattern_nodes() == {"A", "B"}
+
+    def test_default_empty_has_no_pattern_nodes(self):
+        assert MatchResult.empty().pattern_nodes() == frozenset()
+
+    def test_non_total_mapping_keeps_required_nodes(self):
+        result = MatchResult({"A": {"x"}}, pattern_nodes=["A", "B"])
+        assert result.is_empty
+        assert result.pattern_nodes() == {"A", "B"}
+
+    def test_empty_results_compare_equal_regardless_of_pattern(self):
+        # Equality is over the relation; the carried node list is metadata.
+        assert MatchResult.empty(["A"]) == MatchResult.empty(["B"])

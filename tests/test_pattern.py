@@ -222,3 +222,74 @@ class TestSerialisation:
         assert "x" in repr(pattern)
         assert "A" in pattern
         assert list(iter(pattern)) == ["A"]
+
+
+class TestFingerprint:
+    def test_stable_across_construction_order(self):
+        a = Pattern()
+        a.add_node("x", "A")
+        a.add_node("y", "B")
+        a.add_edge("x", "y", 2)
+        b = Pattern()
+        b.add_node("y", "B")
+        b.add_node("x", "A")
+        b.add_edge("x", "y", 2)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_round_trips_through_serialisation_and_copy(self):
+        pattern = Pattern(name="rt")
+        pattern.add_node("x", Predicate.parse("category = Music & rate > 3"))
+        pattern.add_node("y", "B")
+        pattern.add_edge("x", "y", "*")
+        pattern.add_edge("y", "x", 4, color="friend")
+        assert Pattern.from_dict(pattern.to_dict()).fingerprint() == pattern.fingerprint()
+        assert pattern.copy().fingerprint() == pattern.fingerprint()
+
+    def test_name_is_excluded(self):
+        a = Pattern(name="one")
+        a.add_node("x", "A")
+        b = Pattern(name="two")
+        b.add_node("x", "A")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_atom_order_is_canonicalised(self):
+        a = Pattern()
+        a.add_node("x", Predicate.parse("rate > 3 & category = Music"))
+        b = Pattern()
+        b.add_node("x", Predicate.parse("category = Music & rate > 3"))
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_no_collisions_across_structural_variants(self):
+        base = Pattern()
+        base.add_node("x", "A")
+        base.add_node("y", "B")
+        base.add_edge("x", "y", 2)
+
+        bound_changed = base.copy()
+        bound_changed.set_bound("x", "y", 3)
+        unbounded = base.copy()
+        unbounded.set_bound("x", "y", "*")
+        predicate_changed = base.copy()
+        predicate_changed.set_predicate("y", "C")
+        edge_flipped = Pattern()
+        edge_flipped.add_node("x", "A")
+        edge_flipped.add_node("y", "B")
+        edge_flipped.add_edge("y", "x", 2)
+        extra_node = base.copy()
+        extra_node.add_node("z", "C")
+
+        fingerprints = {
+            p.fingerprint()
+            for p in (base, bound_changed, unbounded, predicate_changed,
+                      edge_flipped, extra_node)
+        }
+        assert len(fingerprints) == 6
+
+    def test_value_types_stay_distinct(self):
+        # 1 == 1.0 == True in Python; the fingerprint must not conflate them.
+        variants = []
+        for value in (1, 1.0, True, "1"):
+            p = Pattern()
+            p.add_node("x", Predicate.equals("rank", value))
+            variants.append(p.fingerprint())
+        assert len(set(variants)) == 4

@@ -3,10 +3,10 @@
 
 Social networks and recommendation graphs change constantly; recomputing a
 match from scratch after every edit is wasteful.  This example keeps the
-maximum match of a DAG pattern up to date with :class:`IncrementalMatcher`
-while a stream of random edge insertions and deletions is applied, and
-compares the incremental cost against re-running the batch algorithm
-(including the distance-matrix rebuild it needs).
+maximum match of a DAG pattern up to date by streaming edge updates through
+the public API (``GraphHandle.query(...).stream(updates)`` — IncMatch under
+the hood), and compares the incremental cost against re-running the batch
+algorithm (including the distance-matrix rebuild it needs).
 
 Run with:  python examples/incremental_monitoring.py [scale] [num_batches]
 """
@@ -16,9 +16,8 @@ from __future__ import annotations
 import sys
 import time
 
-from repro import DistanceMatrix, PatternGenerator, match
+from repro import DistanceMatrix, PatternGenerator, match, wrap
 from repro.datasets import youtube_graph
-from repro.matching import IncrementalMatcher
 from repro.workloads.updates import mixed_updates
 
 
@@ -34,10 +33,11 @@ def main() -> None:
     print(f"graph: {graph}")
     print(f"pattern: {pattern} (DAG: {pattern.is_dag()})")
 
+    monitored = wrap(graph).query(pattern)
     start = time.perf_counter()
-    matcher = IncrementalMatcher(pattern, graph)
+    view = monitored.match()
     setup_seconds = time.perf_counter() - start
-    print(f"initial match: {len(matcher.match)} pairs "
+    print(f"initial match: {len(view)} pairs "
           f"(computed in {setup_seconds:.2f}s, matrix included)")
     print()
 
@@ -51,8 +51,9 @@ def main() -> None:
         updates = mixed_updates(graph, batch_size, seed=100 + batch_index)
 
         start = time.perf_counter()
-        area = matcher.apply(updates)
+        view = monitored.stream(updates)
         incremental_seconds = time.perf_counter() - start
+        area = view.affected
 
         # Batch baseline: rerun Match on a copy of the (already updated) graph.
         snapshot = graph.copy()
@@ -62,11 +63,11 @@ def main() -> None:
 
         total_incremental += incremental_seconds
         total_batch += batch_seconds
-        agree = matcher.match == batch_result
+        agree = view.result == batch_result
         print(
             f"{batch_index:>5}  {len(updates):>4}  {incremental_seconds:>8.3f}  "
             f"{batch_seconds:>9.3f}  {area.aff1_size:>6}  {area.aff2_core_size:>4}  "
-            f"{len(matcher.match):>5}  {'yes' if agree else 'NO'}"
+            f"{len(view):>5}  {'yes' if agree else 'NO'}"
         )
 
     print("-" * len(header))

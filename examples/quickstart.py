@@ -7,29 +7,22 @@ organisation pattern with a boss (B), assistant managers (AM), a secretary
 supervises field workers *within 3 hops*).  Subgraph isomorphism cannot
 express this; bounded simulation finds the full community in cubic time.
 
+The pattern is written in the public query DSL (``repro.api``) and executed
+through a :class:`~repro.api.GraphHandle` — the one documented entry point.
+
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import DataGraph, Pattern, Predicate, match
-from repro.matching import build_result_graph
+from repro import DataGraph, wrap
 
-
-def build_pattern() -> Pattern:
-    """The pattern P0 of Fig. 1."""
-    pattern = Pattern(name="P0")
-    pattern.add_node("B", "B")                                   # boss
-    pattern.add_node("AM", "AM")                                 # assistant manager
-    pattern.add_node("S", Predicate.equals("role", "S"))         # secretary
-    pattern.add_node("FW", "FW")                                 # field worker
-    pattern.add_edge("B", "AM", 1)     # the boss oversees AMs directly
-    pattern.add_edge("B", "S", 1)      # ... and communicates through a secretary
-    pattern.add_edge("AM", "FW", 3)    # an AM supervises FWs within 3 hops
-    pattern.add_edge("S", "FW", 1)     # the secretary reaches top-level FWs directly
-    pattern.add_edge("AM", "B", 1)     # AMs report directly to the boss
-    pattern.add_edge("FW", "AM", 3)    # FWs report to AMs within 3 hops
-    return pattern
+#: The pattern P0 of Fig. 1, as query-DSL text: nodes carry predicates,
+#: edges carry hop bounds (``->`` is one hop, ``-[<=3]->`` at most three).
+P0 = """
+(B:B)->(AM:AM)-[<=3]->(FW:FW)-[<=3]->(AM);
+(AM)->(B)->(S {role = 'S'})->(FW)
+"""
 
 
 def build_data_graph() -> DataGraph:
@@ -67,27 +60,30 @@ def build_data_graph() -> DataGraph:
 
 
 def main() -> None:
-    pattern = build_pattern()
-    graph = build_data_graph()
+    graph = wrap(build_data_graph())
+    query = graph.query(P0, name="P0")
 
-    print(f"pattern: {pattern}")
+    print(f"pattern: {query.pattern}")
     print(f"data graph: {graph}")
     print()
 
-    result = match(pattern, graph)
-    if not result:
+    view = query.match()
+    if not view:
         print("The pattern has no match in the data graph.")
         return
 
     print("Maximum bounded-simulation match (pattern node -> data nodes):")
-    for pattern_node in pattern.nodes():
-        matched = ", ".join(sorted(str(v) for v in result.matches(pattern_node)))
+    for pattern_node in view.pattern_nodes():
+        matched = ", ".join(str(v) for v in view[pattern_node].ids())
         print(f"  {pattern_node:>3} -> {{{matched}}}")
     print()
-    print(f"total match pairs |S| = {len(result)}")
-    print(f"average matches per pattern node = {result.average_matches_per_pattern_node():.1f}")
+    print(f"total match pairs |S| = {len(view)}")
+    print(
+        "average matches per pattern node = "
+        f"{view.result.average_matches_per_pattern_node():.1f}"
+    )
 
-    result_graph = build_result_graph(pattern, graph, result)
+    result_graph = view.graph()
     print(
         f"result graph: {result_graph.number_of_nodes()} nodes, "
         f"{result_graph.number_of_edges()} edges"

@@ -1,61 +1,68 @@
 #!/usr/bin/env python3
-"""Serving many queries from one MatchSession — the engine-layer quickstart.
+"""Serving many queries from one GraphHandle — the public-API quickstart.
 
 One hot data graph, many patterns: instead of calling ``match()`` per
-pattern (each call re-derives oracle state), open a single
-:class:`repro.engine.MatchSession`.  The session pins the compiled snapshot
-once, shares ball memos across queries, caches results per
+pattern (each call re-derives oracle state), wrap the graph once
+(:func:`repro.api.wrap`).  The handle's session pins the compiled snapshot,
+shares ball memos across queries, caches results per
 ``(pattern fingerprint, snapshot version)``, explains how it plans each
 query, and keeps serving correctly while the graph evolves through the
-patch layer.
+patch layer.  Queries are whatever is convenient: DSL text, fluent ``Q``
+builders, or raw :class:`Pattern` objects — all served by the same batch
+executor.
 
 Run with:  python examples/serving_queries.py
 """
 
 from __future__ import annotations
 
-from repro.engine import MatchSession
+from repro.api import Q, wrap
 from repro.graph.generators import random_data_graph
 from repro.workloads.patterns import engine_batch_workload
 
 
 def main() -> None:
-    graph = random_data_graph(400, 1200, num_labels=12, seed=23)
-    patterns = engine_batch_workload(graph, num_patterns=8, seed=23)
-    session = MatchSession(graph)
+    data = random_data_graph(400, 1200, num_labels=12, seed=23)
+    graph = wrap(data)
+
+    # Three spellings of the same surface: generated Pattern objects, a DSL
+    # string, and a fluent builder — the handle accepts any mix.
+    patterns = engine_batch_workload(data, num_patterns=8, seed=23)
+    workload = patterns + [
+        "(a:L1)-[<=2]->(b:L2); (a)->(c)",
+        Q.node("x", label="L3").edge("x", "y", within=3).edge("y", "x", within="*"),
+    ]
 
     print("How the planner routes two differently shaped queries:\n")
-    print(session.explain(patterns[0]))   # bound-1 -> simulation strategy
+    print(graph.explain(workload[0]))    # bound-1 -> simulation strategy
     print()
-    print(session.explain(patterns[-1]))  # bound-k -> compiled distance oracle
+    print(graph.explain(workload[-2]))   # bound-k -> compiled distance oracle
     print()
 
     # Serve the whole workload from the shared snapshot.
-    results = session.match_many(patterns)
-    for pattern, result in zip(patterns, results):
-        status = f"{len(result)} pairs" if result else "no match"
-        print(f"  {pattern.name}: {status}")
+    views = graph.match_many(workload)
+    for view in views:
+        name = view.pattern.name or view.pattern.to_dsl()
+        status = f"{len(view)} pairs" if view else "no match"
+        print(f"  {name}: {status}")
 
     # Replaying the identical workload on the unchanged snapshot is pure
     # result-cache hits.
-    session.match_many(patterns)
-    stats = session.stats()
+    graph.match_many(workload)
+    stats = graph.stats()
     print(
         f"\nafter a replay: {stats['cache_hits']} cache hits / "
         f"{stats['cache_misses']} misses; plans: {stats['plans']}"
     )
 
-    # Mutations through the session evict exactly the results they staled.
-    source = next(iter(graph.nodes()))
-    target = next(n for n in graph.nodes() if n != source)
-    changed = (
-        session.patch_edge_delete(source, target)
-        or session.patch_edge_insert(source, target)
-    )
+    # Mutations through the handle evict exactly the results they staled.
+    source = next(iter(data.nodes()))
+    target = next(n for n in data.nodes() if n != source)
+    changed = graph.delete_edge(source, target) or graph.insert_edge(source, target)
     print(f"\npatched one edge (changed={changed}); the cache was invalidated:")
-    print(f"  entries now: {session.stats()['cache_entries']}")
-    results_after = session.match_many(patterns)
-    print(f"  workload re-served: {sum(1 for r in results_after if r)} matched")
+    print(f"  entries now: {graph.stats()['cache_entries']}")
+    views_after = graph.match_many(workload)
+    print(f"  workload re-served: {sum(1 for v in views_after if v)} matched")
 
 
 if __name__ == "__main__":

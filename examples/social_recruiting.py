@@ -17,9 +17,15 @@ Run with:  python examples/social_recruiting.py
 
 from __future__ import annotations
 
-from repro import DataGraph, Pattern, Predicate, match
+from repro import DataGraph, wrap
 from repro.isomorphism import vf2_find
-from repro.matching import build_result_graph
+
+#: The recruiting pattern P1 in query-DSL form: role predicates test the
+#: boolean capability flags, ``-[*]->`` is the unbounded "chain of friends".
+P1 = """
+(A:A)-[<=2]->(SE {se = true})->(DM:DM {hobby = 'golf'})-[*]->(A);
+(A)-[<=2]->(HR {hr = true})-[<=2]->(DM)
+"""
 
 
 def build_network() -> DataGraph:
@@ -44,41 +50,26 @@ def build_network() -> DataGraph:
     return network
 
 
-def build_pattern() -> Pattern:
-    """The recruiting pattern P1."""
-    pattern = Pattern(name="P1")
-    pattern.add_node("A", "A")
-    pattern.add_node("SE", Predicate.equals("se", True))
-    pattern.add_node("HR", Predicate.equals("hr", True))
-    pattern.add_node("DM", Predicate.label("DM") & Predicate.equals("hobby", "golf"))
-    pattern.add_edge("A", "SE", 2)     # an engineer within 2 hops
-    pattern.add_edge("A", "HR", 2)     # an HR expert within 2 hops
-    pattern.add_edge("SE", "DM", 1)    # a sales manager adjacent to the engineer
-    pattern.add_edge("HR", "DM", 2)    # ... and within 2 hops of the HR expert
-    pattern.add_edge("DM", "A", "*")   # connected back to A through any chain
-    return pattern
-
-
 def main() -> None:
     network = build_network()
-    pattern = build_pattern()
+    recruiting = wrap(network).query(P1, name="P1")
 
-    result = match(pattern, network)
+    view = recruiting.match()
     print("Bounded-simulation match:")
-    for role in pattern.nodes():
-        people = ", ".join(sorted(result.matches(role))) or "(nobody)"
+    for role in view.pattern_nodes():
+        people = ", ".join(view[role].ids()) or "(nobody)"
         print(f"  {role:>2} -> {people}")
     print()
 
     # The dual-profile person appears under both SE and HR.
-    assert "dave" in result.matches("SE") and "dave" in result.matches("HR")
+    assert "dave" in view["SE"] and "dave" in view["HR"]
 
     # Subgraph isomorphism cannot find this team: it needs a bijection and
     # edge-to-edge mappings.
-    embedding = vf2_find(pattern, network)
+    embedding = vf2_find(recruiting.pattern, network)
     print(f"Subgraph isomorphism (VF2) finds an embedding: {embedding is not None}")
 
-    result_graph = build_result_graph(pattern, network, result)
+    result_graph = view.graph()
     print(
         f"Result graph: {result_graph.number_of_nodes()} people, "
         f"{result_graph.number_of_edges()} relationships"

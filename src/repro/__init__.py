@@ -10,20 +10,22 @@ paper's tables and figures.
 
 Quickstart
 ----------
->>> from repro import DataGraph, Pattern, match
+The public query surface is :mod:`repro.api` — a textual pattern DSL,
+fluent builders and lazy result views over the compiled engine:
+
+>>> from repro import DataGraph, wrap
 >>> g = DataGraph()
 >>> g.add_node("boss", label="B")
 >>> g.add_node("mgr", label="AM")
 >>> g.add_node("worker", label="FW")
 >>> g.add_edge("boss", "mgr")
 >>> g.add_edge("mgr", "worker")
->>> p = Pattern()
->>> p.add_node("B", "B")
->>> p.add_node("FW", "FW")
->>> p.add_edge("B", "FW", 2)          # within two hops
->>> result = match(p, g)
->>> sorted(result.matches("FW"))
+>>> view = wrap(g).query("(b:B)-[<=2]->(fw:FW)").match()
+>>> view["fw"].ids()
 ['worker']
+
+The algorithmic kernels stay importable (``Pattern``, ``match``,
+``MatchSession``, ...) for experiments and algorithm work.
 """
 
 from repro.exceptions import (
@@ -70,6 +72,18 @@ from repro.graph import (
     scale_free_graph,
     small_world_graph,
 )
+from repro.api import (
+    API_VERSION,
+    GraphHandle,
+    NodeProjection,
+    PreparedQuery,
+    Q,
+    QuerySyntaxError,
+    ResultView,
+    parse_query,
+    to_dsl,
+    wrap,
+)
 from repro.engine import MatchSession, QueryPlan
 from repro.matching import (
     AffectedArea,
@@ -87,6 +101,17 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # public query API (repro.api)
+    "API_VERSION",
+    "wrap",
+    "GraphHandle",
+    "PreparedQuery",
+    "Q",
+    "parse_query",
+    "to_dsl",
+    "ResultView",
+    "NodeProjection",
+    "QuerySyntaxError",
     # graphs & patterns
     "DataGraph",
     "Pattern",

@@ -1,0 +1,51 @@
+"""repro.api — the versioned public query API (v1).
+
+This package is the single documented entry point for querying:
+
+* :func:`parse_query` / :func:`to_dsl` — the textual pattern DSL
+  (Cypher-lite) and its round-trip printer;
+* :class:`Q` — fluent pattern builders;
+* :func:`wrap` / :class:`GraphHandle` — the graph façade routing every
+  query through the engine session (planner, caches, IncMatch);
+* :class:`ResultView` / :class:`NodeProjection` — lazy result surfaces over
+  the kernel's :class:`~repro.matching.match_result.MatchResult`;
+* :class:`QuerySyntaxError` — parser diagnostics with position and hint.
+
+The kernel layers (``repro.graph``, ``repro.matching``, ``repro.engine``)
+remain importable for algorithmic work, but applications should not need
+anything outside this namespace::
+
+    from repro.api import wrap
+
+    g = wrap(graph)
+    view = g.query("(p:Person {age > 30})-[<=2]->(c:City)").match()
+    print(view.to_json(indent=2))
+
+Versioning: additions bump the minor :data:`API_VERSION`; breaking changes
+to names exported here bump the major and keep the old spelling as a
+deprecated shim for one release.
+"""
+
+from repro.api.builder import Q, QueryLike, as_pattern
+from repro.api.dsl import parse_query, to_dsl
+from repro.api.errors import QuerySyntaxError
+from repro.api.handle import GraphHandle, PreparedQuery, wrap
+from repro.api.results import NodeProjection, ResultView
+
+#: The public API contract version (major, minor).
+API_VERSION = (1, 0)
+
+__all__ = [
+    "API_VERSION",
+    "Q",
+    "QueryLike",
+    "as_pattern",
+    "parse_query",
+    "to_dsl",
+    "QuerySyntaxError",
+    "GraphHandle",
+    "PreparedQuery",
+    "wrap",
+    "ResultView",
+    "NodeProjection",
+]

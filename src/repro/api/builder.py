@@ -1,0 +1,220 @@
+"""Fluent pattern builders: ``Q``.
+
+The builder is the programmatic twin of the textual DSL
+(:mod:`repro.api.dsl`) — the same patterns, spelled as chained calls::
+
+    from repro.api import Q
+
+    q = (
+        Q.node("p", label="Person").where(age__gt=30, job__like="bio*")
+         .node("c", label="City")
+         .edge("p", "c", within=2)
+         .edge("c", "q", within="*")      # 'q' springs into existence
+    )
+    pattern = q.build()
+
+Django-style lookups map onto the paper's predicate operators:
+
+========  ===========================
+suffix    operator
+========  ===========================
+(none)    ``=``
+``__eq``  ``=``
+``__ne``  ``!=``
+``__gt``  ``>``
+``__ge``  ``>=`` (also ``__gte``)
+``__lt``  ``<``
+``__le``  ``<=`` (also ``__lte``)
+``__like``  ``~`` (glob over strings)
+========  ===========================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.exceptions import PatternError, PredicateError
+from repro.graph.pattern import BoundLike, Pattern, PatternNodeId
+from repro.graph.predicates import Atom, Predicate, PredicateLike, parse_predicate
+
+__all__ = ["Q", "QueryLike", "as_pattern"]
+
+_LOOKUPS: Dict[str, str] = {
+    "eq": "=",
+    "ne": "!=",
+    "gt": ">",
+    "ge": ">=",
+    "gte": ">=",
+    "lt": "<",
+    "le": "<=",
+    "lte": "<=",
+    "like": "~",
+}
+
+
+def _lookup_atom(lookup: str, value: Any) -> Atom:
+    """Translate ``attr__op=value`` into an :class:`Atom` (default op ``=``)."""
+    attribute, separator, suffix = lookup.rpartition("__")
+    if separator and suffix in _LOOKUPS and attribute:
+        op = _LOOKUPS[suffix]
+        if op == "~" and not isinstance(value, str):
+            # Mirror the DSL's diagnostic: a non-string glob can never
+            # match, so refuse it instead of silently returning nothing.
+            raise PredicateError(
+                f"{attribute}__{suffix} requires a string glob "
+                f"(e.g. 'bio*'), got {value!r}"
+            )
+        return Atom(attribute, op, value)
+    return Atom(lookup, "=", value)
+
+
+class _classonly:
+    """Descriptor making ``Q.node(...)`` open a fresh builder while keeping
+    ``q.node(...)`` an ordinary chaining method."""
+
+    def __init__(self, func):
+        self.func = func
+
+    def __get__(self, instance, owner):
+        if instance is None:
+            def open_builder(*args, **kwargs):
+                return self.func(owner(), *args, **kwargs)
+
+            open_builder.__doc__ = self.func.__doc__
+            return open_builder
+        return self.func.__get__(instance, owner)
+
+
+class Q:
+    """A fluent, mutable pattern-in-progress.
+
+    ``Q.node(...)`` opens a builder; every method returns the builder so
+    calls chain.  :meth:`build` snapshots the accumulated pattern as an
+    independent :class:`~repro.graph.pattern.Pattern`.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self._pattern = Pattern(name=name)
+        self._last_node: Optional[PatternNodeId] = None
+
+    # -- construction ----------------------------------------------------
+
+    @_classonly
+    def node(
+        self,
+        alias: PatternNodeId,
+        predicate: PredicateLike = None,
+        *,
+        label: Any = None,
+        **attrs: Any,
+    ) -> "Q":
+        """Add pattern node *alias*.
+
+        *predicate* accepts everything :func:`parse_predicate` does;
+        ``label=`` adds a label-equality atom and ``**attrs`` adds plain
+        equality atoms.  The node becomes the target of the next
+        :meth:`where`.
+        """
+        combined = parse_predicate(predicate)
+        if label is not None:
+            combined = combined & Predicate.label(label)
+        if attrs:
+            combined = combined & Predicate.from_dict(attrs)
+        self._pattern.add_node(alias, combined)
+        self._last_node = alias
+        return self
+
+    def where(self, _alias: Optional[PatternNodeId] = None, **lookups: Any) -> "Q":
+        """Conjoin lookup atoms onto a node's predicate.
+
+        Without *_alias* the constraints apply to the most recently added
+        node — the natural spelling right after :meth:`node`.
+        """
+        target = self._last_node if _alias is None else _alias
+        if target is None:
+            raise PatternError("Q.where() before any Q.node(): nothing to constrain")
+        extra = Predicate(tuple(_lookup_atom(k, v) for k, v in lookups.items()))
+        self._pattern.set_predicate(target, self._pattern.predicate(target) & extra)
+        return self
+
+    def edge(
+        self,
+        source: PatternNodeId,
+        target: PatternNodeId,
+        *,
+        within: BoundLike = 1,
+        color: Any = None,
+    ) -> "Q":
+        """Add the bounded edge ``source -> target``.
+
+        ``within`` is the paper's ``f_e``: a positive integer ``k`` (path of
+        length at most ``k``) or ``'*'``/``None`` for unbounded.  Unknown
+        aliases are auto-created as wildcard nodes.
+        """
+        for alias in (source, target):
+            if not self._pattern.has_node(alias):
+                self._pattern.add_node(alias)
+        self._pattern.add_edge(source, target, within, color=color)
+        return self
+
+    # -- output ----------------------------------------------------------
+
+    def build(self, name: Optional[str] = None) -> Pattern:
+        """Snapshot the builder as an independent :class:`Pattern`."""
+        return self._pattern.copy(name=name)
+
+    def to_dsl(self) -> str:
+        """The textual DSL form of the pattern built so far."""
+        from repro.api.dsl import to_dsl
+
+        return to_dsl(self._pattern)
+
+    @classmethod
+    def parse(cls, text: str, name: str = "") -> "Q":
+        """Open a builder seeded from DSL *text* (continue chaining on it)."""
+        from repro.api.dsl import parse_query
+
+        builder = cls()
+        builder._pattern = parse_query(text, name=name)
+        return builder
+
+    @classmethod
+    def from_pattern(cls, pattern: Pattern) -> "Q":
+        """Open a builder seeded from an existing pattern (copied)."""
+        builder = cls()
+        builder._pattern = pattern.copy()
+        return builder
+
+    # -- introspection ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._pattern)
+
+    def __repr__(self) -> str:
+        return f"<Q {self._pattern!r}>"
+
+
+QueryLike = Union[str, Q, Pattern]
+
+
+def as_pattern(query: QueryLike, *, name: str = "") -> Pattern:
+    """Normalise the accepted query spellings into a :class:`Pattern`.
+
+    Strings are parsed as DSL text, :class:`Q` builders are snapshot via
+    :meth:`Q.build`, and patterns pass through unchanged.
+    """
+    if isinstance(query, Pattern):
+        if name and query.name != name:
+            # Honour the requested name without mutating the caller's object.
+            return query.copy(name=name)
+        return query
+    if isinstance(query, Q):
+        return query.build(name=name or None)
+    if isinstance(query, str):
+        from repro.api.dsl import parse_query
+
+        return parse_query(query, name=name)
+    raise PatternError(
+        f"cannot build a query from {type(query).__name__}: expected DSL text, "
+        "a Q builder, or a Pattern"
+    )

@@ -1,0 +1,555 @@
+"""The textual pattern DSL (Cypher-lite): parser and round-trip printer.
+
+A query is one or more *paths* separated by ``;`` (or ``,``).  A path is a
+chain of nodes connected by bounded edges::
+
+    (p:Person {age > 30, job ~ 'bio*'})-[<=2]->(c:City)-[*]->(q)
+
+* ``(alias)`` — a pattern node.  The first mention may carry a label
+  (``:Person`` — shorthand for ``label = 'Person'``) and a predicate block
+  (``{attr op value, ...}``); later mentions must be bare, so one node can
+  take part in many paths.
+* ``{...}`` atoms are conjunctions ``A op a`` with ``op`` one of
+  ``< <= = == != > >= ~`` (``~`` is a glob over string values).  Values are
+  quoted strings, numbers, ``true``/``false``, or bare words (coerced like
+  :func:`repro.graph.predicates.coerce_literal`).
+* ``->`` is a bound-1 edge; ``-[<=k]->`` maps to a path of length at most
+  ``k``; ``-[*]->`` is unbounded; ``-[:c ...]->`` colours the edge ``c``.
+
+:func:`parse_query` compiles a query to a :class:`~repro.graph.pattern.Pattern`
+(the paper's ``P = (V_p, E_p, f_v, f_e)``); :func:`to_dsl` prints a pattern
+back to query text.  The two are inverse up to
+:meth:`~repro.graph.pattern.Pattern.fingerprint` equality — a property the
+test suite pins with hypothesis.
+
+Errors are reported as :class:`~repro.api.errors.QuerySyntaxError` with the
+character offset, a caret rendering, and a fix-it hint.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, NamedTuple, Optional, Tuple
+
+from repro.api.errors import QuerySyntaxError
+from repro.exceptions import DuplicateEdgeError, PatternError, PredicateError
+from repro.graph.pattern import Pattern, PatternNodeId
+from repro.graph.predicates import Atom, Predicate, coerce_literal
+
+__all__ = ["parse_query", "to_dsl"]
+
+# ----------------------------------------------------------------------
+# lexer
+# ----------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<arrow>->)
+  | (?P<edge_open>-\[)
+  | (?P<edge_close>\]->)
+  | (?P<number>[+-]?(?:\d+(?:\.\d*)?|\.\d+)(?:[eE][+-]?\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<op><=|>=|!=|==|=|<|>|~)
+  | (?P<punct>[(){}:;,&*])
+    """,
+    re.VERBOSE,
+)
+
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_ATTR_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.]*$")
+
+
+class _Token(NamedTuple):
+    kind: str  # 'ident' | 'number' | 'string' | 'backtick' | 'op' | 'arrow'
+    #          | 'edge_open' | 'edge_close' | one of '(){}:;,&*' | 'eof'
+    value: Any
+    pos: int
+    text: str  # raw source slice, for messages
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char in "'\"":
+            # Quoted string; backslash escapes the next character.
+            start = index
+            index += 1
+            chunks: List[str] = []
+            while index < length and text[index] != char:
+                if text[index] == "\\" and index + 1 < length:
+                    index += 1
+                chunks.append(text[index])
+                index += 1
+            if index >= length:
+                raise QuerySyntaxError(
+                    "unterminated string literal",
+                    text=text,
+                    position=start,
+                    hint=f"close the string with a matching {char}",
+                )
+            index += 1
+            tokens.append(_Token("string", "".join(chunks), start, text[start:index]))
+            continue
+        if char == "`":
+            start = index
+            end = text.find("`", index + 1)
+            if end == -1:
+                raise QuerySyntaxError(
+                    "unterminated backtick-quoted attribute name",
+                    text=text,
+                    position=start,
+                    hint="close the attribute name with a matching `",
+                )
+            tokens.append(_Token("backtick", text[index + 1 : end], start, text[start : end + 1]))
+            index = end + 1
+            continue
+        match = _TOKEN_RE.match(text, index)
+        if match is None:
+            raise QuerySyntaxError(
+                f"unexpected character {char!r}",
+                text=text,
+                position=index,
+                hint="expected a node '(alias...)', an edge '->' / '-[<=k]->', or ';'",
+            )
+        kind = match.lastgroup
+        raw = match.group()
+        if kind == "ws":
+            index = match.end()
+            continue
+        if kind == "number":
+            if any(mark in raw for mark in (".", "e", "E")):
+                value: Any = float(raw)
+            else:
+                value = int(raw)
+            tokens.append(_Token("number", value, index, raw))
+        elif kind == "punct":
+            tokens.append(_Token(raw, raw, index, raw))
+        else:
+            tokens.append(_Token(kind, raw, index, raw))
+        index = match.end()
+    tokens.append(_Token("eof", None, length, "end of query"))
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+
+_BOUND_HINT = "use -[<=k]-> with k >= 1, or -[*]-> for an unbounded edge"
+_ALIAS_HINT = (
+    "define each alias once; later mentions must be bare, e.g. (p)"
+)
+_BRACE_HINT = "expected '}' to close the predicate block"
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+        self.pattern = Pattern()
+        self.anonymous = 0
+        # Aliases the query spells explicitly, collected up front so
+        # generated anonymous aliases can never collide with them.
+        self._reserved = {
+            token.value
+            for index, token in enumerate(self.tokens)
+            if token.kind in ("ident", "number")
+            and index > 0
+            and self.tokens[index - 1].kind == "("
+        }
+
+    # -- token helpers ---------------------------------------------------
+
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def error(self, message: str, token: _Token, hint: Optional[str] = None) -> QuerySyntaxError:
+        return QuerySyntaxError(
+            message, text=self.text, position=token.pos, hint=hint
+        )
+
+    def expect(self, kind: str, message: str, hint: Optional[str] = None) -> _Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise self.error(f"{message}, got {token.text!r}", token, hint)
+        return self.advance()
+
+    # -- grammar ---------------------------------------------------------
+
+    def parse(self, name: str = "") -> Pattern:
+        self.pattern.name = name
+        while True:
+            while self.peek().kind in (";", ","):
+                self.advance()
+            if self.peek().kind == "eof":
+                break
+            self.parse_path()
+            token = self.peek()
+            if token.kind not in (";", ",", "eof"):
+                raise self.error(
+                    f"expected an edge, ';' or end of query, got {token.text!r}",
+                    token,
+                    hint="separate paths with ';'",
+                )
+        return self.pattern
+
+    def parse_path(self) -> None:
+        source = self.parse_node()
+        while self.peek().kind in ("arrow", "edge_open"):
+            edge_token = self.peek()
+            bound, color = self.parse_edge()
+            target = self.parse_node()
+            try:
+                self.pattern.add_edge(
+                    source, target, bound if bound is not None else "*", color=color
+                )
+            except DuplicateEdgeError:
+                raise self.error(
+                    f"duplicate pattern edge ({source!r} -> {target!r})",
+                    edge_token,
+                    hint="each pattern edge may be declared once",
+                ) from None
+            source = target
+
+    def parse_node(self) -> PatternNodeId:
+        self.expect("(", "expected '(' to start a node", hint="nodes look like (alias:Label {attr > 0})")
+        token = self.peek()
+        alias: PatternNodeId
+        alias_token = token
+        if token.kind == "ident":
+            if "." in token.value:
+                # The lexer's ident class allows dots (attribute names and
+                # bare-word values use them); aliases must stay printable.
+                raise self.error(
+                    f"node alias must not contain '.', got {token.text!r}",
+                    token,
+                    hint="aliases are identifiers ([A-Za-z_][A-Za-z0-9_]*) or integers",
+                )
+            alias = self.advance().value
+        elif token.kind == "number":
+            if not isinstance(token.value, int):
+                raise self.error(
+                    f"node alias must be an identifier or integer, got {token.text!r}",
+                    token,
+                )
+            alias = self.advance().value
+        else:
+            while True:
+                self.anonymous += 1
+                alias = f"_{self.anonymous}"
+                if alias not in self._reserved and not self.pattern.has_node(alias):
+                    break
+        atoms: List[Atom] = []
+        has_spec = False
+        if self.peek().kind == ":":
+            self.advance()
+            label_token = self.peek()
+            if label_token.kind not in ("ident", "string"):
+                raise self.error(
+                    f"expected a label after ':', got {label_token.text!r}",
+                    label_token,
+                    hint="labels are identifiers or quoted strings, e.g. (p:Person)",
+                )
+            self.advance()
+            atoms.append(Atom(Predicate.LABEL_ATTRIBUTE, "=", label_token.value))
+            has_spec = True
+        if self.peek().kind == "{":
+            atoms.extend(self.parse_predicate_block())
+            has_spec = True
+        self.expect(
+            ")",
+            "unclosed node",
+            hint="expected ')' to close the node",
+        )
+        if self.pattern.has_node(alias):
+            if has_spec:
+                raise self.error(
+                    f"duplicate node alias {alias!r}", alias_token, hint=_ALIAS_HINT
+                )
+            return alias
+        self.pattern.add_node(alias, Predicate(atoms))
+        return alias
+
+    def parse_predicate_block(self) -> List[Atom]:
+        lbrace = self.advance()
+        atoms: List[Atom] = []
+        while True:
+            token = self.peek()
+            if token.kind == "}":
+                self.advance()
+                return atoms
+            if token.kind in ("eof", ")", ";"):
+                raise self.error(
+                    "unclosed predicate block", lbrace, hint=_BRACE_HINT
+                )
+            atoms.append(self.parse_atom())
+            token = self.peek()
+            if token.kind in (",", "&"):
+                self.advance()
+            elif token.kind != "}":
+                raise self.error(
+                    "unclosed predicate block", lbrace, hint=_BRACE_HINT
+                )
+
+    def parse_atom(self) -> Atom:
+        token = self.peek()
+        attr_token = token
+        if token.kind == "ident":
+            attribute = self.advance().value
+        elif token.kind == "backtick":
+            attribute = self.advance().value
+        else:
+            raise self.error(
+                f"expected an attribute name, got {token.text!r}",
+                token,
+                hint="predicate atoms look like 'attr op value', e.g. age > 30",
+            )
+        op_token = self.peek()
+        if op_token.kind != "op":
+            raise self.error(
+                f"expected a comparison operator, got {op_token.text!r}",
+                op_token,
+                hint="operators: < <= = == != > >= ~",
+            )
+        self.advance()
+        value_token = self.peek()
+        if value_token.kind == "string":
+            value: Any = self.advance().value
+        elif value_token.kind == "number":
+            value = self.advance().value
+        elif value_token.kind == "ident":
+            value = coerce_literal(self.advance().value)
+        else:
+            raise self.error(
+                f"expected a value, got {value_token.text!r}",
+                value_token,
+                hint="values are quoted strings, numbers, true/false, or bare words",
+            )
+        if op_token.value == "~" and not isinstance(value, str):
+            raise self.error(
+                f"the ~ operator requires a string glob, got {value_token.text!r}",
+                value_token,
+                hint="write the glob as a quoted string, e.g. job ~ 'bio*'",
+            )
+        try:
+            return Atom(attribute, op_token.value, value)
+        except PredicateError as exc:
+            # Keep the parser's contract: every malformed query surfaces as
+            # a positioned QuerySyntaxError (e.g. an empty `` attribute).
+            raise self.error(str(exc), attr_token) from None
+
+    def parse_edge(self) -> Tuple[Optional[int], Optional[str]]:
+        """Return ``(bound, color)`` with ``bound=None`` for ``*``."""
+        token = self.advance()
+        if token.kind == "arrow":
+            return 1, None
+        color: Optional[str] = None
+        bound: Optional[int] = 1
+        if self.peek().kind == ":":
+            self.advance()
+            color_token = self.peek()
+            if color_token.kind not in ("ident", "string"):
+                raise self.error(
+                    f"expected an edge colour after ':', got {color_token.text!r}",
+                    color_token,
+                    hint="edge colours are identifiers or quoted strings, e.g. -[:follows <=2]->",
+                )
+            color = self.advance().value
+        token = self.peek()
+        if token.kind == "*":
+            self.advance()
+            bound = None
+        elif token.kind == "op" and token.value == "<=":
+            self.advance()
+            bound = self._parse_bound_value()
+        elif token.kind == "number":
+            bound = self._parse_bound_value()
+        elif token.kind != "edge_close":
+            raise self.error(
+                f"expected an edge bound, got {token.text!r}", token, hint=_BOUND_HINT
+            )
+        self.expect("edge_close", "unclosed edge specification", hint="expected ']->'")
+        return bound, color
+
+    def _parse_bound_value(self) -> int:
+        token = self.peek()
+        if token.kind != "number" or not isinstance(token.value, int):
+            raise self.error(
+                f"edge bound must be an integer, got {token.text!r}",
+                token,
+                hint=_BOUND_HINT,
+            )
+        if token.value < 1:
+            raise self.error(
+                "edge bound must be >= 1", token, hint=_BOUND_HINT
+            )
+        self.advance()
+        return token.value
+
+
+def parse_query(text: str, name: str = "") -> Pattern:
+    """Compile DSL *text* into a :class:`~repro.graph.pattern.Pattern`.
+
+    Raises
+    ------
+    QuerySyntaxError
+        With position, caret rendering and hint when *text* is malformed.
+    """
+    if not isinstance(text, str):
+        raise QuerySyntaxError(
+            f"query must be a string, got {type(text).__name__}", text=""
+        )
+    return _Parser(text).parse(name)
+
+
+# ----------------------------------------------------------------------
+# printer
+# ----------------------------------------------------------------------
+
+
+def _print_alias(node: PatternNodeId) -> str:
+    if isinstance(node, bool):
+        raise PatternError(f"pattern node id {node!r} is not expressible in the DSL")
+    if isinstance(node, int):
+        return str(node)
+    if isinstance(node, str) and _IDENT_RE.match(node):
+        return node
+    raise PatternError(
+        f"pattern node id {node!r} is not expressible in the DSL "
+        "(aliases must be identifiers or integers)"
+    )
+
+
+def _print_string(value: str, quote: str = "'") -> str:
+    escaped = value.replace("\\", "\\\\").replace(quote, "\\" + quote)
+    return f"{quote}{escaped}{quote}"
+
+
+def _print_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return repr(value)
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise PatternError(
+                f"predicate value {value!r} is not expressible in the DSL"
+            )
+        return repr(value)
+    if isinstance(value, str):
+        return _print_string(value)
+    raise PatternError(
+        f"predicate value {value!r} of type {type(value).__name__} "
+        "is not expressible in the DSL"
+    )
+
+
+def _print_attr(attribute: str) -> str:
+    if _ATTR_RE.match(attribute):
+        return attribute
+    if "`" in attribute or "\n" in attribute:
+        raise PatternError(
+            f"attribute name {attribute!r} is not expressible in the DSL"
+        )
+    return f"`{attribute}`"
+
+
+def _print_atom(atom: Atom) -> str:
+    return f"{_print_attr(atom.attribute)} {atom.op} {_print_value(atom.value)}"
+
+
+def _print_node_spec(pattern: Pattern, node: PatternNodeId) -> str:
+    alias = _print_alias(node)
+    atoms = list(pattern.predicate(node).atoms)
+    label = ""
+    for index, atom in enumerate(atoms):
+        if (
+            atom.attribute == Predicate.LABEL_ATTRIBUTE
+            and atom.op == "="
+            and isinstance(atom.value, str)
+        ):
+            spelled = (
+                atom.value
+                if _IDENT_RE.match(atom.value)
+                else _print_string(atom.value)
+            )
+            label = f":{spelled}"
+            del atoms[index]
+            break
+    block = ""
+    if atoms:
+        block = " {" + ", ".join(_print_atom(atom) for atom in atoms) + "}"
+    return f"({alias}{label}{block})"
+
+
+def _print_edge(pattern: Pattern, source: PatternNodeId, target: PatternNodeId) -> str:
+    bound = pattern.bound(source, target)
+    color = pattern.color(source, target)
+    spec = ""
+    if color is not None:
+        if not isinstance(color, str):
+            raise PatternError(
+                f"edge colour {color!r} is not expressible in the DSL "
+                "(colours must be strings)"
+            )
+        spelled = color if _IDENT_RE.match(color) else _print_string(color)
+        spec = f":{spelled}"
+    if bound is None:
+        spec = f"{spec} *".strip()
+    elif bound != 1:
+        spec = f"{spec} <={bound}".strip()
+    if not spec:
+        return "->"
+    return f"-[{spec}]->"
+
+
+def to_dsl(pattern: Pattern) -> str:
+    """Print *pattern* as DSL text (inverse of :func:`parse_query`).
+
+    The printed form round-trips: ``parse_query(to_dsl(p))`` has the same
+    :meth:`~repro.graph.pattern.Pattern.fingerprint` as ``p``.
+
+    Raises
+    ------
+    PatternError
+        When the pattern uses node ids, attribute names, values or colours
+        the DSL cannot spell (e.g. tuple-valued predicates).
+    """
+    mentioned: set = set()
+
+    def node_ref(node: PatternNodeId) -> str:
+        if node in mentioned:
+            return f"({_print_alias(node)})"
+        mentioned.add(node)
+        return _print_node_spec(pattern, node)
+
+    remaining = pattern.edge_list()
+    paths: List[str] = []
+    while remaining:
+        source, target = remaining.pop(0)
+        segments = [node_ref(source), _print_edge(pattern, source, target), node_ref(target)]
+        tail = target
+        while True:
+            following = next((edge for edge in remaining if edge[0] == tail), None)
+            if following is None:
+                break
+            remaining.remove(following)
+            segments.append(_print_edge(pattern, *following))
+            segments.append(node_ref(following[1]))
+            tail = following[1]
+        paths.append("".join(segments))
+    for node in pattern.nodes():
+        if node not in mentioned:
+            paths.append(node_ref(node))
+    return "; ".join(paths)

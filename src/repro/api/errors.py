@@ -1,0 +1,64 @@
+"""Errors raised by the public query API (:mod:`repro.api`).
+
+:class:`QuerySyntaxError` is the diagnostic the DSL parser raises for
+malformed query text.  It carries the offending source text, the 0-based
+character offset of the problem, and a one-line hint; ``str()`` renders a
+caret diagnostic::
+
+    cannot parse query: edge bound must be >= 1 (at position 12)
+      (a:A)-[<=0]->(b)
+                ^
+    hint: use -[<=k]-> with k >= 1, or -[*]-> for an unbounded edge
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exceptions import PatternError
+
+__all__ = ["QuerySyntaxError"]
+
+
+class QuerySyntaxError(PatternError, ValueError):
+    """A query string could not be parsed.
+
+    Parameters
+    ----------
+    message:
+        What went wrong, without positional information.
+    text:
+        The full query text being parsed.
+    position:
+        0-based character offset into *text* where the problem was detected.
+    hint:
+        A one-line suggestion for fixing the query.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        text: str = "",
+        position: int = 0,
+        hint: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.text = text
+        self.position = position
+        self.hint = hint
+
+    def __str__(self) -> str:
+        lines = [f"cannot parse query: {self.message} (at position {self.position})"]
+        if self.text:
+            # Render the caret against the line containing the offset.
+            start = self.text.rfind("\n", 0, self.position) + 1
+            end = self.text.find("\n", self.position)
+            if end == -1:
+                end = len(self.text)
+            lines.append(f"  {self.text[start:end]}")
+            lines.append("  " + " " * (self.position - start) + "^")
+        if self.hint:
+            lines.append(f"hint: {self.hint}")
+        return "\n".join(lines)

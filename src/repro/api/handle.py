@@ -1,0 +1,249 @@
+"""`GraphHandle` — the public façade over a data graph and its query session.
+
+The handle is how applications are meant to hold a graph: it owns (or
+adopts) a :class:`~repro.engine.session.MatchSession` and exposes querying
+as a two-step fluent surface::
+
+    from repro.api import wrap
+
+    g = wrap(data_graph)
+    view = g.query("(hr:HR)-[<=2]->(dm:DM {hobby = 'golf'})").match()
+    for row in view["dm"].rows("hobby"):
+        ...
+
+Everything routes through the session — planner, result cache, shared ball
+memos, IncMatch maintenance — so the handle adds no execution machinery of
+its own, only parsing (:mod:`repro.api.dsl`), builders
+(:mod:`repro.api.builder`) and result views (:mod:`repro.api.results`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.api.builder import QueryLike, as_pattern
+from repro.api.results import ResultView
+from repro.distance.incremental import EdgeUpdate
+from repro.engine.planner import QueryPlan
+from repro.engine.session import MatchSession
+from repro.graph.datagraph import DataGraph, NodeId
+from repro.graph.pattern import Pattern
+
+__all__ = ["GraphHandle", "PreparedQuery", "wrap"]
+
+#: Update spellings accepted by :meth:`PreparedQuery.stream`.
+UpdateLike = Union[EdgeUpdate, Tuple[str, NodeId, NodeId]]
+
+
+def _coerce_updates(updates: Iterable[UpdateLike]) -> List[EdgeUpdate]:
+    coerced: List[EdgeUpdate] = []
+    for update in updates:
+        if isinstance(update, EdgeUpdate):
+            coerced.append(update)
+        else:
+            op, source, target = update
+            coerced.append(EdgeUpdate(op, source, target))
+    return coerced
+
+
+class PreparedQuery:
+    """One query bound to a :class:`GraphHandle` — ready to execute.
+
+    Created by :meth:`GraphHandle.query`; the pattern is already compiled
+    from whatever spelling the caller used (DSL text, a ``Q`` builder, or a
+    raw :class:`Pattern`).
+    """
+
+    __slots__ = ("_handle", "_pattern")
+
+    def __init__(self, handle: "GraphHandle", pattern: Pattern) -> None:
+        self._handle = handle
+        self._pattern = pattern
+
+    @property
+    def pattern(self) -> Pattern:
+        """The compiled pattern this query executes."""
+        return self._pattern
+
+    def to_dsl(self) -> str:
+        """The query in textual DSL form."""
+        from repro.api.dsl import to_dsl
+
+        return to_dsl(self._pattern)
+
+    # -- execution ---------------------------------------------------------
+
+    def match(self) -> ResultView:
+        """The maximum bounded-simulation match, planned and cached."""
+        return self._handle._view(
+            self._pattern, self._handle.session.match(self._pattern)
+        )
+
+    def simulate(self) -> ResultView:
+        """The maximum graph-simulation relation (all bounds read as 1)."""
+        return self._handle._view(
+            self._pattern, self._handle.session.simulate(self._pattern)
+        )
+
+    def stream(self, updates: Iterable[UpdateLike]) -> ResultView:
+        """Apply an edge-update stream and return the maintained match.
+
+        Routes through the session's standing IncMatch matcher; the view's
+        :attr:`~repro.api.results.ResultView.affected` carries the
+        AFF2 accounting of the batch.
+        """
+        coerced = _coerce_updates(updates)
+        result, area = self._handle.session.apply_updates(self._pattern, coerced)
+        return self._handle._view(self._pattern, result, affected=area)
+
+    # -- introspection -----------------------------------------------------
+
+    def plan(self) -> QueryPlan:
+        """The engine's plan for this query, without executing it."""
+        return self._handle.session.plan(self._pattern)
+
+    def explain(self) -> str:
+        """Human-readable plan: chosen strategy and why."""
+        return self._handle.session.explain(self._pattern)
+
+    def __repr__(self) -> str:
+        return f"<PreparedQuery {self._pattern!r} on {self._handle!r}>"
+
+
+class GraphHandle:
+    """The single public entry point for querying a data graph.
+
+    Parameters
+    ----------
+    graph:
+        The data graph to serve.  A session is opened internally; pass
+        *session* instead to adopt an existing one.
+    session:
+        An existing :class:`MatchSession` to adopt (mutually exclusive with
+        session keyword options).
+    session_options:
+        Forwarded to :class:`MatchSession` when the handle opens one
+        (``oracle=``, ``result_cache_size=``, ...).
+    """
+
+    def __init__(
+        self,
+        graph: Optional[DataGraph] = None,
+        *,
+        session: Optional[MatchSession] = None,
+        **session_options: Any,
+    ) -> None:
+        if session is not None:
+            if session_options:
+                raise ValueError(
+                    "pass either an existing session or session options, not both"
+                )
+            if graph is not None and graph is not session.graph:
+                raise ValueError("session serves a different graph than the one given")
+            self._session = session
+        elif graph is not None:
+            self._session = MatchSession(graph, **session_options)
+        else:
+            raise ValueError("GraphHandle needs a graph or a session")
+
+    @classmethod
+    def from_session(cls, session: MatchSession) -> "GraphHandle":
+        """Wrap an existing engine session without re-pinning anything."""
+        return cls(session=session)
+
+    # -- pinned state ------------------------------------------------------
+
+    @property
+    def graph(self) -> DataGraph:
+        """The data graph this handle serves."""
+        return self._session.graph
+
+    @property
+    def session(self) -> MatchSession:
+        """The underlying engine session (advanced use)."""
+        return self._session
+
+    # -- querying ----------------------------------------------------------
+
+    def query(self, query: QueryLike, *, name: str = "") -> PreparedQuery:
+        """Prepare *query* (DSL text, a ``Q`` builder, or a ``Pattern``)."""
+        return PreparedQuery(self, as_pattern(query, name=name))
+
+    def match(self, query: QueryLike) -> ResultView:
+        """Shorthand for ``handle.query(q).match()``."""
+        return self.query(query).match()
+
+    def match_many(
+        self,
+        queries: Iterable[QueryLike],
+        *,
+        parallel: Optional[bool] = None,
+        max_workers: Optional[int] = None,
+    ) -> List[ResultView]:
+        """Serve a whole workload from the shared snapshot (batched).
+
+        Accepts any mix of query spellings; routes through
+        :meth:`MatchSession.match_many` (dedupe, result cache, fork pool).
+        """
+        patterns = [as_pattern(query) for query in queries]
+        results = self._session.match_many(
+            patterns, parallel=parallel, max_workers=max_workers
+        )
+        return [
+            self._view(pattern, result)
+            for pattern, result in zip(patterns, results)
+        ]
+
+    def explain(self, query: QueryLike) -> str:
+        """Shorthand for ``handle.query(q).explain()``."""
+        return self.query(query).explain()
+
+    def _view(self, pattern: Pattern, result, *, affected=None) -> ResultView:
+        # The session's oracle is built lazily; hand the view a thunk so a
+        # simulation-only workload never materialises a distance matrix just
+        # because someone looked at its results.
+        return ResultView(
+            pattern,
+            result,
+            graph=self._session.graph,
+            oracle=lambda: self._session.oracle,
+            affected=affected,
+        )
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert_edge(self, source: NodeId, target: NodeId) -> bool:
+        """Insert an edge through the session's patch layer (cache-aware)."""
+        return self._session.patch_edge_insert(source, target)
+
+    def delete_edge(self, source: NodeId, target: NodeId) -> bool:
+        """Delete an edge through the session's patch layer (cache-aware)."""
+        return self._session.patch_edge_delete(source, target)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """The session's counters (cache hits, plans, fork batches, ...)."""
+        return self._session.stats()
+
+    def close(self) -> None:
+        """Drop cached session state; the handle stays usable."""
+        self._session.close()
+
+    def __enter__(self) -> "GraphHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        graph = self._session.graph
+        return (
+            f"<GraphHandle {graph.name or 'G'!s} "
+            f"|V|={graph.number_of_nodes()} |E|={graph.number_of_edges()}>"
+        )
+
+
+def wrap(graph: DataGraph, **session_options: Any) -> GraphHandle:
+    """Open a :class:`GraphHandle` over *graph* (the one-line entry point)."""
+    return GraphHandle(graph, **session_options)

@@ -9,16 +9,19 @@ Subcommands
 ``match``
     Compute the maximum bounded-simulation match of a pattern in a data
     graph and print it (optionally as JSON, optionally with the result
-    graph summary).  Runs through a :class:`~repro.engine.MatchSession`.
+    graph summary).  The pattern is either a JSON file (``--pattern``) or
+    query-DSL text (``--q``); runs through the public
+    :class:`~repro.api.GraphHandle` surface.
 
 ``query``
-    Batch mode: open **one** :class:`~repro.engine.MatchSession` over the
-    graph and serve every pattern given via ``--patterns`` from the shared
-    snapshot (``session.match_many``).  ``--repeat N`` replays the workload
-    so later rounds hit the session's result cache; ``--parallel fork``
-    forces the fork-based process pool, ``serial`` disables it and ``auto``
-    (default) decides from the workload size; ``--explain`` prints each
-    pattern's query plan (chosen strategy and why).
+    Batch mode: open **one** :class:`~repro.api.GraphHandle` over the graph
+    and serve every query — pattern JSON files via ``--patterns`` and/or
+    DSL strings via ``--q`` (repeatable) — from the shared snapshot
+    (``session.match_many``).  ``--repeat N`` replays the workload so later
+    rounds hit the session's result cache; ``--parallel fork`` forces the
+    fork-based process pool, ``serial`` disables it and ``auto`` (default)
+    decides from the workload size; ``--explain`` prints each pattern's
+    query plan (chosen strategy and why).
 
 ``generate``
     Generate a synthetic data graph (uniform random, scale-free,
@@ -43,8 +46,12 @@ Examples
     python -m repro generate --kind youtube --scale 0.02 --out youtube.json
     python -m repro stats youtube.json
     python -m repro match --graph youtube.json --pattern pattern.json
+    python -m repro match --graph youtube.json \\
+        --q "(p1 {category = Music, rate > 3})-[<=2]->(p2 {uploader = 'FWPB'})"
     python -m repro query --graph youtube.json --patterns p1.json p2.json p3.json \\
         --repeat 2 --explain
+    python -m repro query --graph youtube.json --q "(a:Music)-[<=2]->(b:Comedy)" \\
+        --q "(a:News)->(b)"
     python -m repro experiment fig9
     python -m repro incremental --graph youtube.json --pattern pattern.json \\
         --updates delta.json --engine compiled --batch-size 50
@@ -57,8 +64,8 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
+from repro.api import GraphHandle, QuerySyntaxError
 from repro.datasets import DATASET_BUILDERS
-from repro.engine import MatchSession
 from repro.distance.bfs import BFSDistanceOracle
 from repro.distance.compiled import CompiledDistanceMatrix
 from repro.distance.matrix import DistanceMatrix
@@ -67,8 +74,6 @@ from repro.experiments import ALL_EXPERIMENTS, run_experiment
 from repro.graph.generators import random_data_graph, scale_free_graph, small_world_graph
 from repro.graph.io import load_graph_json, load_pattern_json, save_graph_json
 from repro.graph.statistics import compute_statistics
-from repro.matching.bounded import match
-from repro.matching.result_graph import build_result_graph
 
 __all__ = ["main", "build_parser"]
 
@@ -90,7 +95,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     match_parser = subparsers.add_parser("match", help="match a pattern against a data graph")
     match_parser.add_argument("--graph", required=True, help="data graph JSON file")
-    match_parser.add_argument("--pattern", required=True, help="pattern JSON file")
+    pattern_source = match_parser.add_mutually_exclusive_group(required=True)
+    pattern_source.add_argument("--pattern", help="pattern JSON file")
+    pattern_source.add_argument(
+        "--q",
+        metavar="DSL",
+        help="query-DSL text, e.g. \"(a:A)-[<=2]->(b:B {age > 30})\"",
+    )
     match_parser.add_argument(
         "--oracle",
         choices=sorted(_ORACLES),
@@ -110,10 +121,17 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument("--graph", required=True, help="data graph JSON file")
     query_parser.add_argument(
         "--patterns",
-        required=True,
         nargs="+",
+        default=[],
         metavar="PATTERN",
-        help="one or more pattern JSON files served from the shared snapshot",
+        help="pattern JSON files served from the shared snapshot",
+    )
+    query_parser.add_argument(
+        "--q",
+        action="append",
+        default=[],
+        metavar="DSL",
+        help="query-DSL text (repeatable); served alongside --patterns",
     )
     query_parser.add_argument(
         "--repeat",
@@ -198,68 +216,86 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_dsl_or_exit(text: str, name: str = "") -> "Pattern":  # noqa: F821
+    from repro.graph.pattern import Pattern
+
+    try:
+        return Pattern.from_dsl(text, name=name)
+    except QuerySyntaxError as exc:
+        raise SystemExit(str(exc))
+
+
 def _command_match(args: argparse.Namespace) -> int:
     graph = load_graph_json(args.graph)
-    pattern = load_pattern_json(args.pattern)
-    # "compiled" is the session's own lazy oracle; anything else is an
+    if args.q is not None:
+        pattern = _parse_dsl_or_exit(args.q, name="cli-query")
+    else:
+        pattern = load_pattern_json(args.pattern)
+    # "compiled" is the handle's own lazy oracle; anything else is an
     # explicit substrate the session must not bypass.
     oracle = None if args.oracle == "compiled" else _ORACLES[args.oracle](graph)
-    session = MatchSession(graph, oracle=oracle)
-    result = session.match(pattern)
+    handle = GraphHandle(graph, oracle=oracle)
+    view = handle.query(pattern).match()
 
     if args.json:
-        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
-    elif result.is_empty:
+        print(view.to_json(indent=2))
+    elif view.is_empty:
         print("no match: the pattern is not matched by the graph")
     else:
-        print(f"maximum match: {len(result)} pairs")
-        for pattern_node in pattern.nodes():
-            nodes = ", ".join(sorted(str(v) for v in result.matches(pattern_node)))
+        print(f"maximum match: {len(view)} pairs")
+        for pattern_node in view.pattern_nodes():
+            nodes = ", ".join(str(v) for v in view[pattern_node].ids())
             print(f"  {pattern_node} -> {{{nodes}}}")
 
-    if args.result_graph and result:
-        result_graph = build_result_graph(pattern, graph, result, session.oracle)
+    if args.result_graph and view:
+        result_graph = view.graph()
         print(
             f"result graph: {result_graph.number_of_nodes()} nodes, "
             f"{result_graph.number_of_edges()} edges"
         )
-    return 0 if result else 1
+    return 0 if view else 1
 
 
 def _command_query(args: argparse.Namespace) -> int:
     graph = load_graph_json(args.graph)
-    patterns = [load_pattern_json(path) for path in args.patterns]
+    labels = list(args.patterns) + [f"--q #{i + 1}" for i in range(len(args.q))]
+    patterns = [load_pattern_json(path) for path in args.patterns] + [
+        _parse_dsl_or_exit(text, name=f"dsl-{index + 1}")
+        for index, text in enumerate(args.q)
+    ]
+    if not patterns:
+        raise SystemExit("query: provide at least one --patterns file or --q string")
     parallel = {"auto": None, "fork": True, "serial": False}[args.parallel]
-    session = MatchSession(graph)
+    handle = GraphHandle(graph)
 
     if args.explain and not args.json:
-        for path, pattern in zip(args.patterns, patterns):
-            print(f"# {path}")
-            print(session.explain(pattern))
+        for label, pattern in zip(labels, patterns):
+            print(f"# {label}")
+            print(handle.explain(pattern))
         print()
 
     import time
 
-    results = []
+    views = []
     round_seconds = []
     for _ in range(max(1, args.repeat)):
         start = time.perf_counter()
-        results = session.match_many(
+        views = handle.match_many(
             patterns, parallel=parallel, max_workers=args.max_workers
         )
         round_seconds.append(round(time.perf_counter() - start, 4))
 
     rows = [
         {
-            "pattern": path,
+            "pattern": label,
             "name": pattern.name,
             "fingerprint": pattern.fingerprint()[:12],
-            "matched": bool(result),
-            "match_pairs": len(result),
+            "matched": bool(view),
+            "match_pairs": len(view),
         }
-        for path, pattern, result in zip(args.patterns, patterns, results)
+        for label, pattern, view in zip(labels, patterns, views)
     ]
-    stats = session.stats()
+    stats = handle.stats()
     if args.json:
         print(
             json.dumps(

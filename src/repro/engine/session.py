@@ -434,6 +434,22 @@ class MatchSession:
         return True
 
     # ------------------------------------------------------------------
+    # public façade
+    # ------------------------------------------------------------------
+
+    def handle(self) -> "GraphHandle":  # noqa: F821 - imported lazily
+        """Wrap this session in the public :class:`repro.api.GraphHandle`.
+
+        The handle adds the user-facing layers (DSL parsing, fluent
+        builders, lazy :class:`~repro.api.ResultView` results) on top of
+        this session without re-pinning any state — the inverse bridge of
+        ``GraphHandle(graph)``, for callers who tuned a session first.
+        """
+        from repro.api.handle import GraphHandle
+
+        return GraphHandle.from_session(self)
+
+    # ------------------------------------------------------------------
     # bookkeeping
     # ------------------------------------------------------------------
 

@@ -18,9 +18,9 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from repro.api import wrap
 from repro.datasets import youtube_graph
 from repro.distance.matrix import DistanceMatrix
-from repro.engine import MatchSession
 from repro.experiments.harness import ExperimentRecord, average, timed
 from repro.graph.datagraph import DataGraph
 from repro.graph.generators import random_data_graph
@@ -28,7 +28,6 @@ from repro.graph.pattern_generator import PatternGenerator
 from repro.isomorphism.ullmann import ullmann_isomorphisms
 from repro.isomorphism.vf2 import vf2_isomorphisms
 from repro.matching.bounded import match
-from repro.matching.result_graph import build_result_graph
 from repro.workloads.patterns import youtube_sample_patterns
 
 __all__ = [
@@ -59,10 +58,10 @@ def result_graph_experiment(
 ) -> ExperimentRecord:
     """Fig. 6(a): result graphs for the hand-written YouTube patterns."""
     graph = youtube_graph(scale=scale, seed=seed)
-    # One engine session serves all sample patterns from the shared
-    # snapshot; the ball memos and the session oracle are reused by the
-    # result-graph construction below.
-    session = MatchSession(graph)
+    # One handle serves all sample patterns from the shared snapshot; the
+    # ball memos and the session oracle are reused by the result-graph
+    # extraction below (ResultView.graph()).
+    handle = wrap(graph)
     record = ExperimentRecord(
         experiment="fig6a",
         title="Result graphs on YouTube (sample patterns)",
@@ -72,18 +71,20 @@ def result_graph_experiment(
         ),
         notes=f"YouTube substitute at scale={scale} "
         f"(|V|={graph.number_of_nodes()}, |E|={graph.number_of_edges()}); "
-        "served by one MatchSession (shared snapshot + ball memos)",
+        "served through one GraphHandle (shared snapshot + ball memos)",
     )
-    patterns = youtube_sample_patterns()
-    for pattern, result in zip(patterns, session.match_many(patterns)):
-        result_graph = build_result_graph(pattern, graph, result, session.oracle)
+    for view in handle.match_many(youtube_sample_patterns()):
+        pattern = view.pattern
+        result_graph = view.graph()
         record.add_row(
             pattern=pattern.name,
             pattern_nodes=pattern.number_of_nodes(),
             pattern_edges=pattern.number_of_edges(),
-            matched=bool(result),
-            match_pairs=len(result),
-            avg_matches_per_node=round(result.average_matches_per_pattern_node(), 2),
+            matched=bool(view),
+            match_pairs=len(view),
+            avg_matches_per_node=round(
+                view.result.average_matches_per_pattern_node(), 2
+            ),
             result_nodes=result_graph.number_of_nodes(),
             result_edges=result_graph.number_of_edges(),
         )

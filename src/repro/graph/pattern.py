@@ -440,6 +440,33 @@ class Pattern:
             raise PatternError(f"pattern dict is missing key {exc}") from None
         return pattern
 
+    def to_dsl(self) -> str:
+        """Print the pattern as query-DSL text (see :mod:`repro.api.dsl`).
+
+        The printed form round-trips: ``Pattern.from_dsl(p.to_dsl())`` has
+        the same :meth:`fingerprint` as ``p``.  Raises
+        :class:`~repro.exceptions.PatternError` when the pattern uses node
+        ids, attribute names, predicate values or edge colours the DSL
+        cannot spell.
+        """
+        from repro.api.dsl import to_dsl
+
+        return to_dsl(self)
+
+    @classmethod
+    def from_dsl(cls, text: str, name: str = "") -> "Pattern":
+        """Parse query-DSL *text* into a pattern (see :mod:`repro.api.dsl`).
+
+        Raises
+        ------
+        QuerySyntaxError
+            With position, caret rendering and hint when *text* is
+            malformed.
+        """
+        from repro.api.dsl import parse_query
+
+        return parse_query(text, name=name)
+
     @classmethod
     def from_edges(
         cls,

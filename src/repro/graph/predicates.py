@@ -7,6 +7,11 @@ where ``A`` is an attribute name, ``a`` a constant, and ``op`` one of
 atom holds on the attributes ``f_A(v)`` of ``v`` (missing attributes never
 satisfy an atom).
 
+Beyond the paper's operator set, the public query DSL (:mod:`repro.api`)
+adds ``~`` — a case-sensitive glob match (``fnmatch`` syntax: ``*``, ``?``,
+``[seq]``) over string attributes, e.g. ``job ~ 'bio*'``.  Non-string
+values never satisfy a ``~`` atom.
+
 This module provides:
 
 * :class:`Atom` — a single comparison ``A op a``;
@@ -18,13 +23,22 @@ This module provides:
 
 from __future__ import annotations
 
+import fnmatch
 import operator
 import re
 from typing import Any, Callable, Dict, Iterable, Iterator, Mapping, Sequence, Tuple, Union
 
 from repro.exceptions import PredicateError
 
-__all__ = ["Atom", "Predicate", "TRUE", "parse_predicate"]
+__all__ = ["Atom", "Predicate", "TRUE", "parse_predicate", "coerce_literal"]
+
+
+def _glob_match(actual: Any, pattern: Any) -> bool:
+    """The ``~`` operator: case-sensitive glob match over string values."""
+    if not isinstance(actual, str) or not isinstance(pattern, str):
+        return False
+    return fnmatch.fnmatchcase(actual, pattern)
+
 
 _OPERATORS: Dict[str, Callable[[Any, Any], bool]] = {
     "<": operator.lt,
@@ -34,6 +48,7 @@ _OPERATORS: Dict[str, Callable[[Any, Any], bool]] = {
     "!=": operator.ne,
     ">": operator.gt,
     ">=": operator.ge,
+    "~": _glob_match,
 }
 
 # Canonical spelling used for repr / serialisation.
@@ -45,17 +60,18 @@ _CANONICAL_OP = {
     "!=": "!=",
     ">": ">",
     ">=": ">=",
+    "~": "~",
 }
 
 # Longest operators first so that '<=' is not tokenised as '<' + '='.
 _ATOM_RE = re.compile(
     r"^\s*(?P<attr>[A-Za-z_][A-Za-z0-9_.\- ]*?)\s*"
-    r"(?P<op><=|>=|!=|==|=|<|>)\s*"
+    r"(?P<op><=|>=|!=|==|=|<|>|~)\s*"
     r"(?P<value>.+?)\s*$"
 )
 
 
-def _coerce_literal(text: str) -> Any:
+def coerce_literal(text: str) -> Any:
     """Interpret *text* as an int, float, bool, or (possibly quoted) string."""
     if len(text) >= 2 and text[0] == text[-1] and text[0] in {"'", '"'}:
         return text[1:-1]
@@ -83,7 +99,8 @@ class Atom:
     attribute:
         The attribute name looked up in the data node's attribute mapping.
     op:
-        One of ``<, <=, =, ==, !=, >, >=`` (``=`` and ``==`` are synonyms).
+        One of ``<, <=, =, ==, !=, >, >=, ~`` (``=`` and ``==`` are
+        synonyms; ``~`` is a glob match over string values).
     value:
         The constant the attribute is compared against.
     """
@@ -96,6 +113,12 @@ class Atom:
         if op not in _OPERATORS:
             raise PredicateError(
                 f"unknown comparison operator {op!r}; expected one of {sorted(_OPERATORS)}"
+            )
+        if _CANONICAL_OP[op] == "~" and not isinstance(value, str):
+            # A non-string glob can never match any node; refuse it here so
+            # every front-end (DSL, builder, JSON, Predicate.parse) agrees.
+            raise PredicateError(
+                f"the ~ operator requires a string glob pattern, got {value!r}"
             )
         self.attribute = attribute
         self.op = _CANONICAL_OP[op]
@@ -164,7 +187,7 @@ class Atom:
             raise PredicateError(f"cannot parse atomic formula from {text!r}")
         attribute = match.group("attr").strip()
         op = match.group("op")
-        value = _coerce_literal(match.group("value"))
+        value = coerce_literal(match.group("value"))
         return cls(attribute, op, value)
 
 
@@ -317,7 +340,14 @@ def parse_predicate(spec: PredicateLike) -> Predicate:
     if isinstance(spec, Mapping):
         return Predicate.from_dict(spec)
     if isinstance(spec, str):
-        if _ATOM_RE.match(spec) and any(op in spec for op in ("<", ">", "=", "!")):
+        # A bare string is an expression only when it clearly spells an
+        # operator.  '~' counts only when whitespace-delimited on both
+        # sides ('job ~ x'): labels containing a tilde ('v1~stable',
+        # 'rev ~stable') keep their pre-existing label-equality meaning.
+        if _ATOM_RE.match(spec) and (
+            any(op in spec for op in ("<", ">", "=", "!"))
+            or re.search(r"\s~\s", spec)
+        ):
             return Predicate.parse(spec)
         spec = spec.strip()
         if not spec or spec == "*":

@@ -155,7 +155,7 @@ def match(
 
     pattern_nodes = pattern.node_list()
     if pattern.number_of_nodes() == 0:
-        return MatchResult.empty()
+        return MatchResult.empty(pattern_nodes)
     if graph.number_of_nodes() == 0:
         return MatchResult.empty(pattern_nodes)
     if oracle is None:
@@ -341,7 +341,20 @@ def matches(
     graph: DataGraph,
     oracle: Optional[DistanceOracle] = None,
 ) -> bool:
-    """``True`` when ``P ⊴ G`` (the pattern matches the graph)."""
+    """``True`` when ``P ⊴ G`` (the pattern matches the graph).
+
+    .. deprecated:: 1.1
+        Use ``bool(match(pattern, graph))`` or the public surface
+        ``bool(repro.api.wrap(graph).query(q).match())``.
+    """
+    import warnings
+
+    warnings.warn(
+        "matches() is deprecated; use bool(match(...)) or "
+        "bool(repro.api.wrap(graph).query(q).match())",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return bool(match(pattern, graph, oracle))
 
 

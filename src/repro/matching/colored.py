@@ -78,18 +78,18 @@ def match_colored(
         The maximum match, empty when some pattern node has no match.
     """
     if pattern.number_of_nodes() == 0 or graph.number_of_nodes() == 0:
-        return MatchResult.empty()
+        return MatchResult.empty(pattern.node_list())
     if oracles is None:
         oracles = build_color_oracles(pattern, graph, oracle_factory)
 
     mat = candidate_sets(pattern, graph, out_degree_filter=False)
     if any(not candidates for candidates in mat.values()):
-        return MatchResult.empty()
+        return MatchResult.empty(pattern.node_list())
 
     _refine_colored(pattern, oracles, mat)
 
     if any(not candidates for candidates in mat.values()):
-        return MatchResult.empty()
+        return MatchResult.empty(pattern.node_list())
     return MatchResult(mat, pattern_nodes=pattern.node_list())
 
 
@@ -174,5 +174,5 @@ def naive_match_colored(pattern: Pattern, graph: DataGraph) -> MatchResult:
                 changed = True
 
     if any(not nodes for nodes in candidates.values()):
-        return MatchResult.empty()
+        return MatchResult.empty(pattern.node_list())
     return MatchResult(candidates, pattern_nodes=pattern.node_list())

@@ -10,6 +10,7 @@ relation is *empty* unless **every** pattern node has at least one match
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Set, Tuple
 
 from repro.graph.datagraph import NodeId
@@ -163,12 +164,27 @@ class MatchResult:
     # ------------------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
+        """Relation equality *for the same pattern shape*.
+
+        Two results are equal when they hold the same pairs **and** were
+        built over the same pattern node set — an empty result for a 3-node
+        pattern is not the same answer as an empty result for a 5-node
+        pattern, even though both relations are ``∅``.
+        """
         if not isinstance(other, MatchResult):
             return NotImplemented
-        return self._mapping == other._mapping
+        return (
+            self._mapping == other._mapping
+            and self._pattern_nodes == other._pattern_nodes
+        )
 
     def __hash__(self) -> int:
-        return hash(frozenset((u, vs) for u, vs in self._mapping.items()))
+        return hash(
+            (
+                frozenset((u, vs) for u, vs in self._mapping.items()),
+                self._pattern_nodes,
+            )
+        )
 
     def is_subrelation_of(self, other: "MatchResult") -> bool:
         """``True`` when every pair of ``self`` is also in *other*."""
@@ -197,7 +213,19 @@ class MatchResult:
     # ------------------------------------------------------------------
 
     def to_dict(self) -> Dict[str, list]:
-        """JSON-friendly representation: pattern node -> sorted list of data nodes."""
+        """JSON-friendly representation: pattern node -> sorted list of data nodes.
+
+        .. deprecated:: 1.1
+            Use :meth:`repro.api.ResultView.to_mapping` /
+            :meth:`~repro.api.ResultView.to_json` — the public result
+            surface also resolves node attributes and result graphs.
+        """
+        warnings.warn(
+            "MatchResult.to_dict() is deprecated; use the repro.api "
+            "ResultView.to_mapping()/to_json() result surface instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return {
             str(u): sorted((str(v) for v in vs))
             for u, vs in self._mapping.items()

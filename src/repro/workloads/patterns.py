@@ -2,8 +2,10 @@
 
 Besides the random generator of :mod:`repro.graph.pattern_generator`, the
 paper uses a handful of hand-written patterns over the YouTube data
-(Example 2.3 and Fig. 6(a)).  They are reproduced here against the YouTube
-substitute's attribute schema so the effectiveness experiment can run them.
+(Example 2.3 and Fig. 6(a)).  They are expressed in the public query DSL
+(:mod:`repro.api.dsl`) against the YouTube substitute's attribute schema;
+``tests/test_api_parity.py`` pins each DSL form to its imperative
+:class:`Pattern` construction by fingerprint.
 """
 
 from __future__ import annotations
@@ -13,10 +15,12 @@ from typing import Dict, List, Sequence, Tuple
 from repro.graph.datagraph import DataGraph
 from repro.graph.pattern import Pattern
 from repro.graph.pattern_generator import PatternGenerator
-from repro.graph.predicates import Predicate
 from repro.utils.rng import RandomLike
 
 __all__ = [
+    "YOUTUBE_EXAMPLE_DSL",
+    "YOUTUBE_FIG6A_P1_DSL",
+    "YOUTUBE_FIG6A_P2_DSL",
     "youtube_example_pattern",
     "youtube_fig6a_pattern_p1",
     "youtube_fig6a_pattern_p2",
@@ -24,6 +28,31 @@ __all__ = [
     "pattern_suite",
     "engine_batch_workload",
 ]
+
+#: Example 2.3's pattern ``P'`` in query-DSL form.
+YOUTUBE_EXAMPLE_DSL = (
+    "(p3 {length > 120, age > 365})"
+    "-[<=2]->(p2 {comments < 16, views >= 700})"
+    "-[<=2]->(p4 {uploader = 'neil010'})"
+    "-[<=2]->(p1 {category = 'People', rate > 4.5}); "
+    "(p4)-[<=2]->(p5 {ratings < 30, category = 'Travel & Places'})"
+)
+
+#: Fig. 6(a) pattern ``P1`` in query-DSL form.
+YOUTUBE_FIG6A_P1_DSL = (
+    "(p1 {category = 'Music', rate > 3})"
+    "-[<=2]->(p2 {uploader = 'FWPB'})"
+    "-[<=3]->(p3 {uploader = 'Ascrodin', age < 500})"
+    "-[<=4]->(p2)"
+)
+
+#: Fig. 6(a) pattern ``P2`` in query-DSL form.
+YOUTUBE_FIG6A_P2_DSL = (
+    "(p4 {category = 'Politics'})"
+    "-[<=3]->(p6 {uploader = 'Gisburgh', category = 'Comedy'})"
+    "-[<=2]->(p7 {category = 'People'}); "
+    "(p5 {category = 'Science'})-[<=3]->(p6)"
+)
 
 
 def youtube_example_pattern() -> Pattern:
@@ -35,52 +64,17 @@ def youtube_example_pattern() -> Pattern:
     "People" videos rated above 4.5 (p1) and "Travel & Places" videos with
     fewer than 30 ratings (p5).
     """
-    pattern = Pattern(name="P'-example-2.3")
-    pattern.add_node(
-        "p3", Predicate.parse("length > 120 & age > 365")
-    )
-    pattern.add_node(
-        "p2", Predicate.parse("comments < 16 & views >= 700")
-    )
-    pattern.add_node("p4", Predicate.equals("uploader", "neil010"))
-    pattern.add_node(
-        "p1", Predicate.parse("category = People & rate > 4.5")
-    )
-    pattern.add_node(
-        "p5", Predicate.parse("ratings < 30") & Predicate.equals("category", "Travel & Places")
-    )
-    pattern.add_edge("p3", "p2", 2)
-    pattern.add_edge("p2", "p4", 2)
-    pattern.add_edge("p4", "p1", 2)
-    pattern.add_edge("p4", "p5", 2)
-    return pattern
+    return Pattern.from_dsl(YOUTUBE_EXAMPLE_DSL, name="P'-example-2.3")
 
 
 def youtube_fig6a_pattern_p1() -> Pattern:
     """Pattern ``P1`` of Fig. 6(a): music videos linked to "FWPB" and "Ascrodin" videos."""
-    pattern = Pattern(name="Fig6a-P1")
-    pattern.add_node("p1", Predicate.parse("category = Music & rate > 3"))
-    pattern.add_node("p2", Predicate.equals("uploader", "FWPB"))
-    pattern.add_node("p3", Predicate.equals("uploader", "Ascrodin") & Predicate.parse("age < 500"))
-    pattern.add_edge("p1", "p2", 2)
-    pattern.add_edge("p2", "p3", 3)
-    pattern.add_edge("p3", "p2", 4)
-    return pattern
+    return Pattern.from_dsl(YOUTUBE_FIG6A_P1_DSL, name="Fig6a-P1")
 
 
 def youtube_fig6a_pattern_p2() -> Pattern:
     """Pattern ``P2`` of Fig. 6(a): "Gisburgh" comedy videos between politics/science and people videos."""
-    pattern = Pattern(name="Fig6a-P2")
-    pattern.add_node("p4", Predicate.equals("category", "Politics"))
-    pattern.add_node("p5", Predicate.equals("category", "Science"))
-    pattern.add_node(
-        "p6", Predicate.equals("uploader", "Gisburgh") & Predicate.equals("category", "Comedy")
-    )
-    pattern.add_node("p7", Predicate.equals("category", "People"))
-    pattern.add_edge("p4", "p6", 3)
-    pattern.add_edge("p5", "p6", 3)
-    pattern.add_edge("p6", "p7", 2)
-    return pattern
+    return Pattern.from_dsl(YOUTUBE_FIG6A_P2_DSL, name="Fig6a-P2")
 
 
 def youtube_sample_patterns() -> List[Pattern]:

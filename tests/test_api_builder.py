@@ -1,0 +1,141 @@
+"""Fluent builders (repro.api.builder.Q) and query-spelling normalisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Q, as_pattern, parse_query
+from repro.exceptions import PatternError
+from repro.graph.pattern import Pattern
+from repro.graph.predicates import Predicate
+
+
+class TestQ:
+    def test_issue_example_matches_dsl(self):
+        q = (
+            Q.node("p", label="Person").where(age__gt=30, job__like="bio*")
+            .node("c", label="City")
+            .edge("p", "c", within=2)
+            .edge("c", "q", within="*")
+        )
+        dsl = parse_query("(p:Person {age > 30, job ~ 'bio*'})-[<=2]->(c:City)-[*]->(q)")
+        assert q.build().fingerprint() == dsl.fingerprint()
+
+    def test_lookup_suffixes(self):
+        pattern = (
+            Q.node("a")
+            .where(
+                x__lt=1, y__le=2, z__lte=3, e__eq=4, n__ne=5,
+                g__gt=6, h__ge=7, i__gte=8, s__like="a*", plain=9,
+            )
+            .build()
+        )
+        atoms = {(a.attribute, a.op, a.value) for a in pattern.predicate("a").atoms}
+        assert atoms == {
+            ("x", "<", 1), ("y", "<=", 2), ("z", "<=", 3), ("e", "=", 4),
+            ("n", "!=", 5), ("g", ">", 6), ("h", ">=", 7), ("i", ">=", 8),
+            ("s", "~", "a*"), ("plain", "=", 9),
+        }
+
+    def test_like_requires_a_string_glob(self):
+        # Mirrors the DSL's QuerySyntaxError for (p {count ~ 3}).
+        from repro.exceptions import PredicateError
+
+        with pytest.raises(PredicateError, match="string glob"):
+            Q.node("p").where(count__like=3)
+
+    def test_unknown_suffix_is_a_plain_attribute(self):
+        pattern = Q.node("a").where(weird__thing=1).build()
+        assert pattern.predicate("a").atoms[0].attribute == "weird__thing"
+
+    def test_node_accepts_predicate_spellings(self):
+        imperative = Pattern()
+        imperative.add_node(
+            "a", Predicate.parse("category = Music") & Predicate.label("V")
+        )
+        built = Q.node("a", "category = Music", label="V").build()
+        assert built.fingerprint() == imperative.fingerprint()
+
+    def test_node_equality_kwargs(self):
+        pattern = Q.node("a", hobby="golf").build()
+        assert pattern.predicate("a") == Predicate.equals("hobby", "golf")
+
+    def test_edge_auto_creates_wildcard_nodes(self):
+        pattern = Q.node("a", label="A").edge("a", "b", within=3).build()
+        assert pattern.has_node("b")
+        assert pattern.predicate("b").is_wildcard
+        assert pattern.bound("a", "b") == 3
+
+    def test_edge_color_and_unbounded(self):
+        pattern = Q.node("a").edge("a", "b", within=None, color="follows").build()
+        assert pattern.bound("a", "b") is None
+        assert pattern.color("a", "b") == "follows"
+
+    def test_where_targets_last_node_or_explicit_alias(self):
+        pattern = (
+            Q.node("a").node("b").where(x__gt=1).where("a", y__lt=2).build()
+        )
+        assert pattern.predicate("b").atoms[0].attribute == "x"
+        assert pattern.predicate("a").atoms[0].attribute == "y"
+
+    def test_where_before_node_raises(self):
+        with pytest.raises(PatternError, match="nothing to constrain"):
+            Q().where(x=1)
+
+    def test_build_snapshots(self):
+        q = Q.node("a", label="A")
+        first = q.build()
+        q.edge("a", "b", within=2)
+        assert first.number_of_nodes() == 1
+        assert q.build().number_of_nodes() == 2
+
+    def test_build_name(self):
+        assert Q.node("a").build(name="P7").name == "P7"
+
+    def test_to_dsl_round_trip(self):
+        q = Q.node("a", label="A").edge("a", "b", within=2)
+        assert parse_query(q.to_dsl()).fingerprint() == q.build().fingerprint()
+
+    def test_parse_seeds_a_builder(self):
+        q = Q.parse("(a:A)->(b:B)")
+        q.edge("b", "c", within=2)
+        assert q.build().number_of_nodes() == 3
+
+    def test_from_pattern_copies(self):
+        source = Pattern()
+        source.add_node("a", "A")
+        q = Q.from_pattern(source)
+        q.edge("a", "b", within=2)
+        assert source.number_of_nodes() == 1
+        assert q.build().number_of_nodes() == 2
+
+    def test_len_and_repr(self):
+        q = Q.node("a").node("b")
+        assert len(q) == 2
+        assert "Q" in repr(q)
+
+
+class TestAsPattern:
+    def test_pattern_passes_through(self):
+        pattern = Pattern()
+        pattern.add_node("a")
+        assert as_pattern(pattern) is pattern
+
+    def test_pattern_with_name_is_renamed_copy(self):
+        pattern = Pattern(name="old")
+        pattern.add_node("a")
+        renamed = as_pattern(pattern, name="new")
+        assert renamed.name == "new"
+        assert pattern.name == "old"  # caller's object untouched
+        assert renamed.fingerprint() == pattern.fingerprint()
+        assert as_pattern(pattern, name="old") is pattern
+
+    def test_string_is_parsed(self):
+        assert as_pattern("(a:A)").predicate("a") == Predicate.label("A")
+
+    def test_builder_is_built(self):
+        assert as_pattern(Q.node("a")).number_of_nodes() == 1
+
+    def test_rejects_other_types(self):
+        with pytest.raises(PatternError, match="cannot build a query"):
+            as_pattern(42)

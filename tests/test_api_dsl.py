@@ -1,0 +1,351 @@
+"""The textual pattern DSL: parser, diagnostics, and round-trip printer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import QuerySyntaxError, parse_query, to_dsl
+from repro.exceptions import PatternError
+from repro.graph.builders import (
+    collaboration_pattern,
+    drug_trafficking_pattern,
+    social_matching_pattern,
+)
+from repro.graph.pattern import Pattern
+from repro.graph.predicates import Atom, Predicate
+
+
+class TestParser:
+    def test_issue_example(self):
+        pattern = parse_query(
+            "(p:Person {age > 30, job ~ 'bio*'})-[<=2]->(c:City)-[*]->(q)"
+        )
+        assert pattern.node_list() == ["p", "c", "q"]
+        assert pattern.bound("p", "c") == 2
+        assert pattern.bound("c", "q") is None
+        atoms = {(a.attribute, a.op, a.value) for a in pattern.predicate("p").atoms}
+        assert atoms == {
+            ("label", "=", "Person"),
+            ("age", ">", 30),
+            ("job", "~", "bio*"),
+        }
+        assert pattern.predicate("q").is_wildcard
+
+    def test_label_shorthand_is_label_equality(self):
+        pattern = parse_query("(a:DM)")
+        assert pattern.predicate("a") == Predicate.label("DM")
+
+    def test_quoted_label(self):
+        pattern = parse_query("(a:'Travel & Places')")
+        assert pattern.predicate("a") == Predicate.label("Travel & Places")
+
+    def test_plain_arrow_is_bound_one(self):
+        pattern = parse_query("(a)->(b)")
+        assert pattern.bound("a", "b") == 1
+
+    def test_bare_integer_bound_sugar(self):
+        pattern = parse_query("(a)-[3]->(b)")
+        assert pattern.bound("a", "b") == 3
+
+    def test_edge_color(self):
+        pattern = parse_query("(a)-[:follows <=2]->(b)-[:'likes it' *]->(c); (a)-[:rel]->(c)")
+        assert pattern.color("a", "b") == "follows"
+        assert pattern.bound("a", "b") == 2
+        assert pattern.color("b", "c") == "likes it"
+        assert pattern.bound("b", "c") is None
+        assert pattern.color("a", "c") == "rel"
+        assert pattern.bound("a", "c") == 1
+
+    def test_shared_aliases_build_cycles(self):
+        pattern = parse_query("(a:A)->(b:B)->(c:C); (c)-[*]->(a)")
+        assert pattern.number_of_nodes() == 3
+        assert pattern.has_edge("c", "a")
+        assert not pattern.is_dag()
+
+    def test_value_coercion(self):
+        pattern = parse_query(
+            "(a {i = 42, f = 4.5, e = 1e3, neg = -7, t = true, fa = false, "
+            "s = 'x y', bare = Music})"
+        )
+        values = {a.attribute: a.value for a in pattern.predicate("a").atoms}
+        assert values == {
+            "i": 42,
+            "f": 4.5,
+            "e": 1000.0,
+            "neg": -7,
+            "t": True,
+            "fa": False,
+            "s": "x y",
+            "bare": "Music",
+        }
+        assert isinstance(values["t"], bool)
+        assert isinstance(values["e"], float)
+
+    def test_string_escapes(self):
+        pattern = parse_query(r"(a {s = 'don\'t', b = 'a\\b'})")
+        values = {atom.attribute: atom.value for atom in pattern.predicate("a").atoms}
+        assert values == {"s": "don't", "b": "a\\b"}
+
+    def test_backtick_attribute(self):
+        pattern = parse_query("(a {`attr name` = 1})")
+        assert pattern.predicate("a").atoms[0].attribute == "attr name"
+
+    def test_integer_aliases(self):
+        pattern = parse_query("(0:A)-[<=2]->(1:B)")
+        assert pattern.node_list() == [0, 1]
+        assert pattern.bound(0, 1) == 2
+
+    def test_anonymous_nodes(self):
+        pattern = parse_query("()->()")
+        assert pattern.number_of_nodes() == 2
+        assert pattern.number_of_edges() == 1
+
+    def test_anonymous_aliases_never_collide_with_user_aliases(self):
+        # A user node named like a generated alias must not be merged into...
+        pattern = parse_query("(_1:A)->()")
+        assert pattern.number_of_nodes() == 2
+        assert not pattern.has_edge("_1", "_1")
+        # ... nor falsely conflict with a later definition.
+        pattern = parse_query("()->(_1:A)")
+        assert pattern.number_of_nodes() == 2
+        assert pattern.predicate("_1") == Predicate.label("A")
+
+    def test_dotted_alias_is_rejected(self):
+        # The printer cannot spell dotted aliases, so the parser must not
+        # accept them (round-trip symmetry).
+        with pytest.raises(QuerySyntaxError, match="must not contain '.'"):
+            parse_query("(a.b)->(c)")
+
+    def test_ampersand_atom_separator(self):
+        pattern = parse_query("(a {x > 1 & y < 2})")
+        assert len(pattern.predicate("a").atoms) == 2
+
+    def test_name_is_attached(self):
+        assert parse_query("(a)", name="P9").name == "P9"
+
+    def test_empty_query_is_empty_pattern(self):
+        assert parse_query("").number_of_nodes() == 0
+
+    def test_glob_operator_matches(self):
+        from repro.api import wrap
+        from repro.graph.datagraph import DataGraph
+
+        graph = DataGraph()
+        graph.add_node("v1", job="biologist")
+        graph.add_node("v2", job="chemist")
+        view = wrap(graph).query("(p {job ~ 'bio*'})").match()
+        assert view["p"].ids() == ["v1"]
+
+
+class TestDiagnostics:
+    """The satellite cases: each asserts position and hint text."""
+
+    def test_bad_bound_zero(self):
+        text = "(a:A)-[<=0]->(b)"
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            parse_query(text)
+        error = excinfo.value
+        assert "edge bound must be >= 1" in error.message
+        assert error.position == text.index("0")
+        assert "-[<=k]-> with k >= 1" in error.hint
+        assert "-[*]->" in error.hint
+
+    def test_unclosed_predicate_brace(self):
+        text = "(p:Person {age > 30)"
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            parse_query(text)
+        error = excinfo.value
+        assert "unclosed predicate block" in error.message
+        assert error.position == text.index("{")
+        assert "expected '}'" in error.hint
+
+    def test_unclosed_predicate_brace_at_eof(self):
+        text = "(p {age > 30"
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            parse_query(text)
+        assert excinfo.value.position == text.index("{")
+
+    def test_duplicate_node_alias(self):
+        text = "(p:A)->(q:B)->(p:C)"
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            parse_query(text)
+        error = excinfo.value
+        assert "duplicate node alias 'p'" in error.message
+        assert error.position == text.rindex("p")
+        assert "later mentions must be bare" in error.hint
+
+    def test_bare_re_reference_is_not_a_duplicate(self):
+        pattern = parse_query("(p:A)->(q:B)->(p)")
+        assert pattern.number_of_nodes() == 2
+
+    def test_caret_rendering(self):
+        text = "(a:A)-[<=0]->(b)"
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            parse_query(text)
+        rendered = str(excinfo.value)
+        lines = rendered.splitlines()
+        assert "(at position 9)" in lines[0]
+        assert lines[1].endswith(text)
+        assert lines[2].index("^") - 2 == text.index("0")
+        assert lines[-1].startswith("hint:")
+
+    def test_unterminated_string(self):
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            parse_query("(a {s = 'oops})")
+        assert "unterminated string" in excinfo.value.message
+
+    def test_negative_bound(self):
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            parse_query("(a)-[<=-1]->(b)")
+        assert "edge bound must be >= 1" in excinfo.value.message
+
+    def test_float_bound(self):
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            parse_query("(a)-[<=2.5]->(b)")
+        assert "must be an integer" in excinfo.value.message
+
+    def test_missing_operator(self):
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            parse_query("(a {age 30})")
+        assert "comparison operator" in excinfo.value.message
+
+    def test_duplicate_edge(self):
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            parse_query("(a)->(b); (a)->(b)")
+        assert "duplicate pattern edge" in excinfo.value.message
+
+    def test_trailing_junk(self):
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            parse_query("(a) (b)")
+        assert "separate paths with ';'" in excinfo.value.hint
+
+    def test_unexpected_character(self):
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            parse_query("(a) @ (b)")
+        assert excinfo.value.position == 4
+
+    def test_glob_requires_string(self):
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            parse_query("(a {job ~ 3})")
+        assert "string glob" in excinfo.value.message
+
+    def test_error_is_a_pattern_error(self):
+        with pytest.raises(PatternError):
+            parse_query("(")
+
+    def test_empty_backtick_attribute_is_a_syntax_error(self):
+        # Atom-level PredicateErrors must surface as positioned diagnostics.
+        text = "(a {`` = 5})"
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            parse_query(text)
+        assert excinfo.value.position == text.index("`")
+        assert "non-empty" in excinfo.value.message
+
+
+class TestPrinter:
+    def test_paper_patterns_round_trip(self):
+        for builder in (
+            drug_trafficking_pattern,
+            social_matching_pattern,
+            collaboration_pattern,
+        ):
+            pattern = builder()
+            text = pattern.to_dsl()
+            assert Pattern.from_dsl(text).fingerprint() == pattern.fingerprint()
+
+    def test_bound_one_prints_plain_arrow(self):
+        assert parse_query("(a)->(b)").to_dsl() == "(a)->(b)"
+
+    def test_isolated_nodes_are_printed(self):
+        pattern = Pattern()
+        pattern.add_node("a", "A")
+        pattern.add_node("b")
+        text = pattern.to_dsl()
+        assert Pattern.from_dsl(text).fingerprint() == pattern.fingerprint()
+
+    def test_unsupported_node_id(self):
+        pattern = Pattern()
+        pattern.add_node(("tuple", "id"))
+        with pytest.raises(PatternError, match="not expressible"):
+            pattern.to_dsl()
+
+    def test_unsupported_numeric_string_alias(self):
+        pattern = Pattern()
+        pattern.add_node("0")  # would not round-trip: parses back as int 0
+        with pytest.raises(PatternError, match="not expressible"):
+            pattern.to_dsl()
+
+    def test_unsupported_value_type(self):
+        pattern = Pattern()
+        pattern.add_node("a", Predicate.from_atoms(Atom("x", "=", (1, 2))))
+        with pytest.raises(PatternError, match="not expressible"):
+            pattern.to_dsl()
+
+    def test_unsupported_color(self):
+        pattern = Pattern()
+        pattern.add_node("a")
+        pattern.add_node("b")
+        pattern.add_edge("a", "b", 2, color=7)
+        with pytest.raises(PatternError, match="colours must be strings"):
+            pattern.to_dsl()
+
+
+# ----------------------------------------------------------------------
+# hypothesis: parse ∘ print == identity (by fingerprint)
+# ----------------------------------------------------------------------
+
+_aliases = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,6}", fullmatch=True)
+_attr_names = st.one_of(
+    st.from_regex(r"[A-Za-z_][A-Za-z0-9_.]{0,6}", fullmatch=True),
+    st.from_regex(r"[A-Za-z_][A-Za-z0-9_ ]{0,5}[A-Za-z0-9_]", fullmatch=True),
+)
+_values = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.booleans(),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=8),
+)
+
+
+@st.composite
+def _atoms(draw):
+    value = draw(_values)
+    ops = ["<", "<=", "=", "!=", ">", ">="]
+    if isinstance(value, str):
+        ops = ops + ["~", "~"]
+    return Atom(draw(_attr_names), draw(st.sampled_from(ops)), value)
+
+
+@st.composite
+def _patterns(draw):
+    num_nodes = draw(st.integers(min_value=1, max_value=5))
+    aliases = draw(
+        st.lists(_aliases, min_size=num_nodes, max_size=num_nodes, unique=True)
+    )
+    pattern = Pattern()
+    for alias in aliases:
+        predicate = Predicate(draw(st.lists(_atoms(), max_size=3)))
+        pattern.add_node(alias, predicate)
+    max_edges = num_nodes * num_nodes
+    pairs = draw(
+        st.lists(
+            st.tuples(st.sampled_from(aliases), st.sampled_from(aliases)),
+            max_size=min(6, max_edges),
+            unique=True,
+        )
+    )
+    for source, target in pairs:
+        bound = draw(st.one_of(st.integers(min_value=1, max_value=9), st.just("*")))
+        color = draw(st.one_of(st.none(), _aliases))
+        pattern.add_edge(source, target, bound, color=color)
+    return pattern
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=150, deadline=None)
+    @given(_patterns())
+    def test_parse_print_identity(self, pattern):
+        text = to_dsl(pattern)
+        assert parse_query(text).fingerprint() == pattern.fingerprint()

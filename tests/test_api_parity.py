@@ -1,0 +1,208 @@
+"""Acceptance parity: every seed pattern is expressible in the DSL, and the
+public surface returns exactly what the kernel returns.
+
+Each hand-written DSL form below is pinned by ``fingerprint()`` equality to
+the imperative :class:`Pattern` construction it replaces; every seed
+workload is then served both through ``wrap(graph).query(...).match()`` and
+through the kernel ``match()`` and the results compared for equality.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import wrap
+from repro.graph.builders import (
+    collaboration_pattern,
+    drug_trafficking_pattern,
+    paper_example_pairs,
+    social_matching_pair,
+    social_matching_pattern,
+)
+from repro.graph.generators import random_data_graph
+from repro.graph.pattern import Pattern
+from repro.graph.pattern_generator import PatternGenerator
+from repro.graph.predicates import Predicate
+from repro.matching.bounded import match
+from repro.workloads.patterns import (
+    YOUTUBE_EXAMPLE_DSL,
+    YOUTUBE_FIG6A_P1_DSL,
+    YOUTUBE_FIG6A_P2_DSL,
+    engine_batch_workload,
+    youtube_example_pattern,
+    youtube_fig6a_pattern_p1,
+    youtube_fig6a_pattern_p2,
+    youtube_sample_patterns,
+)
+
+# ----------------------------------------------------------------------
+# imperative reconstructions of the seed patterns (the pre-DSL spellings)
+# ----------------------------------------------------------------------
+
+
+def _imperative_youtube_example() -> Pattern:
+    pattern = Pattern(name="P'-example-2.3")
+    pattern.add_node("p3", Predicate.parse("length > 120 & age > 365"))
+    pattern.add_node("p2", Predicate.parse("comments < 16 & views >= 700"))
+    pattern.add_node("p4", Predicate.equals("uploader", "neil010"))
+    pattern.add_node("p1", Predicate.parse("category = People & rate > 4.5"))
+    pattern.add_node(
+        "p5",
+        Predicate.parse("ratings < 30")
+        & Predicate.equals("category", "Travel & Places"),
+    )
+    pattern.add_edge("p3", "p2", 2)
+    pattern.add_edge("p2", "p4", 2)
+    pattern.add_edge("p4", "p1", 2)
+    pattern.add_edge("p4", "p5", 2)
+    return pattern
+
+
+def _imperative_fig6a_p1() -> Pattern:
+    pattern = Pattern(name="Fig6a-P1")
+    pattern.add_node("p1", Predicate.parse("category = Music & rate > 3"))
+    pattern.add_node("p2", Predicate.equals("uploader", "FWPB"))
+    pattern.add_node(
+        "p3", Predicate.equals("uploader", "Ascrodin") & Predicate.parse("age < 500")
+    )
+    pattern.add_edge("p1", "p2", 2)
+    pattern.add_edge("p2", "p3", 3)
+    pattern.add_edge("p3", "p2", 4)
+    return pattern
+
+
+def _imperative_fig6a_p2() -> Pattern:
+    pattern = Pattern(name="Fig6a-P2")
+    pattern.add_node("p4", Predicate.equals("category", "Politics"))
+    pattern.add_node("p5", Predicate.equals("category", "Science"))
+    pattern.add_node(
+        "p6",
+        Predicate.equals("uploader", "Gisburgh")
+        & Predicate.equals("category", "Comedy"),
+    )
+    pattern.add_node("p7", Predicate.equals("category", "People"))
+    pattern.add_edge("p4", "p6", 3)
+    pattern.add_edge("p5", "p6", 3)
+    pattern.add_edge("p6", "p7", 2)
+    return pattern
+
+
+class TestDslFingerprintParity:
+    """Each fig6/seed pattern's DSL form == its imperative construction."""
+
+    @pytest.mark.parametrize(
+        "dsl, imperative",
+        [
+            (YOUTUBE_EXAMPLE_DSL, _imperative_youtube_example),
+            (YOUTUBE_FIG6A_P1_DSL, _imperative_fig6a_p1),
+            (YOUTUBE_FIG6A_P2_DSL, _imperative_fig6a_p2),
+        ],
+        ids=["example-2.3", "fig6a-P1", "fig6a-P2"],
+    )
+    def test_fig6_dsl_forms(self, dsl, imperative):
+        assert Pattern.from_dsl(dsl).fingerprint() == imperative().fingerprint()
+
+    def test_workload_builders_still_serve_the_fig6_patterns(self):
+        assert (
+            youtube_example_pattern().fingerprint()
+            == _imperative_youtube_example().fingerprint()
+        )
+        assert (
+            youtube_fig6a_pattern_p1().fingerprint()
+            == _imperative_fig6a_p1().fingerprint()
+        )
+        assert (
+            youtube_fig6a_pattern_p2().fingerprint()
+            == _imperative_fig6a_p2().fingerprint()
+        )
+
+    def test_paper_example_p0(self):
+        dsl = (
+            "(B:B)->(AM:AM)-[<=3]->(FW:FW)-[<=3]->(AM); "
+            "(AM)->(B)->(S {role = 'S'})->(FW)"
+        )
+        assert (
+            Pattern.from_dsl(dsl).fingerprint()
+            == drug_trafficking_pattern().fingerprint()
+        )
+
+    def test_paper_example_p1(self):
+        dsl = (
+            "(A:A)-[<=2]->(SE:SE)->(DM:DM {hobby = 'golf'})-[*]->(A); "
+            "(A)-[<=2]->(HR:HR)-[<=2]->(DM)"
+        )
+        assert (
+            Pattern.from_dsl(dsl).fingerprint()
+            == social_matching_pattern().fingerprint()
+        )
+
+    def test_paper_example_p1_capabilities(self):
+        pattern, _ = social_matching_pair()
+        dsl = (
+            "(A:A)-[<=2]->(SE {se = true})->(DM:DM {hobby = 'golf'})-[*]->(A); "
+            "(A)-[<=2]->(HR {hr = true})-[<=2]->(DM)"
+        )
+        assert Pattern.from_dsl(dsl).fingerprint() == pattern.fingerprint()
+
+    def test_paper_example_p2(self):
+        dsl = (
+            "(CS {dept = 'CS'})-[<=2]->(Bio {dept = 'Bio'})"
+            "-[<=2]->(Soc {dept = 'Soc'})-[*]->(CS); "
+            "(CS)-[<=3]->(Soc); (CS)-[*]->(Med {dept = 'Med'})-[*]->(CS); "
+            "(Bio)-[<=3]->(Med)"
+        )
+        assert (
+            Pattern.from_dsl(dsl).fingerprint()
+            == collaboration_pattern().fingerprint()
+        )
+
+    def test_every_seed_pattern_round_trips(self):
+        patterns = [
+            drug_trafficking_pattern(),
+            social_matching_pattern(),
+            social_matching_pair()[0],
+            collaboration_pattern(),
+            *youtube_sample_patterns(),
+        ]
+        for pattern in patterns:
+            assert (
+                Pattern.from_dsl(pattern.to_dsl()).fingerprint()
+                == pattern.fingerprint()
+            )
+
+    def test_generated_fig6_style_patterns_round_trip(self):
+        graph = random_data_graph(60, 180, num_labels=6, seed=5)
+        generator = PatternGenerator(graph, seed=5, unbounded_probability=0.2)
+        for size in (3, 4, 6):
+            pattern = generator.generate(size, size, 3)
+            assert (
+                Pattern.from_dsl(pattern.to_dsl()).fingerprint()
+                == pattern.fingerprint()
+            )
+
+
+class TestExecutionParity:
+    """graph.query(...).match() == kernel match() on all seed workloads."""
+
+    def test_paper_example_pairs(self):
+        for name, pattern, graph, expects_match in paper_example_pairs():
+            view = wrap(graph).query(pattern.to_dsl(), name=name).match()
+            kernel = match(pattern, graph)
+            assert view.result == kernel, name
+            assert bool(view) is expects_match, name
+
+    def test_youtube_workload(self):
+        from repro.datasets import youtube_graph
+
+        graph = youtube_graph(scale=0.02, seed=7)
+        handle = wrap(graph)
+        for pattern in youtube_sample_patterns():
+            view = handle.query(pattern.to_dsl(), name=pattern.name).match()
+            assert view.result == match(pattern, graph), pattern.name
+
+    def test_generated_batch_workload(self):
+        graph = random_data_graph(80, 240, num_labels=8, seed=11)
+        patterns = engine_batch_workload(graph, num_patterns=6, seed=11)
+        views = wrap(graph).match_many(pattern.to_dsl() for pattern in patterns)
+        for pattern, view in zip(patterns, views):
+            assert view.result == match(pattern, graph), pattern.name

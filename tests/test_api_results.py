@@ -1,0 +1,219 @@
+"""GraphHandle / PreparedQuery / ResultView — the public execution surface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import GraphHandle, Q, ResultView, wrap
+from repro.engine import MatchSession
+from repro.graph.builders import (
+    drug_trafficking_graph,
+    drug_trafficking_pattern,
+)
+from repro.graph.datagraph import DataGraph
+from repro.graph.pattern import Pattern
+from repro.matching.bounded import match
+from repro.matching.result_graph import build_result_graph
+from repro.matching.simulation import graph_simulation
+
+
+@pytest.fixture
+def handle(tiny_graph) -> GraphHandle:
+    return wrap(tiny_graph)
+
+
+class TestGraphHandle:
+    def test_wrap_returns_handle(self, tiny_graph):
+        handle = wrap(tiny_graph)
+        assert isinstance(handle, GraphHandle)
+        assert handle.graph is tiny_graph
+
+    def test_query_accepts_all_spellings(self, handle, tiny_pattern):
+        for query in (
+            "(A:A)-[<=2]->(D:D)",
+            Q.node("A", label="A").edge("A", "D", within=2, color=None).where("D", label="D"),
+            tiny_pattern,
+        ):
+            view = handle.query(query).match()
+            assert view
+            assert view["A"].ids() == ["a"]
+            assert view["D"].ids() == ["d"]
+
+    def test_match_routes_through_engine(self, handle, tiny_pattern, tiny_graph):
+        view = handle.query(tiny_pattern).match()
+        assert view.result == match(tiny_pattern, tiny_graph)
+
+    def test_simulate_routes_through_engine(self, tiny_graph):
+        pattern = Pattern.from_dsl("(A:A)->(B:B)")
+        view = wrap(tiny_graph).query(pattern).simulate()
+        assert view.result == graph_simulation(pattern, tiny_graph)
+
+    def test_explain_and_plan(self, handle):
+        prepared = handle.query("(A:A)-[<=2]->(D:D)")
+        assert prepared.plan().strategy == "bounded"
+        assert "bounded" in prepared.explain()
+        assert "bounded" in handle.explain("(A:A)-[<=2]->(D:D)")
+
+    def test_match_shorthand(self, handle):
+        assert handle.match("(A:A)-[<=2]->(D:D)")
+
+    def test_match_many_mixed_spellings(self, handle, tiny_pattern):
+        views = handle.match_many(
+            ["(A:A)-[<=2]->(D:D)", Q.node("D", label="D"), tiny_pattern]
+        )
+        assert len(views) == 3
+        assert all(isinstance(view, ResultView) for view in views)
+        assert all(views)
+
+    def test_match_many_replay_hits_cache(self, handle, tiny_pattern):
+        handle.match_many([tiny_pattern])
+        handle.match_many([tiny_pattern])
+        stats = handle.stats()
+        assert stats["cache_hits"] >= 1
+
+    def test_mutation_through_handle(self, tiny_graph):
+        handle = wrap(tiny_graph)
+        assert handle.insert_edge("a", "d") is True
+        assert handle.insert_edge("a", "d") is False
+        assert tiny_graph.has_edge("a", "d")
+        assert handle.delete_edge("a", "d") is True
+        assert handle.delete_edge("a", "d") is False
+
+    def test_session_bridge(self, tiny_graph):
+        session = MatchSession(tiny_graph)
+        handle = session.handle()
+        assert handle.session is session
+        assert GraphHandle.from_session(session).session is session
+
+    def test_context_manager(self, tiny_graph):
+        with wrap(tiny_graph) as handle:
+            assert handle.match("(A:A)-[<=2]->(D:D)")
+
+    def test_constructor_validation(self, tiny_graph):
+        with pytest.raises(ValueError, match="needs a graph or a session"):
+            GraphHandle()
+        session = MatchSession(tiny_graph)
+        with pytest.raises(ValueError, match="not both"):
+            GraphHandle(session=session, result_cache_size=4)
+        other = DataGraph()
+        with pytest.raises(ValueError, match="different graph"):
+            GraphHandle(other, session=session)
+
+    def test_prepared_query_to_dsl(self, handle, tiny_pattern):
+        text = handle.query(tiny_pattern).to_dsl()
+        assert Pattern.from_dsl(text).fingerprint() == tiny_pattern.fingerprint()
+
+    def test_repr(self, handle):
+        assert "GraphHandle" in repr(handle)
+
+
+class TestResultView:
+    def test_truthiness_len_iter(self, handle, tiny_pattern, tiny_graph):
+        view = handle.query(tiny_pattern).match()
+        kernel = match(tiny_pattern, tiny_graph)
+        assert bool(view) and not view.is_empty
+        assert len(view) == len(kernel)
+        assert set(view) == set(kernel.pairs())
+
+    def test_empty_view(self, handle):
+        view = handle.query("(Z:Z)").match()
+        assert not view
+        assert view.is_empty
+        assert len(view) == 0
+        assert view.to_mapping() == {}
+        assert view["Z"].ids() == []
+
+    def test_projection_is_lazy_and_typed(self, handle):
+        view = handle.query("(A:A)-[<=2]->(D:D)").match()
+        projection = view["A"]
+        assert len(projection) == 1
+        assert "a" in projection
+        assert list(projection) == ["a"]
+        assert bool(projection)
+        assert "NodeProjection" in repr(projection)
+
+    def test_projection_rows_resolve_attributes(self):
+        graph = DataGraph()
+        graph.add_node("v1", label="P", age=31, job="biologist")
+        graph.add_node("v2", label="P", age=45, job="bio-informatician")
+        view = wrap(graph).query("(p:P {age > 30})").match()
+        rows = list(view["p"].rows())
+        assert rows == [
+            {"node": "v1", "label": "P", "age": 31, "job": "biologist"},
+            {"node": "v2", "label": "P", "age": 45, "job": "bio-informatician"},
+        ]
+        selected = list(view["p"].rows("age", "missing"))
+        assert selected == [
+            {"node": "v1", "age": 31, "missing": None},
+            {"node": "v2", "age": 45, "missing": None},
+        ]
+
+    def test_to_rows(self, handle):
+        view = handle.query("(A:A)-[<=2]->(D:D)").match()
+        assert view.to_rows() == [
+            {"pattern_node": "A", "data_node": "a"},
+            {"pattern_node": "D", "data_node": "d"},
+        ]
+        with_attrs = view.to_rows(attributes=["label"])
+        assert with_attrs[0] == {
+            "pattern_node": "A", "data_node": "a", "label": "A",
+        }
+
+    def test_to_json_matches_mapping(self, handle):
+        view = handle.query("(A:A)-[<=2]->(D:D)").match()
+        assert json.loads(view.to_json()) == {"A": ["a"], "D": ["d"]}
+        assert view.to_mapping() == {"A": ["a"], "D": ["d"]}
+
+    def test_result_graph_extraction(self):
+        graph = drug_trafficking_graph()
+        pattern = drug_trafficking_pattern()
+        view = wrap(graph).query(pattern).match()
+        extracted = view.graph()
+        reference = build_result_graph(pattern, graph, match(pattern, graph))
+        assert extracted.summary() == reference.summary()
+
+    def test_result_graph_requires_graph(self, tiny_pattern, tiny_graph):
+        view = ResultView(tiny_pattern, match(tiny_pattern, tiny_graph))
+        with pytest.raises(ValueError, match="without a data graph"):
+            view.graph()
+
+    def test_pattern_nodes_order(self, handle, tiny_pattern):
+        view = handle.query(tiny_pattern).match()
+        assert view.pattern_nodes() == tiny_pattern.node_list()
+
+    def test_repr(self, handle, tiny_pattern):
+        view = handle.query(tiny_pattern).match()
+        assert "ResultView" in repr(view)
+
+
+class TestStreaming:
+    def test_stream_maintains_match(self):
+        graph = DataGraph()
+        for node, label in [("x", "A"), ("m", "M"), ("y", "B")]:
+            graph.add_node(node, label=label)
+        monitored = wrap(graph).query("(A:A)-[<=2]->(B:B)")
+        assert not monitored.match()  # x cannot reach any B yet
+
+        view = monitored.stream([("insert", "x", "m"), ("insert", "m", "y")])
+        assert view["A"].ids() == ["x"]
+        assert view["B"].ids() == ["y"]
+        assert view.affected is not None
+        assert graph.has_edge("x", "m") and graph.has_edge("m", "y")
+        # The maintained result agrees with a from-scratch recompute.
+        assert view.result == match(
+            Pattern.from_dsl("(A:A)-[<=2]->(B:B)"), graph
+        )
+
+    def test_stream_accepts_edge_updates(self):
+        from repro.distance.incremental import EdgeUpdate
+
+        graph = DataGraph()
+        graph.add_node("x", label="A")
+        graph.add_node("y", label="B")
+        graph.add_edge("x", "y")
+        monitored = wrap(graph).query("(A:A)->(B:B)")
+        view = monitored.stream([EdgeUpdate("delete", "x", "y")])
+        assert not view
+        assert view.affected.removed_matches

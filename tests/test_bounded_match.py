@@ -43,21 +43,21 @@ class TestMatchBasics:
         pattern.add_node("u", "L0")
         pattern.add_node("v", "L3")
         pattern.add_edge("u", "v", 3)
-        assert matches(pattern, chain_graph)
+        assert match(pattern, chain_graph)
         pattern.set_bound("u", "v", 2)
-        assert not matches(pattern, chain_graph)
+        assert not match(pattern, chain_graph)
 
     def test_unbounded_edge_requires_reachability_only(self, chain_graph):
         pattern = Pattern()
         pattern.add_node("u", "L0")
         pattern.add_node("v", "L4")
         pattern.add_edge("u", "v", "*")
-        assert matches(pattern, chain_graph)
+        assert match(pattern, chain_graph)
         reverse = Pattern()
         reverse.add_node("u", "L4")
         reverse.add_node("v", "L0")
         reverse.add_edge("u", "v", "*")
-        assert not matches(reverse, chain_graph)
+        assert not match(reverse, chain_graph)
 
     def test_nonempty_path_semantics_for_same_label_edge(self):
         """A pattern edge between two identically labelled nodes needs a real path."""
@@ -68,16 +68,20 @@ class TestMatchBasics:
         pattern.add_node("b", "X")
         pattern.add_edge("a", "b", 2)
         # Single X node with no self-cycle: no nonempty path X -> X.
-        assert not matches(pattern, graph)
+        assert not match(pattern, graph)
         graph.add_node("other", label="Y")
         graph.add_edge("only", "other")
         graph.add_edge("other", "only")
         # Now X lies on a 2-cycle, so the same node can serve both ends.
-        assert matches(pattern, graph)
+        assert match(pattern, graph)
 
     def test_empty_pattern_or_graph(self, tiny_graph, tiny_pattern):
         assert match(Pattern(), tiny_graph).is_empty
         assert match(tiny_pattern, DataGraph()).is_empty
+
+    def test_matches_shim_is_deprecated_but_works(self, tiny_graph, tiny_pattern):
+        with pytest.deprecated_call():
+            assert matches(tiny_pattern, tiny_graph) is True
 
     def test_no_candidate_for_some_node(self, tiny_graph):
         pattern = Pattern()

@@ -16,7 +16,7 @@ from repro.isomorphism.ullmann import (
     ullmann_isomorphisms,
 )
 from repro.isomorphism.vf2 import vf2_count, vf2_find, vf2_isomorphisms
-from repro.matching.bounded import matches
+from repro.matching.bounded import match
 
 
 def labelled_pattern(edges, labels):
@@ -107,7 +107,7 @@ class TestBothEngines:
         pattern = labelled_pattern([(0, 1), (1, 2)], {0: "L0", 1: "L1", 2: "L2"})
         mapping = find_fn(pattern, graph)
         if mapping is not None:
-            assert matches(pattern, graph)
+            assert match(pattern, graph)
 
 
 class TestEnginesAgree:

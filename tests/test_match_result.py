@@ -76,7 +76,8 @@ class TestQueries:
     def test_as_dict_and_to_dict(self):
         result = MatchResult({"A": {"x"}})
         assert result.as_dict() == {"A": frozenset({"x"})}
-        assert result.to_dict() == {"A": ["x"]}
+        with pytest.deprecated_call():
+            assert result.to_dict() == {"A": ["x"]}
 
 
 class TestComparison:
@@ -118,6 +119,27 @@ class TestEmptyPatternNodes:
         assert result.is_empty
         assert result.pattern_nodes() == {"A", "B"}
 
-    def test_empty_results_compare_equal_regardless_of_pattern(self):
-        # Equality is over the relation; the carried node list is metadata.
-        assert MatchResult.empty(["A"]) == MatchResult.empty(["B"])
+    def test_empty_results_distinguish_pattern_shape(self):
+        # Equality covers the pattern node set: an empty answer for a
+        # 1-node pattern is not the same answer as for a 2-node pattern.
+        assert MatchResult.empty(["A"]) != MatchResult.empty(["B"])
+        assert MatchResult.empty(["A", "B", "C"]) != MatchResult.empty(
+            ["A", "B", "C", "D", "E"]
+        )
+        assert MatchResult.empty(["A", "B"]) == MatchResult.empty(["B", "A"])
+        assert hash(MatchResult.empty(["A", "B"])) == hash(
+            MatchResult.empty(["B", "A"])
+        )
+
+    def test_hash_consistent_with_eq_for_empty_results(self):
+        # Distinct pattern shapes may not collapse into one set/dict slot.
+        results = {MatchResult.empty(["A"]), MatchResult.empty(["A", "B"])}
+        assert len(results) == 2
+
+    def test_non_empty_equality_still_ignores_construction_route(self):
+        # For total relations the mapping keys ARE the pattern nodes, so
+        # passing pattern_nodes explicitly must not change equality.
+        implicit = MatchResult({"A": {"x"}})
+        explicit = MatchResult({"A": {"x"}}, pattern_nodes=["A"])
+        assert implicit == explicit
+        assert hash(implicit) == hash(explicit)

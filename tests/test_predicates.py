@@ -47,7 +47,22 @@ class TestAtom:
 
     def test_unknown_operator_rejected(self):
         with pytest.raises(PredicateError):
-            Atom("x", "~", 3)
+            Atom("x", "<>", 3)
+
+    def test_glob_operator(self):
+        atom = Atom("job", "~", "bio*")
+        assert atom.evaluate({"job": "biologist"})
+        assert not atom.evaluate({"job": "chemist"})
+        assert not atom.evaluate({"job": 3})          # non-string never globs
+        assert not atom.evaluate({"other": "bio"})    # missing attribute
+        assert Atom("v", "~", "a?c").evaluate({"v": "abc"})
+
+    def test_glob_requires_string_pattern(self):
+        # Every front-end (DSL, builder, JSON) shares this invariant.
+        with pytest.raises(PredicateError, match="string glob"):
+            Atom("job", "~", 3)
+        with pytest.raises(PredicateError, match="string glob"):
+            Predicate.parse("job ~ 3")
 
     def test_empty_attribute_rejected(self):
         with pytest.raises(PredicateError):
@@ -158,6 +173,19 @@ class TestParsePredicate:
     def test_expression_string(self):
         predicate = parse_predicate("rate > 3")
         assert predicate.evaluate({"rate": 5})
+
+    def test_tilde_label_without_spaces_stays_a_label(self):
+        # Pre-~ behaviour preserved: tilde-containing labels are label
+        # literals unless the ~ is whitespace-delimited on both sides.
+        for label in ("v1~stable", "rev ~stable", "job~ x"):
+            predicate = parse_predicate(label)
+            assert predicate.evaluate({"label": label}), label
+            assert not predicate.evaluate({"v1": "stable"}), label
+
+    def test_spaced_tilde_is_a_glob_expression(self):
+        predicate = parse_predicate("job ~ 'bio*'")
+        assert predicate.evaluate({"job": "biologist"})
+        assert not predicate.evaluate({"job": "chemist"})
 
     def test_mapping(self):
         predicate = parse_predicate({"dept": "Bio"})

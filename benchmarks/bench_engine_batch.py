@@ -14,12 +14,16 @@ compiled distance oracle):
   session (shared snapshot + shared ball memos, no result-cache hits yet)
   vs the same per-call loop.  Recorded, no gate (the win is workload
   dependent).
-* **forked batch** — ``match_many(parallel=True)``: the fork pool sharing
-  the CSR pages copy-on-write.  Recorded, no gate (pool startup dominates
-  at smoke scale; the knob exists for big-graph workloads).
 
-All ratios land in ``BENCH_engine.json`` at the repo root and in
-pytest-benchmark's ``extra_info``.
+The parallel path (the session's persistent worker pool) is measured at a
+scale where it means something — 100k nodes — in
+``bench_parallel_pool.py``; at this module's smoke scale any process pool
+is pure overhead, which is exactly why the pool is never auto-started for
+workloads this small.
+
+All ratios land in ``BENCH_engine.json`` at the repo root (see
+``benchmarks/README.md`` for the schema) and in pytest-benchmark's
+``extra_info``.
 """
 
 from __future__ import annotations
@@ -31,7 +35,7 @@ import pytest
 
 from conftest import best_of
 
-from repro.engine import MatchSession, fork_available
+from repro.engine import MatchSession
 from repro.graph.generators import random_data_graph
 from repro.matching.bounded import match
 from repro.workloads.patterns import engine_batch_workload
@@ -131,25 +135,3 @@ def test_bench_match_many_cold_vs_match_loop(benchmark, setup):
     # No gate: the cold win comes from shared ball memos and is workload
     # dependent; the floor just catches a pathological engine regression.
     assert speedup >= 0.5, f"cold match_many {speedup:.2f}x — engine overhead blew up"
-
-
-def test_bench_match_many_forked(benchmark, setup):
-    """The fork pool against serial cold execution (recorded, not gated)."""
-    graph, patterns = setup
-    if not fork_available():
-        pytest.skip("no fork start method on this platform")
-
-    serial_results = MatchSession(graph).match_many(patterns, parallel=False)
-
-    def forked_run():
-        return MatchSession(graph).match_many(patterns, parallel=True)
-
-    forked_results = forked_run()
-    assert forked_results == serial_results
-
-    benchmark.pedantic(forked_run, rounds=1, iterations=1)
-    serial_s = best_of(
-        lambda: MatchSession(graph).match_many(patterns, parallel=False), repeats=2
-    )
-    forked_s = best_of(forked_run, repeats=2)
-    _record(benchmark, "forked_batch", serial_s, forked_s)

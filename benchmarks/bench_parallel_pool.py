@@ -1,0 +1,162 @@
+"""The persistent worker pool vs a per-call ``match()`` loop, at scale.
+
+The original "parallel" ``match_many`` forked a throwaway pool per call and
+lost to the serial loop it was meant to beat (the old ``forked_batch`` ratio
+sat around 0.17x at smoke scale).  This benchmark measures its replacement —
+the session-owned persistent :class:`~repro.engine.parallel.WorkerPool` — on
+a workload big enough to mean something: **100k nodes / 300k edges**, 24
+uniform-bound patterns over a small label pool
+(:func:`repro.workloads.patterns.pooled_label_workload`), the shape whose
+cross-pattern edge-type and ball reuse a shared session exploits and a
+one-session-per-query loop cannot.
+
+* **parallel batch** — ``match_many(parallel=True)`` through one session
+  (cold caches, pool spawned inside the timed region) vs the per-call
+  ``match()`` loop.  **Gate: >= 1.5x** (the PR's acceptance bar).  The win
+  is architectural, so it holds even on a single core: every query of the
+  batch flows through pinned workers sharing one warm seed-memo/ball-cache
+  lineage, while the loop rebuilds that state per call.
+* **intra-query** — ``match_parallel``: candidate-ball computation for one
+  query partitioned across the pool, merged into the session's memo, then
+  the ordinary serial fixpoint.  **Gate: >= 1.2x**, applied only when the
+  machine actually has >= 2 CPUs (ball partitioning buys nothing on one
+  core; a floor assertion still guards against pathological overhead).
+
+Ratios land in ``BENCH_engine.json`` at the repo root (see
+``benchmarks/README.md`` for the schema) next to the engine-batch ratios.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from conftest import best_of
+
+from repro.engine import MatchSession, fork_available
+from repro.graph.generators import random_data_graph
+from repro.matching.bounded import match
+from repro.workloads.patterns import pooled_label_workload
+
+NUM_NODES = 100_000
+NUM_EDGES = 300_000
+NUM_LABELS = 64
+NUM_PATTERNS = 24
+LABEL_POOL = 5
+BOUND = 3
+SEED = 31
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="the pool benchmarks drive the fork start method"
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = random_data_graph(NUM_NODES, NUM_EDGES, num_labels=NUM_LABELS, seed=SEED)
+    patterns = pooled_label_workload(
+        graph,
+        num_patterns=NUM_PATTERNS,
+        label_pool=LABEL_POOL,
+        bound=BOUND,
+        seed=SEED,
+    )
+    return graph, patterns
+
+
+def _record(benchmark, name: str, loop_s: float, session_s: float) -> float:
+    """Attach the ratio to extra_info and fold it into BENCH_engine.json."""
+    speedup = loop_s / session_s if session_s else float("inf")
+    benchmark.extra_info[f"{name}_match_loop_s"] = round(loop_s, 6)
+    benchmark.extra_info[f"{name}_session_s"] = round(session_s, 6)
+    benchmark.extra_info[f"{name}_speedup_loop_over_session"] = round(speedup, 2)
+
+    payload = {}
+    if RESULTS_PATH.exists():
+        try:
+            payload = json.loads(RESULTS_PATH.read_text())
+        except (ValueError, OSError):
+            payload = {}
+    payload.setdefault("pool_workload", {
+        "num_nodes": NUM_NODES,
+        "num_edges": NUM_EDGES,
+        "num_labels": NUM_LABELS,
+        "num_patterns": NUM_PATTERNS,
+        "label_pool": LABEL_POOL,
+        "bound": BOUND,
+        "seed": SEED,
+    })
+    payload.setdefault("ratios", {})[name] = {
+        "match_loop_s": round(loop_s, 6),
+        "session_s": round(session_s, 6),
+        "speedup_loop_over_session": round(speedup, 2),
+        "workload": "pool_workload",
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return speedup
+
+
+def test_bench_pooled_match_many_vs_match_loop(benchmark, setup):
+    """The acceptance gate: pooled ``match_many`` >= 1.5x over a ``match()`` loop."""
+    graph, patterns = setup
+
+    def loop_run():
+        return [match(pattern, graph) for pattern in patterns]
+
+    def pooled_run():
+        # A fresh session per round: cold result cache, cold memos, pool
+        # spawned inside the timed region — everything the loop pays, the
+        # pooled path pays too.
+        with MatchSession(graph) as session:
+            return session.match_many(patterns, parallel=True)
+
+    expected = loop_run()
+    pooled = pooled_run()
+    assert [r.as_dict() for r in pooled] == [r.as_dict() for r in expected]
+
+    benchmark.pedantic(pooled_run, rounds=1, iterations=1)
+    loop_s = best_of(loop_run, repeats=2)
+    pooled_s = best_of(pooled_run, repeats=2)
+    speedup = _record(benchmark, "parallel_batch", loop_s, pooled_s)
+    assert speedup >= 1.5, (
+        f"pooled match_many only {speedup:.2f}x faster than the per-call loop"
+    )
+
+
+def test_bench_intra_query_ball_priming(benchmark, setup):
+    """``match_parallel`` (pool-partitioned ball computation) vs plain ``match``."""
+    graph, patterns = setup
+    pattern = patterns[0]
+    workers = os.cpu_count() or 1
+
+    def serial_run():
+        with MatchSession(graph) as session:
+            return session.match(pattern)
+
+    def intra_run():
+        with MatchSession(graph) as session:
+            return session.match_parallel(pattern, max_workers=min(4, max(2, workers)))
+
+    expected = serial_run()
+    got = intra_run()
+    assert got.as_dict() == expected.as_dict()
+
+    benchmark.pedantic(intra_run, rounds=1, iterations=1)
+    serial_s = best_of(serial_run, repeats=2)
+    intra_s = best_of(intra_run, repeats=2)
+    speedup = _record(benchmark, "intra_query", serial_s, intra_s)
+    if workers >= 2:
+        assert speedup >= 1.2, (
+            f"intra-query priming only {speedup:.2f}x on {workers} CPUs"
+        )
+    else:
+        # One core: partitioning balls across workers cannot win wall-clock;
+        # the floor only catches runaway dispatch overhead.
+        assert speedup >= 0.4, (
+            f"intra-query priming {speedup:.2f}x — pool overhead blew up"
+        )

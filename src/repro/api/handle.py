@@ -183,7 +183,8 @@ class GraphHandle:
         """Serve a whole workload from the shared snapshot (batched).
 
         Accepts any mix of query spellings; routes through
-        :meth:`MatchSession.match_many` (dedupe, result cache, fork pool).
+        :meth:`MatchSession.match_many` (dedupe, result cache, persistent
+        worker pool).
         """
         patterns = [as_pattern(query) for query in queries]
         results = self._session.match_many(

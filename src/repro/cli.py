@@ -18,10 +18,11 @@ Subcommands
     and serve every query — pattern JSON files via ``--patterns`` and/or
     DSL strings via ``--q`` (repeatable) — from the shared snapshot
     (``session.match_many``).  ``--repeat N`` replays the workload so later
-    rounds hit the session's result cache; ``--parallel fork`` forces the
-    fork-based process pool, ``serial`` disables it and ``auto`` (default)
-    decides from the workload size; ``--explain`` prints each pattern's
-    query plan (chosen strategy and why).
+    rounds hit the session's result cache; ``--parallel pool`` forces the
+    session's persistent worker pool (``--workers`` caps its size),
+    ``serial`` disables it and ``auto`` (default) decides from the workload
+    size; ``--explain`` prints each pattern's query plan (chosen strategy
+    and why).
 
 ``generate``
     Generate a synthetic data graph (uniform random, scale-free,
@@ -141,12 +142,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query_parser.add_argument(
         "--parallel",
-        choices=["auto", "fork", "serial"],
+        choices=["auto", "pool", "fork", "serial"],
         default="auto",
-        help="batch execution: fork-based pool, serial, or size-based auto (default)",
+        help="batch execution: persistent worker pool ('pool'; 'fork' is a "
+        "legacy alias), serial, or size-based auto (default)",
     )
     query_parser.add_argument(
-        "--max-workers", type=int, default=None, help="fork pool size cap"
+        "--workers",
+        "--max-workers",
+        dest="workers",
+        type=int,
+        default=None,
+        help="worker-pool size cap (default: CPU count)",
     )
     query_parser.add_argument(
         "--explain", action="store_true", help="print each pattern's query plan"
@@ -265,7 +272,9 @@ def _command_query(args: argparse.Namespace) -> int:
     ]
     if not patterns:
         raise SystemExit("query: provide at least one --patterns file or --q string")
-    parallel = {"auto": None, "fork": True, "serial": False}[args.parallel]
+    parallel = {"auto": None, "pool": True, "fork": True, "serial": False}[
+        args.parallel
+    ]
     handle = GraphHandle(graph)
 
     if args.explain and not args.json:
@@ -281,7 +290,7 @@ def _command_query(args: argparse.Namespace) -> int:
     for _ in range(max(1, args.repeat)):
         start = time.perf_counter()
         views = handle.match_many(
-            patterns, parallel=parallel, max_workers=args.max_workers
+            patterns, parallel=parallel, max_workers=args.workers
         )
         round_seconds.append(round(time.perf_counter() - start, 4))
 
@@ -314,6 +323,14 @@ def _command_query(args: argparse.Namespace) -> int:
             f"[{rounds}]; cache hits/misses: "
             f"{stats['cache_hits']}/{stats['cache_misses']}; plans: {stats['plans']}"
         )
+        pool = stats.get("pool")
+        if pool:
+            print(
+                f"worker pool ({pool['start_method']}): {pool['workers']} worker(s), "
+                f"{pool['workers_spawned']} spawned, {pool['repin_count']} re-pin(s), "
+                f"queue hwm {pool['queue_depth_hwm']}, "
+                f"{pool['serial_fallbacks']} serial fallback(s)"
+            )
     return 0 if all(row["matched"] for row in rows) else 1
 
 

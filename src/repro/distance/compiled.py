@@ -188,6 +188,59 @@ class FlatBFSKernel:
             result |= source_bit
         return result
 
+    def ball_nodes(
+        self,
+        source: int,
+        bound: Optional[int],
+        *,
+        reverse: bool = False,
+        cutoff: Optional[int] = None,
+    ) -> Optional[Tuple[int, ...]]:
+        """The ball of :meth:`ball_bits` as a tuple of interned indices.
+
+        A sparse counterpart for the common large-graph case where the ball
+        holds a few dozen nodes out of 100k+: the search walks the
+        tuple-decoded CSR and touches only the edges actually inside the
+        ball, instead of OR-ing ``|V|``-bit integers per frontier node, and
+        the result is a few hundred bytes instead of a ``|V|/8``-byte
+        bitset — which is what makes memoising *every* ball of a large
+        batch workload affordable.  Semantics are identical to
+        :meth:`ball_bits` (nonempty paths; *source* included only via a
+        cycle within the bound).
+
+        With *cutoff* the search aborts and returns ``None`` once the ball
+        exceeds that many nodes — callers then fall back to the
+        word-parallel dense search, which wins for big balls.
+        """
+        if bound is not None and bound <= 0:
+            return ()
+        adjacency = self._adj_tuples(reverse)
+        seen = {source}
+        seen_add = seen.add
+        frontier = [source]
+        out: List[int] = []
+        append = out.append
+        hit_source = False
+        depth = 0
+        while frontier and (bound is None or depth < bound):
+            depth += 1
+            next_frontier: List[int] = []
+            next_append = next_frontier.append
+            for i in frontier:
+                for j in adjacency[i]:
+                    if j not in seen:
+                        seen_add(j)
+                        next_append(j)
+                        append(j)
+                    elif j == source:
+                        hit_source = True
+            if cutoff is not None and len(out) > cutoff:
+                return None
+            frontier = next_frontier
+        if hit_source:
+            append(source)
+        return tuple(out)
+
     # ------------------------------------------------------------------
     # distance rows
     # ------------------------------------------------------------------
@@ -375,19 +428,52 @@ class CompiledDistanceMatrix(DistanceOracle):
 
     def descendants_within(self, source: NodeId, bound: Optional[int]) -> Set[NodeId]:
         compiled = self._sync()
-        return compiled.decode(self._ball(compiled.id_of(source), bound, True))
+        ball = self._compact_ball(compiled.id_of(source), bound, True)
+        if type(ball) is tuple:
+            node_of = compiled.node_of
+            return {node_of(i) for i in ball}
+        return compiled.decode(ball)
 
     def ancestors_within(self, target: NodeId, bound: Optional[int]) -> Set[NodeId]:
         compiled = self._sync()
-        return compiled.decode(self._ball(compiled.id_of(target), bound, False))
+        ball = self._compact_ball(compiled.id_of(target), bound, False)
+        if type(ball) is tuple:
+            node_of = compiled.node_of
+            return {node_of(i) for i in ball}
+        return compiled.decode(ball)
+
+    def _compact_ball(self, index: int, bound: Optional[int], forward: bool):
+        """The memoised ball of ``(index, bound)`` — tuple of indices or bitset.
+
+        Small balls (the overwhelmingly common case on large sparse graphs)
+        are computed by the kernel's sparse walk and cached as index tuples
+        — a few hundred bytes instead of a ``|V|/8``-byte integer — which is
+        what lets a session (or a pinned pool worker) memoise *every* ball
+        of a big batch workload instead of thrashing the LRU.  Balls past
+        the sparse cutoff fall back to the word-parallel dense search and
+        are cached as bitsets; consumers dispatch on the value's type.
+        """
+        key = (index, bound, forward)
+        ball = self._bits_lru.get(key)
+        if ball is None:
+            cutoff = max(128, self._compiled.num_nodes >> 6)
+            ball = self._kernel.ball_nodes(
+                index, bound, reverse=not forward, cutoff=cutoff
+            )
+            if ball is None:
+                ball = self._kernel.ball_bits(index, bound, reverse=not forward)
+            self._bits_lru.put(key, ball)
+        return ball
 
     def _ball(self, index: int, bound: Optional[int], forward: bool) -> int:
-        key = (index, bound, forward)
-        bits = self._bits_lru.get(key)
-        if bits is None:
-            bits = self._kernel.ball_bits(index, bound, reverse=not forward)
-            self._bits_lru.put(key, bits)
-        return bits
+        """The memoised ball as a dense bitset (converting a sparse memo)."""
+        ball = self._compact_ball(index, bound, forward)
+        if type(ball) is tuple:
+            bits = 0
+            for i in ball:
+                bits |= 1 << i
+            return bits
+        return ball
 
     def descendants_within_bits(
         self, compiled: CompiledGraph, source: int, bound: Optional[int]
@@ -410,6 +496,27 @@ class CompiledDistanceMatrix(DistanceOracle):
         if self._snapshot_is_current(compiled):
             return compiled.ancestors_within_bits(target, bound)
         return super().ancestors_within_bits(compiled, target, bound)
+
+    def descendants_compact(
+        self, compiled: CompiledGraph, source: int, bound: Optional[int]
+    ):
+        """Sparse-or-dense memoised forward ball (see :meth:`_compact_ball`)."""
+        self._sync()
+        if compiled is self._compiled:
+            return self._compact_ball(source, bound, True)
+        return super().descendants_compact(compiled, source, bound)
+
+    def prime_ball(self, index: int, bound: Optional[int], ball, *, forward: bool = True) -> None:
+        """Seed a precomputed ball into the memo (e.g. from a worker pool).
+
+        *ball* must be in the compact representation of
+        :meth:`_compact_ball` — an index tuple or a dense bitset — and must
+        have been computed against the current snapshot; callers coordinate
+        versions (the engine's worker protocol rejects stale answers before
+        they reach here).
+        """
+        self._sync()
+        self._bits_lru.put((index, bound, forward), ball)
 
     # ------------------------------------------------------------------
     # IncMatch handoff

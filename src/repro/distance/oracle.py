@@ -174,6 +174,21 @@ class DistanceOracle(ABC):
         """:meth:`ancestors_within` over interned ids, as a bitset."""
         return compiled.encode(self.ancestors_within(compiled.node_of(target), bound))
 
+    def descendants_compact(
+        self, compiled: "CompiledGraph", source: int, bound: Optional[int]
+    ):
+        """The forward ball in whichever representation the oracle holds.
+
+        Returns either an ``int`` bitset (the :meth:`descendants_within_bits`
+        contract) or a tuple of interned indices — the refinement hot path
+        (:func:`repro.matching.bounded.refine_bits_to_fixpoint`) dispatches
+        on the type.  The sparse form exists so oracles over large graphs
+        can memoise balls at a few hundred bytes each; the default simply
+        forwards to the dense method, so every legacy oracle keeps working
+        unchanged.
+        """
+        return self.descendants_within_bits(compiled, source, bound)
+
     def _snapshot_is_current(self, compiled: "CompiledGraph") -> bool:
         """The single staleness rule for the memoising bits overrides.
 

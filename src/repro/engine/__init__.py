@@ -6,11 +6,14 @@
 * :class:`QueryPlan` / :func:`plan_query` — explainable per-query strategy
   selection;
 * :class:`ResultCache` — the ``(fingerprint, snapshot version, strategy)``
-  keyed result cache with patch-layer invalidation.
+  keyed result cache with patch-layer invalidation;
+* :class:`WorkerPool` — the session-owned persistent process pool behind
+  parallel :meth:`MatchSession.match_many` and
+  :meth:`MatchSession.match_parallel`.
 """
 
 from repro.engine.cache import DEFAULT_RESULT_CACHE_SIZE, ResultCache
-from repro.engine.parallel import fork_available
+from repro.engine.parallel import WorkerPool, fork_available
 from repro.engine.planner import (
     STRATEGY_BOUNDED,
     STRATEGY_INCREMENTAL,
@@ -29,5 +32,6 @@ __all__ = [
     "STRATEGY_SIMULATION",
     "STRATEGY_BOUNDED",
     "STRATEGY_INCREMENTAL",
+    "WorkerPool",
     "fork_available",
 ]

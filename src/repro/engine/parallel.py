@@ -1,27 +1,39 @@
-"""Fork-based parallel execution of a pattern workload.
+"""Persistent worker pool for parallel query execution.
 
-``MatchSession.match_many`` dispatches its cache-missing patterns to a
-process pool created with the ``fork`` start method: every worker inherits
-the parent's pinned :class:`~repro.graph.compiled.CompiledGraph` — the
-``array('i')`` CSR pages, the interning tables and the attribute index —
-through copy-on-write memory, so nothing about the (potentially large)
-snapshot is pickled or copied.  Only the tiny work units (pattern indices)
-travel to the workers and only the decoded :class:`MatchResult` relations
-travel back.
+The first cut of parallel ``match_many`` forked a throwaway
+``multiprocessing.Pool`` per call: every batch paid the full fork + teardown
+cost, and any ball/seed state a worker warmed up died with it — on
+moderately sized workloads the "parallel" path lost to the serial loop it
+was meant to beat.  This module replaces it with a :class:`WorkerPool` that
+a :class:`~repro.engine.session.MatchSession` owns for its lifetime:
 
-The snapshot is strictly read-only for the workers: ball bitsets and LRU
-entries a worker materialises live in its own copy-on-write pages and are
-discarded with the process, never written back.  On platforms without
-``fork`` (Windows, some macOS configurations) the session silently falls
-back to serial execution — ``spawn`` would have to re-import and re-compile
-everything per worker, which defeats the point of a shared hot snapshot.
+* workers are **forked once** and then pull work units from a task queue
+  until the pool is shut down, so each worker's session state (ball memos,
+  edge-type seeds, result cache) stays warm across batches;
+* on platforms without ``fork`` the pool falls back to ``spawn`` workers
+  that attach the snapshot's CSR pages and interning table zero-copy
+  through :meth:`~repro.graph.compiled.CompiledGraph.export_shared` /
+  ``attach_shared`` instead of re-pickling the graph per worker;
+* every task carries the **snapshot version** it was planned against, and
+  workers answer ``stale`` for versions they are not pinned to — the parent
+  transparently recomputes those units serially and re-pins the pool
+  (one respawn, counted in :meth:`WorkerPool.stats`) before its next batch;
+* a worker death is detected by liveness checks on result timeouts; the
+  parent marks the pool broken, finishes the batch **serially** (no caller
+  ever sees a crash), and respawns on the next use.
+
+The snapshot is strictly read-only for the workers: anything a worker
+materialises lives in its own (copy-on-write or attached) memory and is
+never written back.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import TYPE_CHECKING, List, Sequence, Tuple
+import queue as queue_module
+import weakref
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.matching.match_result import MatchResult
 
@@ -30,11 +42,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.session import MatchSession
     from repro.graph.pattern import Pattern
 
-__all__ = ["fork_available", "run_forked"]
+__all__ = ["fork_available", "WorkerPool", "AttachedExecutor", "DEFAULT_TASK_TIMEOUT"]
 
-# (session, [(pattern, plan), ...]) published by the parent immediately
-# before forking; workers read it from their inherited memory image.
-_FORK_STATE: Tuple["MatchSession", Sequence[Tuple["Pattern", "QueryPlan"]]] = None
+#: Seconds the parent waits for one result before checking worker liveness.
+DEFAULT_TASK_TIMEOUT = 60.0
+
+#: Session inherited by fork workers, published immediately before forking.
+_WORKER_SESSION: Optional["MatchSession"] = None
 
 
 def fork_available() -> bool:
@@ -42,31 +56,495 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
-def _run_work_unit(index: int) -> MatchResult:
-    """Execute one planned query from the inherited fork state."""
-    session, units = _FORK_STATE
-    pattern, plan = units[index]
-    return session._execute(pattern, plan)
+# ----------------------------------------------------------------------
+# worker mains
+# ----------------------------------------------------------------------
 
 
-def run_forked(
-    session: "MatchSession",
-    units: Sequence[Tuple["Pattern", "QueryPlan"]],
-    max_workers: int = None,
-) -> List[MatchResult]:
-    """Run the planned *units* over a fork pool sharing *session*'s snapshot.
+def _serve(executor, compiled, tasks, results, worker_id: int) -> None:
+    """The worker loop shared by both start methods.
 
-    Returns the results in unit order.  The caller must have checked
-    :func:`fork_available` (falling back to serial otherwise).
+    *executor* answers ``execute(pattern, plan)`` and ``balls(bound,
+    sources)``; *compiled* carries the pinned snapshot version the
+    handshake compares against.  ``None`` on the task queue stops the loop.
     """
-    global _FORK_STATE
-    if max_workers is None:
-        max_workers = os.cpu_count() or 1
-    workers = max(1, min(max_workers, len(units)))
-    context = multiprocessing.get_context("fork")
-    _FORK_STATE = (session, units)
+    while True:
+        task = tasks.get()
+        if task is None:
+            break
+        task_id, kind, expected_version, payload = task
+        try:
+            if compiled.version != expected_version:
+                results.put((worker_id, task_id, "stale", None))
+                continue
+            if kind == "unit":
+                pattern, plan = payload
+                results.put((worker_id, task_id, "ok", executor.execute(pattern, plan)))
+            elif kind == "balls":
+                bound, sources = payload
+                results.put((worker_id, task_id, "ok", executor.balls(bound, sources)))
+            else:
+                results.put((worker_id, task_id, "error", f"unknown task kind {kind!r}"))
+        except Exception as exc:  # noqa: BLE001 - reported to the parent
+            try:
+                results.put((worker_id, task_id, "error", repr(exc)))
+            except Exception:  # pragma: no cover - result queue gone
+                break
+
+
+class _ForkExecutor:
+    """Fork-side executor: a thin veneer over the inherited session."""
+
+    __slots__ = ("_session",)
+
+    def __init__(self, session: "MatchSession") -> None:
+        self._session = session
+
+    def execute(self, pattern: "Pattern", plan: "QueryPlan") -> MatchResult:
+        return self._session._execute(pattern, plan)
+
+    def balls(self, bound, sources: Sequence[int]) -> List[Tuple[int, object]]:
+        session = self._session
+        compiled = session._compiled
+        oracle = session.oracle
+        descendants = getattr(oracle, "descendants_compact", None)
+        if descendants is None:
+            descendants = oracle.descendants_within_bits
+        return [(s, descendants(compiled, s, bound)) for s in sources]
+
+
+def _fork_worker_main(worker_id: int, tasks, results) -> None:
+    """Entry point of fork workers; the session arrives via copy-on-write."""
+    session = _WORKER_SESSION
+    _serve(_ForkExecutor(session), session._compiled, tasks, results, worker_id)
+
+
+class AttachedExecutor:
+    """Query executor over a shared-memory-attached snapshot (spawn workers).
+
+    A spawned worker has no :class:`~repro.graph.datagraph.DataGraph` and no
+    :class:`~repro.engine.session.MatchSession` — only the attached
+    :class:`~repro.graph.compiled.CompiledGraph`.  This executor reproduces
+    the session's compiled execution path on top of it: candidate bitsets
+    from the attached attribute index, balls from the attached snapshot's
+    flat kernel behind a local LRU, the shared worklist fixpoint with a
+    local edge-type seed memo.  It also serves as the oracle object the
+    refinement consults (``descendants_compact`` duck-typing).
+    """
+
+    def __init__(self, compiled, *, bits_cache_size: Optional[int] = 65536) -> None:
+        from repro.distance.oracle import BoundedBitsCache
+
+        self._compiled = compiled
+        self._kernel = compiled.flat_kernel()
+        self._bits = BoundedBitsCache(bits_cache_size)
+        self._edge_memo = BoundedBitsCache(512)
+
+    # -- oracle duck-type ----------------------------------------------
+
+    def descendants_compact(self, compiled, source: int, bound):
+        key = (source, bound, True)
+        ball = self._bits.get(key)
+        if ball is None:
+            cutoff = max(128, compiled.num_nodes >> 6)
+            ball = self._kernel.ball_nodes(source, bound, cutoff=cutoff)
+            if ball is None:
+                ball = self._kernel.ball_bits(source, bound)
+            self._bits.put(key, ball)
+        return ball
+
+    def descendants_within_bits(self, compiled, source: int, bound) -> int:
+        ball = self.descendants_compact(compiled, source, bound)
+        if type(ball) is tuple:
+            bits = 0
+            for i in ball:
+                bits |= 1 << i
+            return bits
+        return ball
+
+    def ancestors_within_bits(self, compiled, target: int, bound) -> int:
+        return self._kernel.ball_bits(target, bound, reverse=True)
+
+    # -- work-unit execution -------------------------------------------
+
+    def execute(self, pattern: "Pattern", plan: "QueryPlan") -> MatchResult:
+        from repro.engine.planner import STRATEGY_SIMULATION
+        from repro.matching.bounded import candidate_bits, refine_bits_to_fixpoint
+        from repro.matching.simulation import ADJACENCY_ORACLE
+
+        compiled = self._compiled
+        pattern_nodes = pattern.node_list()
+        if not pattern_nodes or compiled.num_nodes == 0:
+            return MatchResult.empty(pattern_nodes)
+        mat_bits = candidate_bits(pattern, compiled)
+        for bits in mat_bits.values():
+            if not bits:
+                return MatchResult.empty(pattern_nodes)
+        oracle = ADJACENCY_ORACLE if plan.strategy == STRATEGY_SIMULATION else self
+        refine_bits_to_fixpoint(
+            pattern,
+            oracle,
+            compiled,
+            mat_bits,
+            stop_when_empty=True,
+            edge_memo=self._edge_memo,
+            memo_tag=plan.strategy,
+        )
+        if any(not bits for bits in mat_bits.values()):
+            return MatchResult.empty(pattern_nodes)
+        return MatchResult(
+            {u: compiled.decode(bits) for u, bits in mat_bits.items()},
+            pattern_nodes=pattern_nodes,
+        )
+
+    def balls(self, bound, sources: Sequence[int]) -> List[Tuple[int, object]]:
+        compiled = self._compiled
+        return [(s, self.descendants_compact(compiled, s, bound)) for s in sources]
+
+
+def _spawn_worker_main(worker_id: int, descriptor, tasks, results) -> None:
+    """Entry point of spawn workers: attach the exported snapshot, serve."""
+    from repro.graph.compiled import CompiledGraph
+
+    compiled = CompiledGraph.attach_shared(descriptor)
     try:
-        with context.Pool(processes=workers) as pool:
-            return pool.map(_run_work_unit, range(len(units)))
+        _serve(AttachedExecutor(compiled), compiled, tasks, results, worker_id)
     finally:
-        _FORK_STATE = None
+        compiled.shared_handle.close()
+
+
+# ----------------------------------------------------------------------
+# parent-side pool
+# ----------------------------------------------------------------------
+
+
+def _reap(processes: List, task_queue) -> None:
+    """GC finalizer: stop workers whose pool was dropped without shutdown().
+
+    Captures the process/queue containers, never the pool (a finalizer
+    holding its own referent would keep it alive forever).
+    """
+    for _ in processes:
+        try:
+            task_queue.put(None)
+        except Exception:
+            break
+    for process in processes:
+        process.join(timeout=1.0)
+        if process.is_alive():
+            process.terminate()
+
+
+class WorkerPool:
+    """A persistent process pool pinned to one session's compiled snapshot.
+
+    Created lazily by :meth:`MatchSession.match_many` (or explicitly via
+    :meth:`MatchSession.worker_pool`); workers survive across batches, so
+    the fork/attach cost is paid once per snapshot version instead of once
+    per call.  All scheduling is version-checked: see the module docstring
+    for the staleness and crash contracts.
+    """
+
+    def __init__(
+        self,
+        session: "MatchSession",
+        *,
+        max_workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+        task_timeout: float = DEFAULT_TASK_TIMEOUT,
+    ) -> None:
+        if start_method is None:
+            start_method = "fork" if fork_available() else "spawn"
+        if start_method not in multiprocessing.get_all_start_methods():
+            raise ValueError(f"start method {start_method!r} not available")
+        self._session = session
+        self._method = start_method
+        self._max_workers = max_workers
+        self._task_timeout = task_timeout
+        self._processes: List = []
+        self._task_queue = None
+        self._result_queue = None
+        self._shared_handle = None
+        self._pinned_version: Optional[int] = None
+        self._next_task_id = 0
+        self._broken = False
+        self._finalizer = None
+        # observability
+        self._workers_spawned = 0
+        self._repin_count = 0
+        self._queue_depth_hwm = 0
+        self._per_worker_executed: Dict[int, int] = {}
+        self._worker_crashes = 0
+        self._serial_fallbacks = 0
+        self._stale_tasks = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def start_method(self) -> str:
+        """``"fork"`` or ``"spawn"``."""
+        return self._method
+
+    @property
+    def workers(self) -> int:
+        """Number of currently live worker processes."""
+        return sum(1 for p in self._processes if p.is_alive())
+
+    @property
+    def started(self) -> bool:
+        """``True`` once workers have been spawned and not yet shut down."""
+        return bool(self._processes)
+
+    @property
+    def pinned_version(self) -> Optional[int]:
+        """Snapshot version the current workers hold (``None`` when down)."""
+        return self._pinned_version if self._processes else None
+
+    def target_workers(self) -> int:
+        """Worker count the next spawn will aim for."""
+        limit = self._max_workers
+        if limit is None:
+            limit = os.cpu_count() or 1
+        return max(1, limit)
+
+    def ensure(self) -> bool:
+        """Make the pool live and pinned to the session's current snapshot.
+
+        Returns ``True`` when workers are available afterwards.  A version
+        drift or a broken pool triggers one stop + respawn (the *re-pin*);
+        the snapshot is re-exported for spawn workers.
+        """
+        version = self._session._compiled.version
+        if self._processes and not self._broken and self._pinned_version == version:
+            if all(p.is_alive() for p in self._processes):
+                return True
+            self._worker_crashes += sum(
+                1 for p in self._processes if not p.is_alive()
+            )
+            self._broken = True
+        if self._processes:
+            was_pinned = self._pinned_version
+            self._stop_workers()
+            if was_pinned is not None:
+                self._repin_count += 1
+        try:
+            self._start_workers(version)
+        except Exception:
+            self._stop_workers()
+            return False
+        return True
+
+    def _start_workers(self, version: int) -> None:
+        global _WORKER_SESSION
+        context = multiprocessing.get_context(self._method)
+        self._task_queue = context.SimpleQueue()
+        self._result_queue = context.Queue()
+        count = self.target_workers()
+        processes = []
+        if self._method == "fork":
+            _WORKER_SESSION = self._session
+            try:
+                for worker_id in range(count):
+                    process = context.Process(
+                        target=_fork_worker_main,
+                        args=(worker_id, self._task_queue, self._result_queue),
+                        daemon=True,
+                    )
+                    process.start()
+                    processes.append(process)
+            finally:
+                _WORKER_SESSION = None
+        else:
+            self._shared_handle = self._session._compiled.export_shared()
+            for worker_id in range(count):
+                process = context.Process(
+                    target=_spawn_worker_main,
+                    args=(
+                        worker_id,
+                        self._shared_handle.descriptor,
+                        self._task_queue,
+                        self._result_queue,
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                processes.append(process)
+        self._processes = processes
+        self._pinned_version = version
+        self._broken = False
+        self._workers_spawned += len(processes)
+        self._finalizer = weakref.finalize(
+            self, _reap, self._processes, self._task_queue
+        )
+
+    def _stop_workers(self) -> None:
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        if self._task_queue is not None:
+            for _ in self._processes:
+                try:
+                    self._task_queue.put(None)
+                except Exception:  # pragma: no cover - queue already broken
+                    break
+        for process in self._processes:
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        self._processes = []
+        for q in (self._task_queue, self._result_queue):
+            if q is not None:
+                try:
+                    q.close()
+                except Exception:  # pragma: no cover - platform specific
+                    pass
+        self._task_queue = None
+        self._result_queue = None
+        if self._shared_handle is not None:
+            self._shared_handle.close()
+            self._shared_handle.unlink()
+            self._shared_handle = None
+        self._pinned_version = None
+        self._broken = False
+
+    def shutdown(self) -> None:
+        """Stop every worker and release all pool resources (idempotent)."""
+        self._stop_workers()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    # -- dispatch -------------------------------------------------------
+
+    def _submit(self, kind: str, payload) -> int:
+        task_id = self._next_task_id
+        self._next_task_id += 1
+        # The expected version is the *session's* current one, not the
+        # pool's pin: a snapshot patched after the workers were spawned must
+        # make them answer ``stale``, never silently serve the old graph.
+        self._task_queue.put(
+            (task_id, kind, self._session._compiled.version, payload)
+        )
+        return task_id
+
+    def _collect(self, pending: Dict[int, int], sink: List[Optional[object]]) -> bool:
+        """Drain results for *pending* ``{task_id: slot}`` into *sink*.
+
+        Returns ``False`` when the pool broke (dead worker / queue failure);
+        whatever arrived before the break is already in *sink*, the rest
+        stays ``None`` for the caller's serial fallback.  ``stale`` and
+        ``error`` statuses leave their slot ``None`` without breaking the
+        pool.
+        """
+        while pending:
+            try:
+                worker_id, task_id, status, payload = self._result_queue.get(
+                    timeout=self._task_timeout
+                )
+            except queue_module.Empty:
+                dead = sum(1 for p in self._processes if not p.is_alive())
+                if dead:
+                    self._worker_crashes += dead
+                    self._broken = True
+                    return False
+                continue
+            except Exception:  # pragma: no cover - queue torn down under us
+                self._broken = True
+                return False
+            slot = pending.pop(task_id, None)
+            if slot is None:
+                continue
+            if status == "ok":
+                sink[slot] = payload
+                self._per_worker_executed[worker_id] = (
+                    self._per_worker_executed.get(worker_id, 0) + 1
+                )
+            elif status == "stale":
+                self._stale_tasks += 1
+        return True
+
+    def run_units(
+        self, units: Sequence[Tuple["Pattern", "QueryPlan"]]
+    ) -> List[MatchResult]:
+        """Execute the planned *units*, in order, with serial safety net.
+
+        Every unit is answered: pooled when possible, serially in the
+        parent for anything the pool could not deliver (pool down, stale
+        version, worker crash or error).
+        """
+        results: List[Optional[MatchResult]] = [None] * len(units)
+        if units and self.ensure():
+            pending: Dict[int, int] = {}
+            try:
+                for slot, unit in enumerate(units):
+                    pending[self._submit("unit", unit)] = slot
+            except Exception:  # pragma: no cover - submission failure
+                self._broken = True
+            self._queue_depth_hwm = max(self._queue_depth_hwm, len(pending))
+            self._collect(pending, results)
+        session = self._session
+        for slot, (pattern, plan) in enumerate(units):
+            if results[slot] is None:
+                results[slot] = session._execute(pattern, plan)
+                self._serial_fallbacks += 1
+        return results
+
+    def run_balls(
+        self, bound, sources: Sequence[int], *, chunks_per_worker: int = 2
+    ) -> Optional[Dict[int, object]]:
+        """Compute the forward balls of *sources* at *bound* across workers.
+
+        Returns ``{source index: ball}`` (sparse tuple or dense bitset), or
+        ``None`` when the pool could not serve the request — the caller
+        then computes the balls inline.
+        """
+        if not sources or not self.ensure():
+            return None
+        workers = max(1, self.workers)
+        chunk = max(1, -(-len(sources) // (workers * chunks_per_worker)))
+        parts = [sources[i : i + chunk] for i in range(0, len(sources), chunk)]
+        sink: List[Optional[object]] = [None] * len(parts)
+        pending: Dict[int, int] = {}
+        try:
+            for slot, part in enumerate(parts):
+                pending[self._submit("balls", (bound, list(part)))] = slot
+        except Exception:  # pragma: no cover - submission failure
+            self._broken = True
+            return None
+        self._queue_depth_hwm = max(self._queue_depth_hwm, len(pending))
+        self._collect(pending, sink)
+        merged: Dict[int, object] = {}
+        for part_result in sink:
+            if part_result is None:
+                return None
+            for source, ball in part_result:
+                merged[source] = ball
+        return merged
+
+    # -- observability --------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Pool counters (shape documented in ``MatchSession.stats``)."""
+        return {
+            "start_method": self._method,
+            "workers": self.workers,
+            "pinned_version": self.pinned_version,
+            "workers_spawned": self._workers_spawned,
+            "repin_count": self._repin_count,
+            "queue_depth_hwm": self._queue_depth_hwm,
+            "per_worker_executed": dict(self._per_worker_executed),
+            "worker_crashes": self._worker_crashes,
+            "serial_fallbacks": self._serial_fallbacks,
+            "stale_tasks": self._stale_tasks,
+        }
+
+    def __repr__(self) -> str:
+        state = "up" if self.started else "down"
+        return (
+            f"<WorkerPool {self._method} {state} workers={self.workers} "
+            f"pinned=v{self._pinned_version}>"
+        )

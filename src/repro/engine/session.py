@@ -25,8 +25,10 @@ Each query is planned (:mod:`repro.engine.planner`) before execution —
 bound-1 patterns skip the distance oracle entirely, ``k``/``*`` bounds use
 the compiled oracle, attached update streams route to ``IncMatch`` — and
 :meth:`match_many` runs a whole pattern workload over the shared read-only
-snapshot, forking a process pool when the workload is worth it
-(:mod:`repro.engine.parallel`).
+snapshot, dispatching to the session's persistent worker pool when the
+workload is worth it (:mod:`repro.engine.parallel`);
+:meth:`match_parallel` partitions one large query's candidate-ball
+computation across the same pool.
 
 The free functions :func:`repro.matching.bounded.match` and
 :func:`repro.matching.simulation.graph_simulation` are thin wrappers that
@@ -35,6 +37,7 @@ open a throwaway session, so the one-shot API keeps working unchanged.
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -47,14 +50,15 @@ from repro.distance.oracle import (
     DistanceOracle,
 )
 from repro.engine.cache import DEFAULT_RESULT_CACHE_SIZE, ResultCache
-from repro.engine.parallel import fork_available, run_forked
+from repro.engine.parallel import WorkerPool, fork_available
 from repro.engine.planner import (
+    STRATEGY_BOUNDED,
     STRATEGY_INCREMENTAL,
     STRATEGY_SIMULATION,
     QueryPlan,
     plan_query,
 )
-from repro.graph.compiled import CompiledGraph, compile_graph
+from repro.graph.compiled import CompiledGraph, bits_to_indices, compile_graph
 from repro.graph.datagraph import DataGraph, NodeId
 from repro.graph.pattern import Pattern
 from repro.matching.affected import AffectedArea
@@ -65,14 +69,27 @@ from repro.matching.simulation import ADJACENCY_ORACLE
 
 __all__ = ["MatchSession"]
 
-#: ``parallel=None`` forks only when |V| x pending queries clears this bar —
-#: below it the pool's startup cost dominates the per-query work.
-AUTO_FORK_WORK_FLOOR = 200_000
-#: ``parallel=None`` never forks for fewer pending queries than this.
-AUTO_FORK_MIN_QUERIES = 4
+#: ``parallel=None`` starts the worker pool only when |V| x pending queries
+#: clears this bar — below it even the *one-time* spawn cost of the
+#: persistent pool is unlikely to amortise over the session.  (Once the pool
+#: is already live, batches of any size may use it: dispatch is just IPC.)
+AUTO_POOL_WORK_FLOOR = 400_000
+#: ``parallel=None`` never *starts* a pool for fewer pending queries than this.
+AUTO_POOL_MIN_QUERIES = 4
+#: Backwards-compatible aliases from the throwaway fork-pool era.
+AUTO_FORK_WORK_FLOOR = AUTO_POOL_WORK_FLOOR
+AUTO_FORK_MIN_QUERIES = AUTO_POOL_MIN_QUERIES
+#: ``match_parallel`` precomputes balls on the pool only when at least this
+#: many uncached ball sources exist (fewer are faster inline).
+INTRA_QUERY_MIN_SOURCES = 256
 #: Cap on standing IncrementalMatchers kept per session (each pins a full
 #: interned distance store); least recently used patterns are dropped.
 DEFAULT_MAX_MATCHERS = 16
+#: Cap on memoised edge-type seed entries (initial per-edge support counts,
+#: shared across the queries of one session — see
+#: :func:`repro.matching.bounded.refine_bits_to_fixpoint`).  Each entry costs
+#: roughly one small int per surviving candidate of its parent predicate.
+DEFAULT_EDGE_CACHE_SIZE = 512
 
 
 class MatchSession:
@@ -116,10 +133,17 @@ class MatchSession:
         result_cache_size: Optional[int] = DEFAULT_RESULT_CACHE_SIZE,
         bits_cache_size: int = DEFAULT_BITS_CACHE_SIZE,
         row_cache_size: Optional[int] = DEFAULT_ROW_CACHE_SIZE,
+        edge_cache_size: Optional[int] = DEFAULT_EDGE_CACHE_SIZE,
     ) -> None:
         self._graph = graph
         self._on_cyclic = on_cyclic
         self._bits_cache = BoundedBitsCache(bits_cache_size)
+        # Edge-type seed memo for the fixpoint (cleared on every snapshot
+        # move); disabled for custom oracles, whose ball semantics the
+        # session cannot vouch for across queries.
+        self._edge_cache = (
+            BoundedBitsCache(edge_cache_size) if edge_cache_size != 0 else None
+        )
         self._row_cache_size = row_cache_size
         self._oracle = oracle
         self._custom_oracle = oracle is not None
@@ -130,6 +154,8 @@ class MatchSession:
         self._plan_counts: Dict[str, int] = {}
         self._parallel_batches = 0
         self._forked_queries = 0
+        self._intra_queries = 0
+        self._pool: Optional[WorkerPool] = None
         self._compiled: CompiledGraph = compile_graph(graph)
         self._compiled.add_patch_listener(self._on_snapshot_patched)
 
@@ -197,11 +223,15 @@ class MatchSession:
                 compiled.add_patch_listener(self._on_snapshot_patched)
                 self._compiled = compiled
             self._cache.evict_stale(compiled.version)
+            if self._edge_cache is not None:
+                self._edge_cache.clear()
         return compiled
 
     def _on_snapshot_patched(self, version_before: int) -> None:
         """Patch-layer hook: drop results the mutation made stale."""
         self._cache.evict_stale(self._compiled.version)
+        if self._edge_cache is not None:
+            self._edge_cache.clear()
 
     # ------------------------------------------------------------------
     # planning
@@ -279,18 +309,21 @@ class MatchSession:
         """Match a whole pattern workload over the shared read-only snapshot.
 
         Cache hits (and duplicate patterns within the batch) are answered
-        once; the remaining queries run either serially or on a fork-based
-        process pool that shares the snapshot's CSR pages copy-on-write
-        (:mod:`repro.engine.parallel`).
+        once; the remaining queries run either serially or on the session's
+        **persistent** :class:`~repro.engine.parallel.WorkerPool` — workers
+        spawned once (fork copy-on-write, or shared-memory attach on spawn
+        platforms) that keep their ball/seed memos warm across batches.
 
         Parameters
         ----------
         parallel:
-            ``True`` forces the fork pool (silently degrading to serial on
-            platforms without ``fork``), ``False`` forces serial, ``None``
-            (default) decides from the workload size.
+            ``True`` forces the pool (with transparent serial fallback when
+            workers cannot serve), ``False`` forces serial, ``None``
+            (default) decides from the workload size — and never *starts* a
+            pool for a workload too small to amortise the spawn cost.
         max_workers:
-            Pool size cap (default: CPU count).
+            Pool size cap (default: CPU count); changing it across calls
+            respawns the pool at the new size.
         """
         patterns = list(patterns)
         results: List[Optional[MatchResult]] = [None] * len(patterns)
@@ -311,15 +344,20 @@ class MatchSession:
         if pending_units:
             compiled = self._sync()
             if parallel is None:
-                use_fork = (
-                    fork_available()
-                    and len(pending_units) >= AUTO_FORK_MIN_QUERIES
-                    and compiled.num_nodes * len(pending_units) >= AUTO_FORK_WORK_FLOOR
+                pool_live = self._pool is not None and self._pool.started
+                use_pool = fork_available() and (
+                    pool_live
+                    or (
+                        len(pending_units) >= AUTO_POOL_MIN_QUERIES
+                        and compiled.num_nodes * len(pending_units)
+                        >= AUTO_POOL_WORK_FLOOR
+                    )
                 )
             else:
-                use_fork = parallel and fork_available()
-            if use_fork:
-                computed = run_forked(self, pending_units, max_workers)
+                use_pool = bool(parallel)
+            if use_pool:
+                pool = self.worker_pool(max_workers=max_workers)
+                computed = pool.run_units(pending_units)
                 self._parallel_batches += 1
                 self._forked_queries += len(pending_units)
             else:
@@ -331,6 +369,94 @@ class MatchSession:
                 for index in indices:
                     results[index] = result
         return results
+
+    def worker_pool(self, *, max_workers: Optional[int] = None) -> WorkerPool:
+        """The session's persistent worker pool (created on first use).
+
+        Workers are not spawned here — that happens on the first dispatch —
+        so holding a pool object is free.  Passing a *max_workers* different
+        from the current pool's cap shuts the old pool down and builds a new
+        one at the requested size.
+        """
+        pool = self._pool
+        if pool is not None and (
+            max_workers is not None and max_workers != pool._max_workers
+        ):
+            pool.shutdown()
+            pool = None
+        if pool is None:
+            pool = WorkerPool(self, max_workers=max_workers)
+            self._pool = pool
+        return pool
+
+    def match_parallel(
+        self, pattern: Pattern, *, max_workers: Optional[int] = None
+    ) -> MatchResult:
+        """Answer one query with intra-query parallel ball computation.
+
+        The bounded fixpoint itself is inherently sequential (removals
+        cascade), but its dominant cost on a cold session — computing the
+        candidate balls — is embarrassingly parallel.  This method
+        partitions the uncached ball sources of *pattern* across the worker
+        pool, seeds the returned balls into the session's shared memo, and
+        then runs the ordinary serial fixpoint, which now finds every ball
+        precomputed.  Results are identical to :meth:`match` (same fixpoint,
+        same snapshot) and cached under the same key.
+
+        Falls back to a plain :meth:`match` execution whenever the pool
+        cannot help: simulation-strategy plans (balls are adjacency rows,
+        already materialised), custom oracles, too few uncached sources, or
+        a single-worker pool (the parent computes inline just as fast).
+        """
+        plan = self.plan(pattern)
+        cached = self._cache.get(plan.cache_key)
+        if cached is not None:
+            return cached
+        self._prime_balls_parallel(pattern, plan, max_workers)
+        result = self._execute(pattern, plan)
+        self._cache.put(plan.cache_key, result)
+        return result
+
+    def _prime_balls_parallel(
+        self, pattern: Pattern, plan: QueryPlan, max_workers: Optional[int]
+    ) -> None:
+        """Precompute *pattern*'s candidate balls on the pool (best effort)."""
+        if self._custom_oracle or plan.strategy != STRATEGY_BOUNDED:
+            return
+        workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        if workers < 2:
+            return
+        compiled = self._sync()
+        mat_bits = candidate_bits(pattern, compiled)
+        cache = self._bits_cache
+        needed: Dict[Optional[int], List[int]] = {}
+        seen: set = set()
+        for u, u_child in pattern.edges():
+            bound = pattern.bound(u, u_child)
+            for v in bits_to_indices(mat_bits[u]):
+                key = (v, bound, True)
+                if key in seen or key in cache:
+                    continue
+                seen.add(key)
+                needed.setdefault(bound, []).append(v)
+        total = sum(len(sources) for sources in needed.values())
+        if total < INTRA_QUERY_MIN_SOURCES:
+            return
+        oracle = self.oracle
+        prime = getattr(oracle, "prime_ball", None)
+        if prime is None:
+            return
+        pool = self.worker_pool(max_workers=max_workers)
+        primed = False
+        for bound, sources in needed.items():
+            merged = pool.run_balls(bound, sources)
+            if merged is None:
+                continue
+            for source, ball in merged.items():
+                prime(source, bound, ball)
+            primed = True
+        if primed:
+            self._intra_queries += 1
 
     def _execute(self, pattern: Pattern, plan: QueryPlan) -> MatchResult:
         """Run the planned fixpoint against the pinned snapshot.
@@ -350,7 +476,16 @@ class MatchSession:
             ADJACENCY_ORACLE if plan.strategy == STRATEGY_SIMULATION else self.oracle
         )
         refine_bits_to_fixpoint(
-            pattern, oracle, compiled, mat_bits, stop_when_empty=True
+            pattern,
+            oracle,
+            compiled,
+            mat_bits,
+            stop_when_empty=True,
+            # The seed memo is only sound when the session controls the
+            # oracle; the paper's BFS/2-hop variants must measure their own
+            # work, and an arbitrary oracle need not be pure per snapshot.
+            edge_memo=None if self._custom_oracle else self._edge_cache,
+            memo_tag=plan.strategy,
         )
         if any(not bits for bits in mat_bits.values()):
             return MatchResult.empty(pattern_nodes)
@@ -464,13 +599,24 @@ class MatchSession:
             "plans": dict(self._plan_counts),
             "parallel_batches": self._parallel_batches,
             "forked_queries": self._forked_queries,
+            "intra_queries": self._intra_queries,
             "incremental_matchers": len(self._matchers),
+            "pool": self._pool.stats() if self._pool is not None else None,
         }
 
     def close(self) -> None:
-        """Drop cached state (the session stays usable; caches refill)."""
+        """Drop cached state and shut the worker pool down.
+
+        The session stays usable afterwards; caches refill and the pool
+        respawns on the next parallel dispatch.
+        """
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
         self._cache.clear()
         self._matchers.clear()
+        if self._edge_cache is not None:
+            self._edge_cache.clear()
         self._store = None
         self._store_version = None
 

@@ -45,7 +45,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.distance.matrix import DistanceMatrix
 from repro.distance.oracle import DistanceOracle
-from repro.graph.compiled import CompiledGraph, iter_bits
+from repro.graph.compiled import CompiledGraph, bits_to_indices
 from repro.graph.datagraph import DataGraph, NodeId
 from repro.graph.pattern import Pattern, PatternNodeId
 from repro.matching.match_result import MatchResult
@@ -234,6 +234,8 @@ def refine_bits_to_fixpoint(
     mat_bits: Dict[PatternNodeId, int],
     *,
     stop_when_empty: bool = False,
+    edge_memo=None,
+    memo_tag=None,
 ) -> Set[Tuple[PatternNodeId, int]]:
     """Bitset counterpart of :func:`refine_to_fixpoint` over interned node ids.
 
@@ -243,12 +245,15 @@ def refine_bits_to_fixpoint(
     Refines *mat_bits* in place and returns the removed
     ``(pattern node, interned data index)`` pairs.
 
-    The fixpoint is driven by an **edge worklist** rather than per-removal
-    ancestor propagation: a pattern edge ``(u, u')`` is (re)checked only
-    when ``mat(u')`` shrank since its last check, and the recheck decrements
-    each live candidate's support by ``|desc ∩ removed-delta|``.  Chaotic
-    iteration of a monotone operator converges to the same greatest
-    fixpoint regardless of order, so the result is identical to the paper's
+    The refinement runs in two phases.  The **seed phase** computes, for
+    every pattern edge ``(u, u')``, the support of each candidate of ``u``
+    against the *initial* candidate set of ``u'`` — a pure function of
+    ``(f_v(u), f_v(u'), bound)`` given the snapshot.  The **propagation
+    phase** is an edge worklist: an edge is rechecked only when ``mat(u')``
+    shrank since its last check, and the recheck decrements each live
+    candidate's support by ``|desc ∩ removed-delta|``.  Chaotic iteration
+    of a monotone operator converges to the same greatest fixpoint
+    regardless of order, so the result is identical to the paper's
     formulation — but only *forward* balls of *live* candidates are ever
     computed (never an ancestor ball, never a ball of a non-candidate),
     which is what lets the lazy compiled oracle skip the ``O(|V|^2)``
@@ -256,6 +261,20 @@ def refine_bits_to_fixpoint(
     fixpoint in a local ``(index, bound)`` table sized exactly to the live
     working set, so rechecks never recompute a ball even when the oracle's
     own LRU is smaller than the candidate sets.
+
+    *edge_memo* (a :class:`~repro.distance.oracle.BoundedBitsCache` or any
+    mapping with ``get``/``put``) memoises the seed phase **across calls**:
+    the entry for ``(memo_tag, f_v(u), f_v(u'), bound)`` stores the exact
+    candidate bitsets it was computed from plus the surviving candidates
+    and their support counts, so a batch workload whose patterns reuse edge
+    types (same predicates, same bound) skips whole first passes.  Entries
+    are self-validating — a lookup whose recorded bitsets differ from the
+    current initial candidate sets is treated as a miss — so a stale or
+    foreign entry can never corrupt a result; the *owner* is still
+    responsible for clearing the memo when the snapshot or the oracle's
+    answers change (the engine session drops it on every patch/re-pin).
+    *memo_tag* namespaces entries per oracle semantics (e.g. the engine
+    passes the plan strategy, since the adjacency oracle ignores bounds).
 
     With *stop_when_empty* the refinement returns as soon as some
     ``mat(u)`` empties — the overall match is then the empty relation and
@@ -269,10 +288,18 @@ def refine_bits_to_fixpoint(
     if not edges:
         return removed
 
-    descendants = oracle.descendants_within_bits
+    # Balls arrive either as int bitsets or as sparse index tuples
+    # (DistanceOracle.descendants_compact); counting dispatches on the type.
+    # Sparse balls keep the memo footprint at a few hundred bytes per entry,
+    # which is what makes ball reuse across a large batch workload real.
+    descendants = getattr(oracle, "descendants_compact", None)
+    if descendants is None:
+        descendants = oracle.descendants_within_bits
     # Fixpoint-local ball memo, keyed by (index, bound).
-    balls: Dict[Tuple[int, Optional[int]], int] = {}
+    balls: Dict[Tuple[int, Optional[int]], object] = {}
     # support_count[(u, u')][v]: |descendants of v within the bound ∩ mat(u')|
+    # at the time edge (u, u') was last checked.  Candidates whose initial
+    # support is zero are removed immediately and never get an entry.
     support_count: Dict[Tuple[PatternNodeId, PatternNodeId], Dict[int, int]] = {}
     # mat(u') as of the last time the edge (u, u') was checked.
     checked_child_bits: Dict[Tuple[PatternNodeId, PatternNodeId], int] = {}
@@ -281,50 +308,117 @@ def refine_bits_to_fixpoint(
     for edge in edges:
         edges_into.setdefault(edge[1], []).append(edge)
 
-    worklist = deque(edges)
-    queued = set(edges)
-    while worklist:
-        edge = worklist.popleft()
-        queued.discard(edge)
+    # ------------------------------------------------------------------
+    # Seed phase: initial support per edge, against the *initial* candidate
+    # sets (not the partially refined ones) so the answer is a function of
+    # the edge type alone and can be shared through *edge_memo*.  Removals
+    # discovered here are reconciled by the propagation phase below.
+    # ------------------------------------------------------------------
+    static_bits = dict(mat_bits)
+    shrunk_nodes: Set[PatternNodeId] = set()
+    for edge in edges:
         u, u_child = edge
-        child_bits = mat_bits[u_child]
-        counts = support_count.get(edge)
-        shrunk = False
-        if counts is None:
-            # First check: full support counts for every live candidate.
-            bound = pattern.bound(u, u_child)
-            counts = {}
-            support_count[edge] = counts
-            for v in iter_bits(mat_bits[u]):
+        bound = pattern.bound(u, u_child)
+        parent_static = static_bits[u]
+        child_static = static_bits[u_child]
+        memo_key = None
+        entry = None
+        if edge_memo is not None:
+            # The child's initial candidates depend on whether it carries the
+            # out-degree filter (it has outgoing pattern edges), so sink and
+            # non-sink uses of one edge type key separate entries instead of
+            # thrashing one.
+            memo_key = (
+                memo_tag,
+                pattern.predicate(u),
+                pattern.predicate(u_child),
+                bound,
+                pattern.out_degree(u_child) > 0,
+            )
+            entry = edge_memo.get(memo_key)
+            if entry is not None and (
+                entry[0] != parent_static or entry[1] != child_static
+            ):
+                entry = None
+        if entry is None:
+            counts: Dict[int, int] = {}
+            survivors = parent_static
+            for v in bits_to_indices(parent_static):
                 key = (v, bound)
                 ball = balls.get(key)
                 if ball is None:
                     ball = descendants(compiled, v, bound)
                     balls[key] = ball
-                count = (ball & child_bits).bit_count()
-                counts[v] = count
-                if count == 0:
-                    mat_bits[u] &= ~(1 << v)
-                    removed.add((u, v))
-                    shrunk = True
+                if type(ball) is int:
+                    count = (ball & child_static).bit_count()
+                else:
+                    count = 0
+                    for j in ball:
+                        count += child_static >> j & 1
+                if count:
+                    counts[v] = count
+                else:
+                    survivors &= ~(1 << v)
+            if edge_memo is not None:
+                edge_memo.put(
+                    memo_key, (parent_static, child_static, survivors, counts)
+                )
+                # The propagation phase mutates its counts in place; the
+                # memoised dict must stay pristine for the next query.
+                counts = dict(counts)
         else:
-            delta = checked_child_bits[edge] & ~child_bits
-            if delta:
-                bound = pattern.bound(u, u_child)
-                for v in iter_bits(mat_bits[u]):
-                    count = counts[v]
-                    if count:
-                        key = (v, bound)
-                        ball = balls.get(key)
-                        if ball is None:
-                            ball = descendants(compiled, v, bound)
-                            balls[key] = ball
+            survivors = entry[2]
+            counts = dict(entry[3])
+        support_count[edge] = counts
+        checked_child_bits[edge] = child_static
+        dead = mat_bits[u] & ~survivors
+        if dead:
+            mat_bits[u] &= survivors
+            for v in bits_to_indices(dead):
+                removed.add((u, v))
+            shrunk_nodes.add(u)
+            if stop_when_empty and not mat_bits[u]:
+                return removed
+
+    # ------------------------------------------------------------------
+    # Propagation phase: recheck edges whose child set moved since their
+    # recorded check, decrementing supports by the removed delta.
+    # ------------------------------------------------------------------
+    worklist = deque()
+    queued = set()
+    for node in shrunk_nodes:
+        for edge in edges_into.get(node, ()):
+            if edge not in queued:
+                queued.add(edge)
+                worklist.append(edge)
+    while worklist:
+        edge = worklist.popleft()
+        queued.discard(edge)
+        u, u_child = edge
+        child_bits = mat_bits[u_child]
+        counts = support_count[edge]
+        shrunk = False
+        delta = checked_child_bits[edge] & ~child_bits
+        if delta:
+            bound = pattern.bound(u, u_child)
+            for v in bits_to_indices(mat_bits[u]):
+                count = counts[v]
+                if count:
+                    key = (v, bound)
+                    ball = balls.get(key)
+                    if ball is None:
+                        ball = descendants(compiled, v, bound)
+                        balls[key] = ball
+                    if type(ball) is int:
                         count -= (ball & delta).bit_count()
-                        counts[v] = count
-                        if count == 0:
-                            mat_bits[u] &= ~(1 << v)
-                            removed.add((u, v))
-                            shrunk = True
+                    else:
+                        for j in ball:
+                            count -= delta >> j & 1
+                    counts[v] = count
+                    if count == 0:
+                        mat_bits[u] &= ~(1 << v)
+                        removed.add((u, v))
+                        shrunk = True
         checked_child_bits[edge] = child_bits
         if shrunk:
             if stop_when_empty and not mat_bits[u]:

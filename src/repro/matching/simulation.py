@@ -59,6 +59,14 @@ class _AdjacencyOracle:
     ) -> int:
         return compiled.predecessors_bits(target)
 
+    # Adjacency rows are already materialised as cached bitsets on the
+    # snapshot, so the "compact" form is the dense row itself.
+    @staticmethod
+    def descendants_compact(
+        compiled: CompiledGraph, source: int, bound: Optional[int]
+    ) -> int:
+        return compiled.successors_bits(source)
+
 
 #: The shared bound-1 "oracle" instance (stateless).  The engine layer
 #: (:mod:`repro.engine`) reuses it for its simulation execution strategy.

@@ -15,7 +15,7 @@ from typing import Dict, List, Sequence, Tuple
 from repro.graph.datagraph import DataGraph
 from repro.graph.pattern import Pattern
 from repro.graph.pattern_generator import PatternGenerator
-from repro.utils.rng import RandomLike
+from repro.utils.rng import RandomLike, make_rng
 
 __all__ = [
     "YOUTUBE_EXAMPLE_DSL",
@@ -27,6 +27,7 @@ __all__ = [
     "youtube_sample_patterns",
     "pattern_suite",
     "engine_batch_workload",
+    "pooled_label_workload",
 ]
 
 #: Example 2.3's pattern ``P'`` in query-DSL form.
@@ -112,6 +113,49 @@ def engine_batch_workload(
         edge_bound = 1 if index < num_simulation else bound
         pattern = generator.generate_dag(pattern_nodes, pattern_edges, edge_bound)
         pattern.name = f"batch-{index}(k={edge_bound})"
+        patterns.append(pattern)
+    return patterns
+
+
+def pooled_label_workload(
+    graph: DataGraph,
+    *,
+    num_patterns: int = 24,
+    label_pool: int = 5,
+    bound: int = 3,
+    seed: RandomLike = 7,
+    attribute: str = "label",
+) -> List[Pattern]:
+    """A batch workload with heavy cross-pattern structure sharing.
+
+    Every pattern is the same 4-node DAG shape (a chain ``0 -> 1 -> 2 -> 3``
+    plus the shortcut ``0 -> 2``) with a **uniform** bound and node labels
+    drawn from a small pool of *label_pool* values present in *graph*.  With
+    few distinct ``(label, label, bound)`` edge types across many patterns,
+    a shared session's per-edge seed memo and ball caches see the reuse that
+    a one-session-per-query loop cannot — the workload shape the persistent
+    worker-pool benchmark (``benchmarks/bench_parallel_pool.py``) measures.
+    """
+    rng = make_rng(seed)
+    values = sorted(
+        {
+            value
+            for node in graph.nodes()
+            if (value := graph.attributes(node).get(attribute)) is not None
+        },
+        key=str,
+    )
+    if not values:
+        raise ValueError(f"graph has no {attribute!r} attribute to build patterns on")
+    pool = rng.sample(values, min(label_pool, len(values)))
+    shape = [(0, 1), (1, 2), (2, 3), (0, 2)]
+    patterns: List[Pattern] = []
+    for index in range(num_patterns):
+        pattern = Pattern(name=f"pooled-{index}(k={bound})")
+        for node in range(4):
+            pattern.add_node(f"u{node}", {attribute: rng.choice(pool)})
+        for source, target in shape:
+            pattern.add_edge(f"u{source}", f"u{target}", bound)
         patterns.append(pattern)
     return patterns
 

@@ -316,18 +316,55 @@ class TestMatchMany:
         assert session.stats()["cache_hits"] == hits_before + len(patterns)
 
     @pytest.mark.skipif(not fork_available(), reason="requires the fork start method")
-    def test_forked_batch_matches_serial(self, random_graph):
+    def test_pooled_batch_matches_serial(self, random_graph):
         patterns = engine_batch_workload(random_graph, num_patterns=6, seed=8)
         serial = MatchSession(random_graph).match_many(patterns, parallel=False)
+        with MatchSession(random_graph) as session:
+            pooled = session.match_many(patterns, parallel=True, max_workers=2)
+            assert pooled == serial
+            stats = session.stats()
+            assert stats["parallel_batches"] == 1
+            assert stats["forked_queries"] == len(patterns)
+            assert stats["pool"]["serial_fallbacks"] == 0
+            # The pooled results were cached in the parent ...
+            assert session.match_many(patterns) == serial
+            assert session.stats()["cache_hits"] >= len(patterns)
+            # ... and the pool persists across batches: a second parallel
+            # batch reuses the same workers instead of respawning.
+            spawned = stats["pool"]["workers_spawned"]
+            more = engine_batch_workload(random_graph, num_patterns=4, seed=9)
+            assert session.match_many(more, parallel=True, max_workers=2) == [
+                match(pattern, random_graph) for pattern in more
+            ]
+            assert session.stats()["pool"]["workers_spawned"] == spawned
+        # Context-manager exit shut the pool down.
+        assert session._pool is None
+
+    def test_auto_heuristic_never_pools_tiny_batches(self, random_graph):
+        # A handful of queries on a small graph must never pay the pool
+        # spawn cost under the default ``parallel=None`` heuristic.
         session = MatchSession(random_graph)
-        forked = session.match_many(patterns, parallel=True, max_workers=2)
-        assert forked == serial
-        stats = session.stats()
-        assert stats["parallel_batches"] == 1
-        assert stats["forked_queries"] == len(patterns)
-        # The forked results were cached in the parent.
-        assert session.match_many(patterns) == serial
-        assert session.stats()["cache_hits"] >= len(patterns)
+        patterns = engine_batch_workload(random_graph, num_patterns=3, seed=11)
+        results = session.match_many(patterns)
+        assert results == [match(pattern, random_graph) for pattern in patterns]
+        assert session._pool is None
+        assert session.stats()["parallel_batches"] == 0
+        assert session.stats()["pool"] is None
+
+    @pytest.mark.skipif(not fork_available(), reason="requires the fork start method")
+    def test_auto_heuristic_reuses_live_pool_for_small_batches(self, random_graph):
+        with MatchSession(random_graph) as session:
+            warmup = engine_batch_workload(random_graph, num_patterns=4, seed=8)
+            session.match_many(warmup, parallel=True, max_workers=2)
+            assert session._pool is not None and session._pool.started
+            batches_before = session.stats()["parallel_batches"]
+            # Once the pool is live, even a tiny batch rides it (dispatch is
+            # just IPC; no spawn cost left to amortise).
+            tiny = engine_batch_workload(random_graph, num_patterns=2, seed=13)
+            assert session.match_many(tiny) == [
+                match(pattern, random_graph) for pattern in tiny
+            ]
+            assert session.stats()["parallel_batches"] == batches_before + 1
 
 
 # ----------------------------------------------------------------------

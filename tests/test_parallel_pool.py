@@ -1,0 +1,306 @@
+"""Tests for the persistent worker pool (repro.engine.parallel).
+
+Covers the pool's four contracts:
+
+* **equivalence** — pooled ``match_many`` (and intra-query ball priming)
+  returns exactly what the serial path returns, including across randomized
+  patch sequences;
+* **staleness** — tasks carry the snapshot version they were planned
+  against, workers refuse versions they are not pinned to, and the parent
+  recomputes those units serially;
+* **lifecycle** — clean shutdown on ``close()``/context exit, GC reaping of
+  abandoned pools, respawn after shutdown;
+* **crash safety** — a killed worker never surfaces to the caller; the
+  batch completes serially and the pool respawns on next use.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+
+import pytest
+
+from repro.engine import MatchSession, WorkerPool, fork_available
+from repro.engine.parallel import AttachedExecutor
+from repro.graph.compiled import CompiledGraph, compile_graph
+from repro.graph.generators import random_data_graph
+from repro.graph.pattern import Pattern
+from repro.matching.bounded import match
+from repro.workloads.patterns import engine_batch_workload
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="the pool tests drive the fork start method"
+)
+
+
+def units_for(session, patterns):
+    return [(pattern, session.plan(pattern)) for pattern in patterns]
+
+
+def as_dicts(results):
+    return [result.as_dict() for result in results]
+
+
+@pytest.fixture
+def pool_graph():
+    return random_data_graph(300, 900, num_labels=8, seed=21)
+
+
+@pytest.fixture
+def workload(pool_graph):
+    return engine_batch_workload(pool_graph, num_patterns=6, seed=23)
+
+
+# ----------------------------------------------------------------------
+# equivalence
+# ----------------------------------------------------------------------
+
+
+class TestEquivalence:
+    def test_run_units_matches_serial(self, pool_graph, workload):
+        serial = [match(pattern, pool_graph) for pattern in workload]
+        with MatchSession(pool_graph) as session:
+            with WorkerPool(session, max_workers=2) as pool:
+                pooled = pool.run_units(units_for(session, workload))
+                assert as_dicts(pooled) == as_dicts(serial)
+                assert pool.stats()["serial_fallbacks"] == 0
+
+    def test_spawn_workers_match_fork_workers(self, pool_graph, workload):
+        serial = [match(pattern, pool_graph) for pattern in workload]
+        with MatchSession(pool_graph) as session:
+            with WorkerPool(session, max_workers=2, start_method="spawn") as pool:
+                pooled = pool.run_units(units_for(session, workload))
+                assert as_dicts(pooled) == as_dicts(serial)
+                assert pool.stats()["start_method"] == "spawn"
+                assert pool.stats()["serial_fallbacks"] == 0
+
+    def test_match_parallel_equals_match(self, pool_graph, workload):
+        with MatchSession(pool_graph) as session:
+            for pattern in workload:
+                expected = match(pattern, pool_graph)
+                got = session.match_parallel(pattern, max_workers=2)
+                assert got.as_dict() == expected.as_dict()
+            # Results were cached under the ordinary key.
+            hits_before = session.stats()["cache_hits"]
+            for pattern in workload:
+                session.match(pattern)
+            assert session.stats()["cache_hits"] == hits_before + len(workload)
+
+    def test_run_balls_merges_all_sources(self, pool_graph):
+        with MatchSession(pool_graph) as session:
+            compiled = session._sync()
+            oracle = session.oracle
+            sources = list(range(0, compiled.num_nodes, 3))
+            with WorkerPool(session, max_workers=2) as pool:
+                merged = pool.run_balls(2, sources)
+                assert merged is not None
+                assert set(merged) == set(sources)
+                for source in sources[:25]:
+                    expected = oracle.descendants_compact(compiled, source, 2)
+                    got = merged[source]
+                    if type(got) is tuple and type(expected) is not tuple:
+                        got = sum(1 << i for i in got)
+                    elif type(expected) is tuple and type(got) is not tuple:
+                        expected = sum(1 << i for i in expected)
+                    assert got == expected
+
+    def test_randomized_patch_sequences_stay_equivalent(self, pool_graph):
+        rng = random.Random(77)
+        patterns = engine_batch_workload(pool_graph, num_patterns=4, seed=29)
+        nodes = list(pool_graph.nodes())
+        with MatchSession(pool_graph) as session:
+            for round_index in range(4):
+                # Random mutations through the session's patch layer.
+                for _ in range(3):
+                    source, target = rng.sample(nodes, 2)
+                    if pool_graph.has_edge(source, target):
+                        session.patch_edge_delete(source, target)
+                    else:
+                        session.patch_edge_insert(source, target)
+                pooled = session.match_many(patterns, parallel=True, max_workers=2)
+                expected = [match(pattern, pool_graph) for pattern in patterns]
+                assert as_dicts(pooled) == as_dicts(expected), (
+                    f"divergence after patch round {round_index}"
+                )
+
+
+# ----------------------------------------------------------------------
+# staleness handshake
+# ----------------------------------------------------------------------
+
+
+class TestStaleness:
+    def test_patch_after_spawn_marks_tasks_stale(self, pool_graph, workload):
+        with MatchSession(pool_graph) as session:
+            pool = session.worker_pool(max_workers=2)
+            assert pool.ensure()
+            pinned = pool.pinned_version
+            # Patch *after* the workers were spawned, then submit directly
+            # (bypassing ensure()'s re-pin): every task must come back
+            # ``stale`` and be recomputed serially by the parent.
+            nodes = list(pool_graph.nodes())
+            session.patch_edge_insert(nodes[0], nodes[3])
+            assert session._compiled.version != pinned
+            units = units_for(session, workload)
+            results = [None] * len(units)
+            pending = {pool._submit("unit", unit): slot for slot, unit in enumerate(units)}
+            assert pool._collect(pending, results)
+            assert results == [None] * len(units)
+            assert pool.stats()["stale_tasks"] == len(units)
+
+    def test_repin_after_patch_restores_pooled_service(self, pool_graph, workload):
+        with MatchSession(pool_graph) as session:
+            session.match_many(workload, parallel=True, max_workers=2)
+            pool = session._pool
+            nodes = list(pool_graph.nodes())
+            session.patch_edge_insert(nodes[1], nodes[4])
+            pooled = session.match_many(workload, parallel=True, max_workers=2)
+            expected = [match(pattern, pool_graph) for pattern in workload]
+            assert as_dicts(pooled) == as_dicts(expected)
+            stats = pool.stats()
+            assert stats["repin_count"] == 1
+            assert stats["pinned_version"] == session._compiled.version
+            assert stats["serial_fallbacks"] == 0
+
+
+# ----------------------------------------------------------------------
+# lifecycle
+# ----------------------------------------------------------------------
+
+
+class TestLifecycle:
+    def test_session_close_shuts_pool_down(self, pool_graph, workload):
+        session = MatchSession(pool_graph)
+        session.match_many(workload, parallel=True, max_workers=2)
+        pool = session._pool
+        processes = list(pool._processes)
+        assert processes and all(p.is_alive() for p in processes)
+        session.close()
+        assert session._pool is None
+        assert not pool.started
+        for process in processes:
+            process.join(timeout=5.0)
+            assert not process.is_alive()
+
+    def test_shutdown_is_idempotent_and_pool_respawns(self, pool_graph, workload):
+        with MatchSession(pool_graph) as session:
+            pool = session.worker_pool(max_workers=2)
+            serial = [match(pattern, pool_graph) for pattern in workload]
+            assert as_dicts(pool.run_units(units_for(session, workload))) == as_dicts(
+                serial
+            )
+            pool.shutdown()
+            pool.shutdown()
+            assert not pool.started
+            # A stopped pool comes back on the next dispatch.
+            assert as_dicts(pool.run_units(units_for(session, workload))) == as_dicts(
+                serial
+            )
+            assert pool.stats()["workers_spawned"] == 4
+
+    def test_abandoned_pool_is_reaped_by_gc(self, pool_graph, workload):
+        session = MatchSession(pool_graph)
+        pool = WorkerPool(session, max_workers=2)
+        pool.run_units(units_for(session, workload[:2]))
+        processes = list(pool._processes)
+        assert all(p.is_alive() for p in processes)
+        del pool  # no shutdown(): the weakref finalizer must stop the workers
+        import gc
+
+        gc.collect()
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if not any(p.is_alive() for p in processes):
+                break
+            time.sleep(0.05)
+        assert not any(p.is_alive() for p in processes)
+        session.close()
+
+    def test_worker_pool_resizes_on_different_cap(self, pool_graph):
+        with MatchSession(pool_graph) as session:
+            first = session.worker_pool(max_workers=1)
+            assert session.worker_pool() is first
+            assert session.worker_pool(max_workers=1) is first
+            second = session.worker_pool(max_workers=2)
+            assert second is not first
+            assert not first.started
+            assert second.target_workers() == 2
+
+
+# ----------------------------------------------------------------------
+# crash safety
+# ----------------------------------------------------------------------
+
+
+class TestCrashSafety:
+    def test_killed_worker_falls_back_to_serial(self, pool_graph, workload):
+        serial = [match(pattern, pool_graph) for pattern in workload]
+        with MatchSession(pool_graph) as session:
+            pool = WorkerPool(session, max_workers=2, task_timeout=0.5)
+            with pool:
+                assert pool.ensure()
+                for process in pool._processes:
+                    os.kill(process.pid, signal.SIGKILL)
+                results = pool.run_units(units_for(session, workload))
+                assert as_dicts(results) == as_dicts(serial)
+                stats = pool.stats()
+                assert stats["worker_crashes"] >= 1
+                assert stats["serial_fallbacks"] >= 1
+                # The broken pool respawns transparently on the next batch.
+                again = pool.run_units(units_for(session, workload))
+                assert as_dicts(again) == as_dicts(serial)
+                assert pool.workers == 2
+
+
+# ----------------------------------------------------------------------
+# shared-memory snapshot export / attach
+# ----------------------------------------------------------------------
+
+
+class TestSharedSnapshot:
+    def test_attach_round_trip_preserves_topology(self, pool_graph):
+        compiled = compile_graph(pool_graph)
+        with compiled.export_shared() as handle:
+            attached = CompiledGraph.attach_shared(handle.descriptor)
+            try:
+                assert attached.num_nodes == compiled.num_nodes
+                assert attached.version == compiled.version
+                for index in range(0, compiled.num_nodes, 7):
+                    assert attached.successors_bits(
+                        index
+                    ) == compiled.successors_bits(index)
+                    assert attached.predecessors_bits(
+                        index
+                    ) == compiled.predecessors_bits(index)
+            finally:
+                attached.shared_handle.close()
+
+    def test_attached_snapshot_answers_queries(self, pool_graph, workload):
+        compiled = compile_graph(pool_graph)
+        with compiled.export_shared() as handle:
+            attached = CompiledGraph.attach_shared(handle.descriptor)
+            try:
+                executor = AttachedExecutor(attached)
+                with MatchSession(pool_graph) as session:
+                    for pattern in workload:
+                        plan = session.plan(pattern)
+                        expected = match(pattern, pool_graph)
+                        assert (
+                            executor.execute(pattern, plan).as_dict()
+                            == expected.as_dict()
+                        )
+            finally:
+                attached.shared_handle.close()
+
+    def test_attached_snapshot_is_read_only(self, pool_graph):
+        compiled = compile_graph(pool_graph)
+        with compiled.export_shared() as handle:
+            attached = CompiledGraph.attach_shared(handle.descriptor)
+            try:
+                with pytest.raises(TypeError):
+                    attached.intern_node("brand-new-node", {"label": "X"})
+            finally:
+                attached.shared_handle.close()

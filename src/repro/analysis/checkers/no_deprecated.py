@@ -1,0 +1,123 @@
+"""``no-deprecated-internal`` — internal code stays off deprecated shims.
+
+Two shims survive for external callers and emit ``DeprecationWarning``:
+
+* the module-level ``repro.matching.bounded.matches()`` function
+  (superseded by ``MatchSession.match`` / ``repro.api``);
+* ``MatchResult.to_dict()`` (superseded by ``as_dict``).
+
+Internal code must not call either — the deprecation-clean CI lane turns
+warnings into errors, and new internal callers would re-entrench the old
+surface.  Re-*exports* (``from .bounded import matches`` in an
+``__init__``) are fine and are not flagged; only calls are.
+
+Telling the deprecated shims apart from legitimate namesakes needs light
+type inference: ``result.matches(u)`` (the :class:`MatchResult` method)
+and ``pattern.to_dict()`` are fine.  The checker therefore flags
+
+* *bare-name* calls ``matches(...)`` in modules that imported the name
+  from ``repro``/``repro.matching``; and
+* ``x.to_dict()`` where ``x`` is a local inferred to hold a
+  ``MatchResult`` (assigned from ``MatchResult(...)`` or from a
+  ``match``-family call).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import FunctionModel, ModuleModel, call_name
+from repro.analysis.registry import Checker, Project, register
+
+__all__ = ["NoDeprecatedInternalChecker"]
+
+#: Calls whose result is a MatchResult (for to_dict receiver inference).
+_MATCH_RESULT_PRODUCERS = frozenset(
+    {"match", "match_parallel", "matches", "bounded_match", "MatchResult"}
+)
+
+
+def _match_result_locals(fn: FunctionModel) -> Set[str]:
+    names: Set[str] = set()
+    for sub in fn.body_walk():
+        if (
+            isinstance(sub, ast.Assign)
+            and len(sub.targets) == 1
+            and isinstance(sub.targets[0], ast.Name)
+            and isinstance(sub.value, ast.Call)
+            and call_name(sub.value) in _MATCH_RESULT_PRODUCERS
+        ):
+            names.add(sub.targets[0].id)
+    return names
+
+
+@register
+class NoDeprecatedInternalChecker(Checker):
+    rule = "no-deprecated-internal"
+    description = (
+        "no internal calls to the deprecated matches() / "
+        "MatchResult.to_dict() shims"
+    )
+
+    def check(self, module: ModuleModel, project: Project) -> List[Finding]:
+        findings: List[Finding] = []
+
+        # Defining module is allowed to mention itself (the shim body).
+        defines_matches = module.name.endswith("matching.bounded")
+
+        imported_matches = False
+        source = module.imports.get("matches", "")
+        if source and ("repro" in source or source.startswith(".")):
+            imported_matches = True
+
+        for fn in module.iter_functions():
+            mr_locals = _match_result_locals(fn)
+            for sub in fn.body_walk():
+                if not isinstance(sub, ast.Call):
+                    continue
+                func = sub.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id == "matches"
+                    and imported_matches
+                    and not defines_matches
+                ):
+                    findings.append(
+                        Finding(
+                            rule=self.rule,
+                            path=module.path,
+                            line=sub.lineno,
+                            col=sub.col_offset,
+                            message=(
+                                "internal call to deprecated matches() shim"
+                            ),
+                            hint=(
+                                "use MatchSession.match / repro.api instead; "
+                                "the shim exists only for external callers"
+                            ),
+                            symbol=fn.qualname,
+                        )
+                    )
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "to_dict"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in mr_locals
+                ):
+                    findings.append(
+                        Finding(
+                            rule=self.rule,
+                            path=module.path,
+                            line=sub.lineno,
+                            col=sub.col_offset,
+                            message=(
+                                "internal call to deprecated "
+                                "MatchResult.to_dict()"
+                            ),
+                            hint="use MatchResult.as_dict() instead",
+                            symbol=fn.qualname,
+                        )
+                    )
+        return findings

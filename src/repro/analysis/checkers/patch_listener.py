@@ -1,0 +1,69 @@
+"""``patch-listener`` — snapshot-derived caches must see patches.
+
+A class that holds a memo of snapshot-derived data (a
+:class:`BoundedBitsCache` attribute or one of the known memo dicts) will
+serve stale bitsets after a ``patch_edge_insert``/``patch_edge_delete``
+unless it either
+
+* subscribes to the patch layer via ``CompiledGraph.add_patch_listener``
+  (and drops its caches in the callback), or
+* stores a snapshot version on ``self`` and keys/validates entries
+  against it on every read (the lazy alternative — cheaper when patches
+  are frequent and reads sparse).
+
+The rule fires per class, anchored at the ``class`` statement.  Cache
+*implementations* themselves (containers that never see a graph) should
+suppress with a justification if they ever trip the name heuristics.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import ModuleModel
+from repro.analysis.registry import Checker, Project, register
+
+__all__ = ["PatchListenerChecker"]
+
+
+@register
+class PatchListenerChecker(Checker):
+    rule = "patch-listener"
+    description = (
+        "classes caching snapshot-derived bitsets must register a patch "
+        "listener or track a snapshot version on self"
+    )
+
+    def check(self, module: ModuleModel, project: Project) -> List[Finding]:
+        findings: List[Finding] = []
+        for cls in module.classes.values():
+            # Inherited memo attributes count; so do inherited listeners
+            # and version attributes (the base class may carry the guard).
+            memo_attrs = project.memo_attrs_of(cls)
+            if not memo_attrs:
+                continue
+            if project.registers_patch_listener_of(cls):
+                continue
+            if project.tracks_version_of(cls):
+                continue
+            attrs = ", ".join(f"self.{a}" for a in sorted(memo_attrs))
+            findings.append(
+                Finding(
+                    rule=self.rule,
+                    path=module.path,
+                    line=cls.line,
+                    message=(
+                        f"class {cls.name} caches snapshot-derived data "
+                        f"({attrs}) but neither registers a patch listener "
+                        "nor tracks a snapshot version"
+                    ),
+                    hint=(
+                        "call compiled.add_patch_listener(self._on_patched) "
+                        "in __init__, or store the pinned version on self "
+                        "and compare it before every cache read"
+                    ),
+                    symbol=cls.name,
+                )
+            )
+        return findings

@@ -1,0 +1,156 @@
+"""``shared-readonly`` — attach_shared worker paths must not mutate.
+
+``CompiledGraph.attach_shared`` maps another process's shared-memory
+segments; the attached snapshot is strictly read-only (the owner's patch
+layer cannot see writes made through an attachment, so a mutation there
+silently forks the two processes' views).  This rule walks a name-based
+call graph from every function that calls ``attach_shared`` and flags any
+reachable call to a mutating snapshot API
+(``patch_edge_insert`` / ``patch_edge_delete`` / ``intern_node`` /
+``intern_value``).
+
+The call graph is name-based and therefore over-approximate; a stoplist
+of ubiquitous container-method names keeps the closure from swallowing
+the whole project through ``get``/``put``/``append``.  The runtime
+sanitizer (``REPRO_SANITIZE=1``) backs this up dynamically: attached
+snapshots raise on any patch application regardless of call path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import (
+    MUTATING_SNAPSHOT_CALLS,
+    FunctionModel,
+    ModuleModel,
+    call_name,
+)
+from repro.analysis.registry import Checker, Project, register
+
+__all__ = ["SharedReadonlyChecker"]
+
+#: Call names never traversed when building the reachability closure —
+#: overwhelmingly builtin container/stdlib methods whose project-level
+#: namesakes (if any) are unrelated.
+_STOP_NAMES = frozenset(
+    {
+        "get",
+        "put",
+        "pop",
+        "append",
+        "extend",
+        "add",
+        "clear",
+        "update",
+        "items",
+        "keys",
+        "values",
+        "join",
+        "split",
+        "format",
+        "len",
+        "int",
+        "str",
+        "repr",
+        "range",
+        "sorted",
+        "min",
+        "max",
+        "sum",
+        "isinstance",
+        "hasattr",
+        "getattr",
+        "setdefault",
+        "move_to_end",
+        "close",
+        "copy",
+        "encode",
+        "decode",
+    }
+)
+
+
+def _closure_from_roots(
+    roots: List[FunctionModel], project: Project
+) -> Set[int]:
+    """ids of FunctionModels reachable from *roots* via called names."""
+    seen: Set[int] = set()
+    stack = list(roots)
+    while stack:
+        fn = stack.pop()
+        if id(fn) in seen:
+            continue
+        seen.add(id(fn))
+        for name in fn.calls:
+            if name in _STOP_NAMES:
+                continue
+            for callee in project.functions_by_name.get(name, ()):
+                if id(callee) not in seen:
+                    stack.append(callee)
+    return seen
+
+
+@register
+class SharedReadonlyChecker(Checker):
+    rule = "shared-readonly"
+    description = (
+        "code reachable from attach_shared() worker paths must not call "
+        "mutating snapshot APIs"
+    )
+
+    def __init__(self) -> None:
+        self._closure_cache: Dict[int, Set[int]] = {}
+
+    def _reachable(self, project: Project) -> Set[int]:
+        cached = self._closure_cache.get(id(project))
+        if cached is not None:
+            return cached
+        roots = [
+            fn
+            for module in project.modules
+            for fn in module.iter_functions()
+            if "attach_shared" in fn.calls and fn.name != "attach_shared"
+        ]
+        closure = _closure_from_roots(roots, project)
+        self._closure_cache[id(project)] = closure
+        return closure
+
+    def check(self, module: ModuleModel, project: Project) -> List[Finding]:
+        reachable = self._reachable(project)
+        findings: List[Finding] = []
+        for fn in module.iter_functions():
+            if id(fn) not in reachable:
+                continue
+            # attach_shared itself constructs the snapshot and is the one
+            # place allowed to touch interning tables while doing so.
+            if fn.name == "attach_shared":
+                continue
+            for sub in fn.body_walk():
+                if not isinstance(sub, ast.Call):
+                    continue
+                name = call_name(sub)
+                if name in MUTATING_SNAPSHOT_CALLS:
+                    findings.append(
+                        Finding(
+                            rule=self.rule,
+                            path=module.path,
+                            line=sub.lineno,
+                            col=sub.col_offset,
+                            message=(
+                                f"call to mutating snapshot API {name}() is "
+                                "reachable from an attach_shared() worker "
+                                "path; attached snapshots are read-only"
+                            ),
+                            hint=(
+                                "route mutations through the owner process; "
+                                "workers must treat attached snapshots as "
+                                "immutable (stale tasks are re-run serially "
+                                "by the pool)"
+                            ),
+                            symbol=fn.qualname,
+                        )
+                    )
+        return findings

@@ -1,0 +1,189 @@
+"""Lint driver: discovery, suppression handling, and reports.
+
+:func:`analyze_paths` is the single entry point used by ``repro lint``,
+the pytest self-check, and CI.  It discovers ``.py`` files, builds the
+module models, runs every registered checker over the whole
+:class:`~repro.analysis.registry.Project`, applies
+``# repro: ignore[rule]`` suppressions, and returns a
+:class:`LintReport` that renders as text or JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding, rule_rank, suppression_finding
+from repro.analysis.model import ModuleModel, build_module_model
+from repro.analysis.registry import Project, all_checkers
+from repro.analysis.suppressions import Suppression, collect_suppressions
+
+__all__ = ["LintReport", "analyze_paths", "discover_files"]
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "build", "dist"})
+
+
+def discover_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    seen = set()
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs if d not in _SKIP_DIRS and not d.startswith(".")
+                )
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        full = os.path.join(root, name)
+                        if full not in seen:
+                            seen.add(full)
+                            out.append(full)
+        elif path.endswith(".py") or os.path.isfile(path):
+            if path not in seen:
+                seen.add(path)
+                out.append(path)
+    return out
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+    rules: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_text(self) -> str:
+        lines = [f.format() for f in self.findings]
+        noun = "finding" if len(self.findings) == 1 else "findings"
+        tail = (
+            f"{len(self.findings)} {noun} in {self.files_checked} files"
+            f" ({self.suppressed} suppressed)"
+        )
+        if lines:
+            return "\n".join(lines) + "\n" + tail
+        return f"clean: {tail}"
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "ok": self.ok,
+                "files_checked": self.files_checked,
+                "suppressed": self.suppressed,
+                "rules": list(self.rules),
+                "findings": [f.to_json_obj() for f in self.findings],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def _parse_modules(
+    files: Iterable[str],
+) -> Tuple[List[ModuleModel], Dict[str, Dict[int, Suppression]], List[Finding]]:
+    modules: List[ModuleModel] = []
+    suppressions: Dict[str, Dict[int, Suppression]] = {}
+    errors: List[Finding] = []
+    for path in files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            errors.append(
+                Finding(
+                    rule="parse-error",
+                    path=path,
+                    line=0,
+                    message=f"cannot read file: {exc}",
+                )
+            )
+            continue
+        suppressions[path] = collect_suppressions(source)
+        try:
+            modules.append(build_module_model(path, source))
+        except SyntaxError as exc:
+            errors.append(
+                Finding(
+                    rule="parse-error",
+                    path=path,
+                    line=exc.lineno or 0,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+    return modules, suppressions, errors
+
+
+def _anchor_lines(finding: Finding, module: Optional[ModuleModel]) -> List[int]:
+    """Lines whose ignore comment can suppress *finding*.
+
+    The finding's own line, plus — for multi-line statements — the first
+    line of the enclosing expression is already the anchor, so the common
+    case is exactly one line.
+    """
+    return [finding.line]
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    *,
+    rules: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Run the analyzer over *paths*; optionally restrict to *rules*."""
+    files = discover_files(paths)
+    modules, suppression_map, findings = _parse_modules(files)
+    project = Project(modules)
+
+    checkers = all_checkers()
+    if rules is not None:
+        wanted = set(rules)
+        checkers = [c for c in checkers if c.rule in wanted]
+
+    for module in modules:
+        for checker in checkers:
+            findings.extend(checker.check(module, project))
+
+    kept: List[Finding] = []
+    suppressed = 0
+    used_lines: Dict[str, set] = {}
+    for finding in findings:
+        per_file = suppression_map.get(finding.path, {})
+        hit = None
+        for line in _anchor_lines(finding, None):
+            sup = per_file.get(line)
+            if sup is not None and sup.covers(finding.rule):
+                hit = sup
+                break
+        if hit is not None:
+            suppressed += 1
+            used_lines.setdefault(finding.path, set()).add(hit.line)
+        else:
+            kept.append(finding)
+
+    # Every suppression comment must justify itself, used or not.
+    active_rules = [c.rule for c in checkers]
+    if rules is None or "suppression" in set(rules):
+        active_rules.append("suppression")
+        for path, per_file in suppression_map.items():
+            for sup in per_file.values():
+                if not sup.justification:
+                    kept.append(
+                        suppression_finding(
+                            path, sup.line, ",".join(sorted(sup.rules))
+                        )
+                    )
+
+    kept.sort(key=lambda f: (f.sort_key(), rule_rank(f.rule)))
+    return LintReport(
+        findings=kept,
+        files_checked=len(files),
+        suppressed=suppressed,
+        rules=tuple(active_rules),
+    )

@@ -1,0 +1,181 @@
+"""Runtime sanitizer: dynamic counterpart of the static checkers.
+
+``REPRO_SANITIZE=1`` arms thin assertion hooks at the engine's trust
+boundaries — cache put/get, patch application, the edge-memo fast path,
+ball priming, and the worker-pool handshake — verifying at runtime the
+same invariants ``repro lint`` checks statically.  One CI lane runs the
+engine/parallel/distance suites with the sanitizer armed.
+
+Cost discipline: every hook site is guarded by ``if _sanitize.ENABLED:``
+— a module-attribute load and branch (~tens of ns) when disarmed, so the
+hooks are safe on hot paths.  This module must import nothing beyond the
+stdlib ``os`` at module level; it is imported by the engine's core.
+
+Tests may arm/disarm programmatically by assigning :data:`ENABLED`
+directly (the environment variable is only read at import time).
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["ENABLED", "SanitizeError", "fail"]
+
+
+def _env_enabled() -> bool:
+    value = os.environ.get("REPRO_SANITIZE", "").strip().lower()
+    return value not in ("", "0", "false", "no", "off")
+
+
+#: Armed state; hook sites branch on this module attribute.
+ENABLED = _env_enabled()
+
+
+class SanitizeError(AssertionError):
+    """An engine invariant observed to be violated at runtime."""
+
+
+def fail(message: str) -> None:
+    raise SanitizeError(message)
+
+
+# ----------------------------------------------------------------------
+# cache contracts
+# ----------------------------------------------------------------------
+
+
+def cache_put(cache_name: str, key: object, value: object) -> None:
+    """``None`` is the miss sentinel of :class:`BoundedBitsCache`.
+
+    Caching a ``None`` value is a silent bug: every subsequent ``get``
+    reports a miss and the entry is dead weight that still costs eviction.
+    """
+    if value is None:
+        fail(
+            f"{cache_name}.put({key!r}, None): None is the miss sentinel; "
+            "caching it makes the entry unreadable"
+        )
+
+
+def result_cache_put(key: object, result: object) -> None:
+    """ResultCache keys are ``(fingerprint, snapshot version, strategy)``."""
+    if (
+        not isinstance(key, tuple)
+        or len(key) != 3
+        or not isinstance(key[0], str)
+        or not isinstance(key[1], int)
+        or not isinstance(key[2], str)
+    ):
+        fail(
+            f"ResultCache.put: malformed key {key!r}; expected "
+            "(fingerprint: str, version: int, strategy: str)"
+        )
+    from repro.matching.match_result import MatchResult
+
+    if not isinstance(result, MatchResult):
+        fail(
+            f"ResultCache.put: value must be a MatchResult, got "
+            f"{type(result).__name__}"
+        )
+
+
+# ----------------------------------------------------------------------
+# patch layer
+# ----------------------------------------------------------------------
+
+
+def patch_applied(compiled) -> None:
+    """After a patch, the snapshot may trail the graph but never lead it."""
+    graph = compiled.graph
+    if graph is not None and compiled.version > graph.version:
+        fail(
+            f"snapshot version {compiled.version} is ahead of graph version "
+            f"{graph.version} after a patch; patches must follow the "
+            "corresponding graph mutation"
+        )
+
+
+# ----------------------------------------------------------------------
+# fixpoint edge memo
+# ----------------------------------------------------------------------
+
+
+def edge_memo_hit(entry) -> None:
+    """A validated edge-memo entry must be internally consistent.
+
+    Entries are ``(parent_static, child_static, survivors, counts)``:
+    survivors are a subset of the parent candidates, and exactly the
+    candidates with a positive support count.
+    """
+    if not isinstance(entry, tuple) or len(entry) != 4:
+        fail(f"edge memo entry has shape {type(entry).__name__}; expected 4-tuple")
+    parent_static, _child_static, survivors, counts = entry
+    if survivors & ~parent_static:
+        fail(
+            "edge memo entry's survivors are not a subset of its parent "
+            "candidate bits"
+        )
+    if survivors.bit_count() != len(counts):
+        fail(
+            f"edge memo entry records {len(counts)} supported candidates "
+            f"but {survivors.bit_count()} survivors"
+        )
+
+
+# ----------------------------------------------------------------------
+# ball priming (worker -> session handoff)
+# ----------------------------------------------------------------------
+
+
+def primed_ball(ball, num_nodes: int) -> None:
+    """A primed ball must be compact and within the snapshot's id range."""
+    if type(ball) is tuple:
+        for index in ball:
+            if type(index) is not int or index < 0 or index >= num_nodes:
+                fail(
+                    f"primed sparse ball contains out-of-range index "
+                    f"{index!r} (snapshot has {num_nodes} nodes)"
+                )
+    elif type(ball) is int:
+        if ball < 0 or ball >> num_nodes:
+            fail(
+                "primed dense ball has bits outside the snapshot's "
+                f"{num_nodes}-node id range"
+            )
+    else:
+        fail(
+            f"primed ball must be an index tuple or a bitset int, got "
+            f"{type(ball).__name__}"
+        )
+
+
+# ----------------------------------------------------------------------
+# worker-pool handshake
+# ----------------------------------------------------------------------
+
+_RESULT_STATUSES = frozenset({"ok", "stale", "error"})
+
+
+def pool_task(task) -> None:
+    """Tasks are ``(task_id, kind, expected_version, payload)``."""
+    if not isinstance(task, tuple) or len(task) != 4:
+        fail(f"worker task has shape {type(task).__name__}; expected 4-tuple")
+    task_id, kind, expected_version, _payload = task
+    if not isinstance(task_id, int) or not isinstance(kind, str):
+        fail(f"worker task has malformed id/kind: {task_id!r}, {kind!r}")
+    if not isinstance(expected_version, int):
+        fail(
+            "worker task carries no integer expected_version; the "
+            "staleness handshake cannot run"
+        )
+
+
+def pool_result(item) -> None:
+    """Results are ``(worker_id, task_id, status, payload)``."""
+    if not isinstance(item, tuple) or len(item) != 4:
+        fail(f"worker result has shape {type(item).__name__}; expected 4-tuple")
+    worker_id, task_id, status, _payload = item
+    if not isinstance(worker_id, int) or not isinstance(task_id, int):
+        fail(f"worker result has malformed ids: {worker_id!r}, {task_id!r}")
+    if status not in _RESULT_STATUSES:
+        fail(f"worker result has unknown status {status!r}")

@@ -1,0 +1,69 @@
+"""``# repro: ignore[rule]`` suppression comments.
+
+A finding is suppressed when its anchor line carries an ignore comment
+naming its rule (or ``all``).  Deliberate suppressions must justify
+themselves — ``# repro: ignore[rule] -- the snapshot is immutable here`` —
+and a bare suppression is itself reported (rule ``suppression``), which is
+how the "every suppression carries a justification" policy is enforced
+mechanically instead of by review convention.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, FrozenSet
+
+__all__ = ["Suppression", "collect_suppressions"]
+
+_IGNORE_RE = re.compile(
+    r"#\s*repro:\s*ignore\[([A-Za-z0-9_\-, ]+)\]\s*(?:--\s*(?P<why>\S.*))?"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ignore comment: the rules it silences and its justification."""
+
+    line: int
+    rules: FrozenSet[str]
+    justification: str = ""
+
+    def covers(self, rule: str) -> bool:
+        return rule in self.rules or "all" in self.rules
+
+
+def collect_suppressions(source: str) -> Dict[int, Suppression]:
+    """Map line number (1-based) -> :class:`Suppression` for *source*.
+
+    Only real ``#`` comments count — a docstring *describing* the ignore
+    syntax must not suppress anything, so the scan tokenizes rather than
+    greps.  Unreadable tails (tokenize errors on malformed input) keep
+    whatever was collected before the error; the parser reports the
+    syntax problem separately.
+    """
+    out: Dict[int, Suppression] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _IGNORE_RE.search(token.string)
+            if match is None:
+                continue
+            rules = frozenset(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            if not rules:
+                continue
+            lineno = token.start[0]
+            out[lineno] = Suppression(
+                line=lineno,
+                rules=rules,
+                justification=(match.group("why") or "").strip(),
+            )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return out

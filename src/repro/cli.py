@@ -40,6 +40,13 @@ Subcommands
     with the compiled bitset engine or the legacy set-based engine, and
     report the affected areas and elapsed time per batch.
 
+``lint``
+    Run the project's invariant analyzer (:mod:`repro.analysis`) over
+    source paths: snapshot-version guards on memo reads, patch-listener
+    registration, shared read-only discipline, decode-at-the-boundary and
+    deprecated-shim usage.  ``--format json`` emits a machine-readable
+    report; the exit code is non-zero when findings remain.
+
 Examples
 --------
 ::
@@ -219,6 +226,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     incremental_parser.add_argument(
         "--json", action="store_true", help="print a JSON report instead of text"
+    )
+
+    lint_parser = subparsers.add_parser(
+        "lint", help="run the project's invariant analyzer over source paths"
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="+",
+        metavar="PATH",
+        help="Python files or directories to analyze",
+    )
+    lint_parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    lint_parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="restrict to one rule id (repeatable); default: all rules",
     )
     return parser
 
@@ -444,6 +474,17 @@ def _command_incremental(args: argparse.Namespace) -> int:
     return 0 if result else 1
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.runner import analyze_paths
+
+    report = analyze_paths(args.paths, rules=args.rule)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.to_text())
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "match": _command_match,
     "query": _command_query,
@@ -451,6 +492,7 @@ _COMMANDS = {
     "stats": _command_stats,
     "experiment": _command_experiment,
     "incremental": _command_incremental,
+    "lint": _command_lint,
 }
 
 

@@ -38,6 +38,7 @@ from __future__ import annotations
 from array import array
 from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
+from repro.analysis import sanitize as _sanitize
 from repro.exceptions import DistanceOracleError, NodeNotFoundError
 from repro.graph.compiled import CompiledGraph, compile_graph
 from repro.graph.datagraph import DataGraph, NodeId
@@ -384,6 +385,9 @@ class CompiledDistanceMatrix(DistanceOracle):
     # ------------------------------------------------------------------
 
     def _vector(self, index: int, forward: bool) -> array:
+        # Re-pin before trusting the LRU: callers sync too, but a version
+        # check is one int compare and keeps this safe to call directly.
+        self._sync()
         key = (index, forward)
         row = self._rows_lru.get(key)
         if row is None:
@@ -453,6 +457,7 @@ class CompiledDistanceMatrix(DistanceOracle):
         the sparse cutoff fall back to the word-parallel dense search and
         are cached as bitsets; consumers dispatch on the value's type.
         """
+        self._sync()
         key = (index, bound, forward)
         ball = self._bits_lru.get(key)
         if ball is None:
@@ -516,6 +521,8 @@ class CompiledDistanceMatrix(DistanceOracle):
         they reach here).
         """
         self._sync()
+        if _sanitize.ENABLED:
+            _sanitize.primed_ball(ball, self._compiled.num_nodes)
         self._bits_lru.put((index, bound, forward), ball)
 
     # ------------------------------------------------------------------

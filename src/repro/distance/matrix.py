@@ -275,7 +275,7 @@ class InternedDistanceStore:
     repaired twice.
     """
 
-    __slots__ = ("compiled", "rows", "cols", "_bits_memo")
+    __slots__ = ("compiled", "rows", "cols", "_bits_memo", "_memo_version")
 
     def __init__(self, compiled: "CompiledGraph") -> None:
         self.compiled = compiled
@@ -286,9 +286,13 @@ class InternedDistanceStore:
             self.rows[i] = {i: 0}
             self.cols[i] = {i: 0}
         # Memoised reachability bitsets keyed by (index, bound, forward?);
-        # valid between repairs — the engine clears it after every repair
-        # phase and before propagation.  Size-capped like every oracle memo.
+        # valid between repairs.  Entries are pinned to the snapshot version
+        # they were computed against: every edge patch bumps
+        # ``compiled.version`` before the repair loop runs, so the read path
+        # drops the memo on version skew even if a caller forgets
+        # :meth:`clear_memo`.  Size-capped like every oracle memo.
         self._bits_memo = BoundedBitsCache()
+        self._memo_version = compiled.version
 
     @classmethod
     def from_matrix(
@@ -326,11 +330,23 @@ class InternedDistanceStore:
             value = int(value)
             self.rows[source][target] = value
             self.cols[target][source] = value
+        # Direct distance edits happen outside the patch protocol (no
+        # version bump), so the memo must be dropped eagerly here.
+        if len(self._bits_memo):
+            self._bits_memo.clear()
 
     def clear_memo(self) -> None:
         """Drop the memoised reachability bitsets (call after repairs)."""
         if len(self._bits_memo):
             self._bits_memo.clear()
+        self._memo_version = self.compiled.version
+
+    def _memo_sync(self) -> None:
+        """Invalidate the memo if the snapshot moved since it was filled."""
+        if self._memo_version != self.compiled.version:
+            if len(self._bits_memo):
+                self._bits_memo.clear()
+            self._memo_version = self.compiled.version
 
     # ------------------------------------------------------------------
     # bitset reachability (nonempty-path semantics, as the matching needs)
@@ -370,6 +386,7 @@ class InternedDistanceStore:
         the store can stand in as the oracle of
         :func:`~repro.matching.bounded.refine_bits_to_fixpoint`.
         """
+        self._memo_sync()
         key = (source, bound, True)
         bits = self._bits_memo.get(key)
         if bits is None:
@@ -383,6 +400,7 @@ class InternedDistanceStore:
         self, compiled: "CompiledGraph", target: int, bound: Optional[int]
     ) -> int:
         """Bitset of nodes reaching *target* within *bound* (memoised)."""
+        self._memo_sync()
         key = (target, bound, False)
         bits = self._bits_memo.get(key)
         if bits is None:

@@ -28,6 +28,7 @@ from abc import ABC, abstractmethod
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Dict, Hashable, Optional, Set
 
+from repro.analysis import sanitize as _sanitize
 from repro.graph.datagraph import DataGraph, NodeId
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -74,6 +75,8 @@ class BoundedBitsCache:
 
     def put(self, key: Hashable, value) -> None:
         """Cache *value* under *key*, evicting the oldest entry past the cap."""
+        if _sanitize.ENABLED:
+            _sanitize.cache_put("BoundedBitsCache", key, value)
         data = self._data
         data[key] = value
         data.move_to_end(key)

@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Optional, Tuple
 
+from repro.analysis import sanitize as _sanitize
 from repro.exceptions import EngineError
 from repro.matching.match_result import MatchResult
 
@@ -54,6 +55,8 @@ class ResultCache:
 
     def put(self, key: CacheKey, result: MatchResult) -> None:
         """Cache *result* under *key*, evicting the oldest entry past the cap."""
+        if _sanitize.ENABLED:
+            _sanitize.result_cache_put(key, result)
         data = self._data
         data[key] = result
         data.move_to_end(key)

@@ -35,6 +35,7 @@ import queue as queue_module
 import weakref
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis import sanitize as _sanitize
 from repro.matching.match_result import MatchResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -72,6 +73,8 @@ def _serve(executor, compiled, tasks, results, worker_id: int) -> None:
         task = tasks.get()
         if task is None:
             break
+        if _sanitize.ENABLED:
+            _sanitize.pool_task(task)
         task_id, kind, expected_version, payload = task
         try:
             if compiled.version != expected_version:
@@ -139,10 +142,22 @@ class AttachedExecutor:
         self._kernel = compiled.flat_kernel()
         self._bits = BoundedBitsCache(bits_cache_size)
         self._edge_memo = BoundedBitsCache(512)
+        # Attached snapshots are immutable in-process, but the handshake
+        # re-uses one executor across tasks; pin the version the caches
+        # were filled against so a future re-attach cannot serve them stale.
+        self._pinned_version = compiled.version
+
+    def _check_version(self) -> None:
+        if self._pinned_version != self._compiled.version:
+            self._bits.clear()
+            self._edge_memo.clear()
+            self._kernel = self._compiled.flat_kernel()
+            self._pinned_version = self._compiled.version
 
     # -- oracle duck-type ----------------------------------------------
 
     def descendants_compact(self, compiled, source: int, bound):
+        self._check_version()
         key = (source, bound, True)
         ball = self._bits.get(key)
         if ball is None:
@@ -172,6 +187,7 @@ class AttachedExecutor:
         from repro.matching.bounded import candidate_bits, refine_bits_to_fixpoint
         from repro.matching.simulation import ADJACENCY_ORACLE
 
+        self._check_version()
         compiled = self._compiled
         pattern_nodes = pattern.node_list()
         if not pattern_nodes or compiled.num_nodes == 0:
@@ -442,9 +458,10 @@ class WorkerPool:
         """
         while pending:
             try:
-                worker_id, task_id, status, payload = self._result_queue.get(
-                    timeout=self._task_timeout
-                )
+                item = self._result_queue.get(timeout=self._task_timeout)
+                if _sanitize.ENABLED:
+                    _sanitize.pool_result(item)
+                worker_id, task_id, status, payload = item
             except queue_module.Empty:
                 dead = sum(1 for p in self._processes if not p.is_alive())
                 if dead:
@@ -452,6 +469,8 @@ class WorkerPool:
                     self._broken = True
                     return False
                 continue
+            except _sanitize.SanitizeError:
+                raise
             except Exception:  # pragma: no cover - queue torn down under us
                 self._broken = True
                 return False

@@ -50,6 +50,7 @@ import weakref
 from array import array
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
+from repro.analysis import sanitize as _sanitize
 from repro.exceptions import NodeNotFoundError
 from repro.graph.datagraph import DataGraph, NodeId
 from repro.graph.predicates import Predicate
@@ -558,6 +559,19 @@ class CompiledGraph:
         if len(live) != len(listeners):
             self._patch_listeners = live
 
+    def _require_patchable(self) -> None:
+        """Attached shared snapshots are read-only for every mutation.
+
+        ``intern_node`` has always enforced this; the edge-patch paths
+        must too — a patch written through an attachment would be
+        invisible to the owner and silently fork the two processes' views.
+        """
+        if self._shared_handle is not None:
+            raise TypeError(
+                "attached shared snapshots are read-only; apply patches "
+                "through the owning process's snapshot"
+            )
+
     def _sync_version_after_patch(self) -> None:
         """Adopt the graph's version iff it moved by exactly this one mutation.
 
@@ -577,6 +591,7 @@ class CompiledGraph:
         Call immediately after ``graph.add_edge(source, target)``; the
         snapshot re-synchronises its version with the graph.
         """
+        self._require_patchable()
         version_before = self.version
         i = self.id_of(source)
         j = self.id_of(target)
@@ -589,6 +604,8 @@ class CompiledGraph:
         self.out_nonzero_bits |= 1 << i
         self.num_edges += 1
         self._sync_version_after_patch()
+        if _sanitize.ENABLED:
+            _sanitize.patch_applied(self)
         self._notify_patched(version_before)
 
     def patch_edge_delete(self, source: NodeId, target: NodeId) -> None:
@@ -596,6 +613,7 @@ class CompiledGraph:
 
         Call immediately after ``graph.remove_edge(source, target)``.
         """
+        self._require_patchable()
         version_before = self.version
         i = self.id_of(source)
         j = self.id_of(target)
@@ -609,6 +627,8 @@ class CompiledGraph:
             self.out_nonzero_bits &= ~(1 << i)
         self.num_edges -= 1
         self._sync_version_after_patch()
+        if _sanitize.ENABLED:
+            _sanitize.patch_applied(self)
         self._notify_patched(version_before)
 
     def intern_node(self, node: NodeId, attributes: Mapping[str, Any]) -> int:

@@ -43,6 +43,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.analysis import sanitize as _sanitize
 from repro.distance.matrix import DistanceMatrix
 from repro.distance.oracle import DistanceOracle
 from repro.graph.compiled import CompiledGraph, bits_to_indices
@@ -367,6 +368,8 @@ def refine_bits_to_fixpoint(
                 # memoised dict must stay pristine for the next query.
                 counts = dict(counts)
         else:
+            if _sanitize.ENABLED:
+                _sanitize.edge_memo_hit(entry)
             survivors = entry[2]
             counts = dict(entry[3])
         support_count[edge] = counts

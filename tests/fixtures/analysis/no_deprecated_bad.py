@@ -1,0 +1,8 @@
+"""BAD: internal code leaning on both deprecated shims."""
+
+from repro.matching import matches
+
+
+def run(graph, pattern, oracle):
+    result = matches(graph, pattern, oracle)
+    return result.to_dict()

@@ -1,0 +1,12 @@
+"""GOOD: modern surfaces only; legitimate namesakes are not flagged."""
+
+from repro.engine import MatchSession
+
+
+def run(graph, pattern, node):
+    session = MatchSession(graph)
+    result = session.match(pattern)
+    # MatchResult.matches(node) and Pattern.to_dict() are NOT the shims.
+    candidates = result.matches(node)
+    shape = pattern.to_dict()
+    return result.as_dict(), candidates, shape

@@ -1,0 +1,12 @@
+"""BAD: caches snapshot-derived bitsets, never hears about patches."""
+
+from repro.distance.oracle import BoundedBitsCache
+
+
+class DeafCache:
+    def __init__(self, compiled):
+        self._compiled = compiled
+        self._bits = BoundedBitsCache(64)
+
+    def warm(self, source, bound):
+        self._bits.put((source, bound), self._compiled.ball_bits(source, bound))

@@ -1,0 +1,16 @@
+"""GOOD: the cache subscribes to the patch layer and drops stale entries."""
+
+from repro.distance.oracle import BoundedBitsCache
+
+
+class ListeningCache:
+    def __init__(self, compiled):
+        self._compiled = compiled
+        self._bits = BoundedBitsCache(64)
+        compiled.add_patch_listener(self._on_patched)
+
+    def _on_patched(self, version_before):
+        self._bits.clear()
+
+    def warm(self, source, bound):
+        self._bits.put((source, bound), self._compiled.ball_bits(source, bound))

@@ -1,0 +1,19 @@
+"""BAD: a worker path reachable from attach_shared() mutates the snapshot."""
+
+from repro.graph.compiled import CompiledGraph
+
+
+def worker_main(descriptor, tasks):
+    compiled = CompiledGraph.attach_shared(descriptor)
+    for task in tasks:
+        dispatch(compiled, task)
+
+
+def dispatch(compiled, task):
+    if task[0] == "insert":
+        apply_insert(compiled, task[1], task[2])
+
+
+def apply_insert(compiled, source, target):
+    # Writing through an attachment silently forks the owner's view.
+    compiled.patch_edge_insert(source, target)

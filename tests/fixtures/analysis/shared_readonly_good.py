@@ -1,0 +1,14 @@
+"""GOOD: the attach_shared() worker path only reads the snapshot."""
+
+from repro.graph.compiled import CompiledGraph
+
+
+def worker_main(descriptor, tasks, results):
+    compiled = CompiledGraph.attach_shared(descriptor)
+    for task in tasks:
+        results.append(answer(compiled, task))
+
+
+def answer(compiled, task):
+    source, bound = task
+    return compiled.descendants_within_bits(source, bound)

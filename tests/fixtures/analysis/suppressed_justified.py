@@ -1,0 +1,17 @@
+"""A deliberate, justified suppression: silenced, and no meta-finding."""
+
+from repro.distance.oracle import BoundedBitsCache
+
+
+class KeyedByVersionCache:
+    def __init__(self, compiled):
+        self._compiled = compiled
+        self._bits = BoundedBitsCache(64)
+
+    def ball(self, source, bound):
+        key = (self._compiled.version, source, bound)
+        hit = self._bits.get(key)  # repro: ignore[version-guard] -- version is embedded in the key, stale entries are unreachable
+        if hit is None:
+            hit = self._compiled.ball_bits(source, bound)
+            self._bits.put(key, hit)
+        return hit

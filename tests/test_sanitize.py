@@ -1,0 +1,277 @@
+"""Runtime sanitizer tests (repro.analysis.sanitize).
+
+Two layers: direct checks of each hook's contract, and armed integration
+runs through the real engine paths proving the hooks fire on violations
+and stay silent on healthy traffic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import sanitize
+from repro.analysis.sanitize import SanitizeError
+from repro.distance.compiled import CompiledDistanceMatrix
+from repro.distance.matrix import InternedDistanceStore
+from repro.distance.oracle import BoundedBitsCache
+from repro.engine import MatchSession
+from repro.engine.cache import ResultCache
+from repro.engine.parallel import AttachedExecutor
+from repro.graph.compiled import CompiledGraph, compile_graph
+from repro.graph.generators import random_data_graph
+from repro.graph.pattern_generator import PatternGenerator
+
+
+@pytest.fixture
+def armed(monkeypatch):
+    monkeypatch.setattr(sanitize, "ENABLED", True)
+
+
+@pytest.fixture
+def graph():
+    return random_data_graph(30, 90, seed=14)
+
+
+class TestEnvParsing:
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on", "2"])
+    def test_truthy(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SANITIZE", value)
+        assert sanitize._env_enabled()
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "no", "off", " OFF "])
+    def test_falsy(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SANITIZE", value)
+        assert not sanitize._env_enabled()
+
+
+class TestCacheHooks:
+    def test_none_value_is_rejected(self):
+        with pytest.raises(SanitizeError):
+            sanitize.cache_put("BoundedBitsCache", ("k",), None)
+
+    def test_falsy_but_real_values_pass(self):
+        sanitize.cache_put("BoundedBitsCache", ("k",), 0)
+        sanitize.cache_put("BoundedBitsCache", ("k",), ())
+
+    @pytest.mark.parametrize(
+        "key",
+        [
+            ("fingerprint", "not-an-int", "strategy"),
+            ("fingerprint", 3),
+            "fingerprint",
+            (3, 3, "strategy"),
+        ],
+    )
+    def test_result_cache_key_shape(self, key):
+        with pytest.raises(SanitizeError):
+            sanitize.result_cache_put(key, object())
+
+    def test_result_cache_value_type(self):
+        with pytest.raises(SanitizeError):
+            sanitize.result_cache_put(("fp", 0, "compiled"), object())
+
+    def test_bits_cache_put_enforced_when_armed(self, armed):
+        cache = BoundedBitsCache(8)
+        with pytest.raises(SanitizeError):
+            cache.put(("a", 2, True), None)
+        cache.put(("a", 2, True), 0)
+        assert cache.get(("a", 2, True)) == 0
+
+    def test_result_cache_put_enforced_when_armed(self, armed):
+        cache = ResultCache()
+        with pytest.raises(SanitizeError):
+            cache.put(("fp", "v1", "compiled"), object())
+
+
+class TestEdgeMemoHook:
+    def test_consistent_entry_passes(self):
+        parent, child = 0b1011, 0b0110
+        survivors, counts = 0b0011, {0: 1, 1: 2}
+        sanitize.edge_memo_hit((parent, child, survivors, counts))
+
+    def test_survivors_outside_parent(self):
+        with pytest.raises(SanitizeError):
+            sanitize.edge_memo_hit((0b0011, 0b0110, 0b0100, {2: 1}))
+
+    def test_count_cardinality_mismatch(self):
+        with pytest.raises(SanitizeError):
+            sanitize.edge_memo_hit((0b1011, 0b0110, 0b0011, {0: 1}))
+
+    def test_wrong_shape(self):
+        with pytest.raises(SanitizeError):
+            sanitize.edge_memo_hit((0b1, 0b1, 0b1))
+        with pytest.raises(SanitizeError):
+            sanitize.edge_memo_hit([0b1, 0b1, 0b1, {}])
+
+
+class TestPrimedBallHook:
+    def test_sparse_and_dense_in_range(self):
+        sanitize.primed_ball((0, 3, 7), 8)
+        sanitize.primed_ball(0b1011, 8)
+        sanitize.primed_ball((), 8)
+        sanitize.primed_ball(0, 8)
+
+    def test_sparse_out_of_range(self):
+        with pytest.raises(SanitizeError):
+            sanitize.primed_ball((0, 8), 8)
+        with pytest.raises(SanitizeError):
+            sanitize.primed_ball((-1,), 8)
+
+    def test_dense_out_of_range(self):
+        with pytest.raises(SanitizeError):
+            sanitize.primed_ball(1 << 8, 8)
+
+    def test_wrong_container(self):
+        with pytest.raises(SanitizeError):
+            sanitize.primed_ball([0, 1], 8)
+
+    def test_prime_ball_integration(self, armed, graph):
+        oracle = CompiledDistanceMatrix(graph)
+        num_nodes = oracle.snapshot.num_nodes
+        oracle.prime_ball(0, 2, (0, 1))
+        oracle.prime_ball(1, 2, 0b11)
+        with pytest.raises(SanitizeError):
+            oracle.prime_ball(2, 2, (num_nodes,))
+        with pytest.raises(SanitizeError):
+            oracle.prime_ball(3, 2, 1 << num_nodes)
+
+
+class TestPoolHandshakeHooks:
+    def test_good_task_and_result(self):
+        sanitize.pool_task((7, "match", 3, ("payload",)))
+        sanitize.pool_result((0, 7, "ok", ("payload",)))
+        sanitize.pool_result((0, 7, "stale", None))
+
+    @pytest.mark.parametrize(
+        "task",
+        [
+            (7, "match", 3),
+            ("7", "match", 3, None),
+            (7, 42, 3, None),
+            (7, "match", None, None),
+        ],
+    )
+    def test_bad_task(self, task):
+        with pytest.raises(SanitizeError):
+            sanitize.pool_task(task)
+
+    @pytest.mark.parametrize(
+        "item",
+        [
+            (0, 7, "ok"),
+            ("0", 7, "ok", None),
+            (0, 7, "done", None),
+        ],
+    )
+    def test_bad_result(self, item):
+        with pytest.raises(SanitizeError):
+            sanitize.pool_result(item)
+
+
+def _missing_edge(graph):
+    nodes = list(graph.nodes())
+    for source in nodes:
+        for target in nodes:
+            if source != target and not graph.has_edge(source, target):
+                return source, target
+    raise AssertionError("graph is complete")
+
+
+class TestPatchHooks:
+    def test_healthy_patch_passes(self, armed, graph):
+        compiled = compile_graph(graph)
+        source, target = _missing_edge(graph)
+        graph.add_edge(source, target)
+        compiled.patch_edge_insert(source, target)
+        assert compiled.version == graph.version
+
+    def test_snapshot_ahead_of_graph_is_flagged(self, armed, graph):
+        compiled = compile_graph(graph)
+        compiled.version = graph.version + 3
+        source, target = _missing_edge(graph)
+        graph.add_edge(source, target)
+        with pytest.raises(SanitizeError):
+            compiled.patch_edge_insert(source, target)
+
+    def test_patch_applied_direct(self, graph):
+        compiled = compile_graph(graph)
+        sanitize.patch_applied(compiled)
+        compiled.version = graph.version + 1
+        with pytest.raises(SanitizeError):
+            sanitize.patch_applied(compiled)
+
+
+class TestSharedSnapshotReadOnly:
+    def test_edge_patches_rejected_on_attachment(self, graph):
+        compiled = compile_graph(graph)
+        source, target = _missing_edge(graph)
+        with compiled.export_shared() as handle:
+            attached = CompiledGraph.attach_shared(handle.descriptor)
+            try:
+                with pytest.raises(TypeError):
+                    attached.patch_edge_insert(source, target)
+                with pytest.raises(TypeError):
+                    attached.patch_edge_delete(source, target)
+            finally:
+                attached.shared_handle.close()
+
+    def test_owner_can_still_patch_after_export(self, graph):
+        compiled = compile_graph(graph)
+        source, target = _missing_edge(graph)
+        with compiled.export_shared() as handle:
+            attached = CompiledGraph.attach_shared(handle.descriptor)
+            try:
+                graph.add_edge(source, target)
+                compiled.patch_edge_insert(source, target)
+                assert compiled.version == graph.version
+            finally:
+                attached.shared_handle.close()
+
+    def test_attached_executor_repins_on_version_skew(self, graph):
+        compiled = compile_graph(graph)
+        with compiled.export_shared() as handle:
+            attached = CompiledGraph.attach_shared(handle.descriptor)
+            try:
+                executor = AttachedExecutor(attached)
+                ball = executor.descendants_compact(attached, 0, 2)
+                assert executor._bits.get((0, 2, True)) is not None
+                attached.version += 1
+                again = executor.descendants_compact(attached, 0, 2)
+                assert executor._pinned_version == attached.version
+                assert again == ball
+            finally:
+                attached.shared_handle.close()
+
+
+class TestInternedStoreMemo:
+    def test_set_distance_invalidates_memo_eagerly(self, graph):
+        compiled = compile_graph(graph)
+        store = InternedDistanceStore(compiled)
+        before = store.descendants_within_bits(compiled, 0, 1)
+        assert not before & (1 << 1)
+        store.set_distance(0, 1, 1)
+        after = store.descendants_within_bits(compiled, 0, 1)
+        assert after & (1 << 1)
+
+    def test_version_skew_drops_memo_without_clear_memo(self, graph):
+        compiled = compile_graph(graph)
+        store = InternedDistanceStore(compiled)
+        store.descendants_within_bits(compiled, 0, 2)
+        assert len(store._bits_memo)
+        compiled.version += 1
+        store.rows[0][5] = 1
+        store.cols[5][0] = 1
+        bits = store.descendants_within_bits(compiled, 0, 2)
+        assert bits & (1 << 5)
+        assert store._memo_version == compiled.version
+
+
+class TestArmedEngineRuns:
+    def test_full_match_run_raises_no_alarms(self, armed, graph):
+        generator = PatternGenerator(graph, seed=3, unbounded_probability=0.2)
+        with MatchSession(graph) as session:
+            for _ in range(3):
+                pattern = generator.generate(4, 4, 3)
+                first = session.match(pattern)
+                # Second run exercises the result-cache read path.
+                assert session.match(pattern) == first

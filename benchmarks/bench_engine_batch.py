@@ -21,6 +21,11 @@ scale where it means something — 100k nodes — in
 is pure overhead, which is exactly why the pool is never auto-started for
 workloads this small.
 
+A third measurement guards the reliability layer's "free when off"
+contract: every fault point in the engine is a ``_faults.ENABLED``
+attribute load behind a short-circuiting ``and``, and the disarmed cost of
+all checks a batch performs must stay within 2% of the batch itself.
+
 All ratios land in ``BENCH_engine.json`` at the repo root (see
 ``benchmarks/README.md`` for the schema) and in pytest-benchmark's
 ``extra_info``.
@@ -38,6 +43,8 @@ from conftest import best_of
 from repro.engine import MatchSession
 from repro.graph.generators import random_data_graph
 from repro.matching.bounded import match
+from repro.reliability import faults
+from repro.reliability.faults import FAULT_POINTS, FaultPlan
 from repro.workloads.patterns import engine_batch_workload
 
 NUM_NODES = 1000
@@ -135,3 +142,70 @@ def test_bench_match_many_cold_vs_match_loop(benchmark, setup):
     # No gate: the cold win comes from shared ball memos and is workload
     # dependent; the floor just catches a pathological engine regression.
     assert speedup >= 0.5, f"cold match_many {speedup:.2f}x — engine overhead blew up"
+
+
+def test_bench_disarmed_fault_hooks_overhead(benchmark, setup):
+    """Gate: disarmed fault points cost <= 2% of a cold batch.
+
+    Disarmed, each fault point is ``if _faults.ENABLED and ...`` — the
+    ``and`` never evaluates its right side, so the cost is one module
+    attribute load plus a branch.  The overhead is reconstructed rather
+    than differenced (the hooks can't be compiled out to measure against):
+    arm a rate-0 probe plan to *count* how many checks a batch actually
+    reaches, micro-time the disarmed guard, and bound their product
+    against the batch time.
+    """
+    graph, patterns = setup
+    faults.disarm()
+
+    def cold_run():
+        return MatchSession(graph).match_many(patterns, parallel=False)
+
+    benchmark.pedantic(cold_run, rounds=3, iterations=1)
+    batch_s = best_of(cold_run, repeats=3)
+
+    # Rate 0 fires nothing but tallies every should_fire() call, i.e.
+    # every guard site the workload executes.
+    probe = ",".join(f"{point}@0" for point in sorted(FAULT_POINTS))
+    faults.arm(FaultPlan.parse(probe, seed=1))
+    try:
+        cold_run()
+        checks = faults.evaluations()
+    finally:
+        faults.disarm()
+
+    iterations = 1_000_000
+
+    def guard_loop():
+        for _ in range(iterations):
+            if faults.ENABLED and faults.should_fire("cache.pressure"):
+                pass  # pragma: no cover - unreachable while disarmed
+
+    # Loop bookkeeping is part of the measurement; the bound is conservative.
+    per_check_s = best_of(guard_loop, repeats=3) / iterations
+
+    overhead_s = checks * per_check_s
+    fraction = overhead_s / batch_s if batch_s else 0.0
+    benchmark.extra_info["guard_checks_per_batch"] = checks
+    benchmark.extra_info["guard_check_ns"] = round(per_check_s * 1e9, 2)
+    benchmark.extra_info["disarmed_overhead_fraction"] = round(fraction, 6)
+
+    payload = {}
+    if RESULTS_PATH.exists():
+        try:
+            payload = json.loads(RESULTS_PATH.read_text())
+        except (ValueError, OSError):
+            payload = {}
+    payload["reliability"] = {
+        "cold_batch_s": round(batch_s, 6),
+        "guard_checks_per_batch": checks,
+        "guard_check_ns": round(per_check_s * 1e9, 2),
+        "disarmed_overhead_fraction": round(fraction, 6),
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    assert checks >= 1, "the probe plan saw no fault-point checks at all"
+    assert fraction <= 0.02, (
+        f"disarmed fault hooks cost {fraction:.2%} of a cold batch "
+        f"({checks} checks x {per_check_s * 1e9:.0f}ns vs {batch_s:.4f}s)"
+    )

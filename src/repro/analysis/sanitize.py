@@ -153,7 +153,7 @@ def primed_ball(ball, num_nodes: int) -> None:
 # worker-pool handshake
 # ----------------------------------------------------------------------
 
-_RESULT_STATUSES = frozenset({"ok", "stale", "error"})
+_RESULT_STATUSES = frozenset({"ok", "stale", "error", "ack", "fault", "malformed"})
 
 
 def pool_task(task) -> None:

@@ -47,6 +47,14 @@ Subcommands
     deprecated-shim usage.  ``--format json`` emits a machine-readable
     report; the exit code is non-zero when findings remain.
 
+``chaos``
+    Run the seeded fault-injection equivalence suite
+    (:func:`repro.reliability.chaos.run_chaos`): arm a ``REPRO_FAULTS``
+    plan, drive a pooled ``match_many`` workload (mutating the graph
+    between rounds), and verify every pooled result against a clean serial
+    baseline.  ``--seeds N`` runs a matrix of N derived seeds; the exit
+    code is non-zero when any seed produced a pooled/serial mismatch.
+
 Examples
 --------
 ::
@@ -249,6 +257,68 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="RULE",
         help="restrict to one rule id (repeatable); default: all rules",
+    )
+
+    chaos_parser = subparsers.add_parser(
+        "chaos", help="run the fault-injection equivalence suite"
+    )
+    chaos_parser.add_argument(
+        "--graph", default=None, help="data graph JSON file (default: synthetic)"
+    )
+    chaos_parser.add_argument(
+        "--nodes", type=int, default=250, help="synthetic graph size (no --graph)"
+    )
+    chaos_parser.add_argument(
+        "--edges", type=int, default=750, help="synthetic graph edges (no --graph)"
+    )
+    chaos_parser.add_argument(
+        "--labels", type=int, default=8, help="synthetic graph labels (no --graph)"
+    )
+    chaos_parser.add_argument(
+        "--queries", type=int, default=5, help="patterns per round (default: 5)"
+    )
+    chaos_parser.add_argument(
+        "--seed", type=int, default=101, help="fault-schedule seed (default: 101)"
+    )
+    chaos_parser.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run a matrix of N seeds derived from --seed (default: 1)",
+    )
+    chaos_parser.add_argument(
+        "--rounds", type=int, default=2, help="chaos rounds per seed (default: 2)"
+    )
+    chaos_parser.add_argument(
+        "--plan",
+        default=None,
+        metavar="SPECS",
+        help="fault plan, e.g. 'worker.crash@0.1#2,snapshot.skew' "
+        "(default: the mixed chaos schedule)",
+    )
+    chaos_parser.add_argument(
+        "--workers", type=int, default=2, help="pool size under test (default: 2)"
+    )
+    chaos_parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=0.5,
+        help="per-task deadline in seconds (default: 0.5)",
+    )
+    chaos_parser.add_argument(
+        "--start-method",
+        choices=["fork", "spawn"],
+        default=None,
+        help="pool start method (default: platform pick)",
+    )
+    chaos_parser.add_argument(
+        "--no-mutate",
+        action="store_true",
+        help="keep the graph fixed between rounds",
+    )
+    chaos_parser.add_argument(
+        "--json", action="store_true", help="print a JSON report instead of text"
     )
     return parser
 
@@ -485,6 +555,95 @@ def _command_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _command_chaos(args: argparse.Namespace) -> int:
+    from repro.reliability.chaos import DEFAULT_CHAOS_PLAN, run_chaos
+    from repro.reliability.faults import FaultPlanError
+    from repro.workloads.patterns import engine_batch_workload
+
+    def build_graph():
+        if args.graph is not None:
+            return load_graph_json(args.graph)
+        return random_data_graph(
+            args.nodes, args.edges, num_labels=args.labels, seed=31
+        )
+
+    plan = args.plan if args.plan is not None else DEFAULT_CHAOS_PLAN
+    # The matrix derives seed_i = seed + 101*i so `--seed 101 --seeds 5`
+    # reproduces the test suite's canonical seed ladder.
+    seeds = [args.seed + 101 * index for index in range(max(1, args.seeds))]
+    reports = []
+    for seed in seeds:
+        graph = build_graph()  # fresh per seed: rounds mutate it
+        patterns = engine_batch_workload(
+            graph, num_patterns=args.queries, seed=33
+        )
+        try:
+            report = run_chaos(
+                graph,
+                patterns,
+                seed=seed,
+                plan=plan,
+                rounds=args.rounds,
+                workers=args.workers,
+                task_timeout=args.task_timeout,
+                start_method=args.start_method,
+                mutate=not args.no_mutate,
+            )
+        except FaultPlanError as exc:
+            raise SystemExit(f"chaos: bad --plan: {exc}")
+        reports.append(report)
+
+    survived = all(report.survived for report in reports)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "survived": survived,
+                    "runs": [report.to_dict() for report in reports],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for report in reports:
+            verdict = (
+                "ok" if report.survived else f"{len(report.mismatches)} MISMATCH(ES)"
+            )
+            fired = (
+                ", ".join(
+                    f"{point} x{count}"
+                    for point, count in sorted(report.injections.items())
+                )
+                or "none"
+            )
+            notes = report.reliability["worker_fault_notes"]
+            worker_fired = (
+                ", ".join(
+                    f"{point} x{count}" for point, count in sorted(notes.items())
+                )
+                or "none"
+            )
+            print(
+                f"seed {report.seed}: {verdict} "
+                f"({report.rounds} round(s) x {report.queries} query(ies))"
+            )
+            print(f"  parent injections: {fired}")
+            print(f"  worker injections: {worker_fired}")
+            print(
+                "  recovery: "
+                f"{report.reliability['worker_crashes']} crash(es), "
+                f"{report.reliability['deadline_kills']} deadline kill(s), "
+                f"{report.reliability['retries']} retry(ies), "
+                f"{report.pool['serial_fallbacks']} serial fallback(s)"
+            )
+        print(
+            f"{len(reports)} seed(s): "
+            + ("all survived" if survived else "EQUIVALENCE VIOLATED")
+        )
+    return 0 if survived else 1
+
+
 _COMMANDS = {
     "match": _command_match,
     "query": _command_query,
@@ -493,6 +652,7 @@ _COMMANDS = {
     "experiment": _command_experiment,
     "incremental": _command_incremental,
     "lint": _command_lint,
+    "chaos": _command_chaos,
 }
 
 

@@ -17,10 +17,33 @@ a :class:`~repro.engine.session.MatchSession` owns for its lifetime:
 * every task carries the **snapshot version** it was planned against, and
   workers answer ``stale`` for versions they are not pinned to — the parent
   transparently recomputes those units serially and re-pins the pool
-  (one respawn, counted in :meth:`WorkerPool.stats`) before its next batch;
-* a worker death is detected by liveness checks on result timeouts; the
-  parent marks the pool broken, finishes the batch **serially** (no caller
-  ever sees a crash), and respawns on the next use.
+  (one respawn, counted in :meth:`WorkerPool.stats`) before its next batch.
+
+Failure semantics (the resilient-execution layer)
+-------------------------------------------------
+Workers acknowledge every task before executing it, which lets the parent
+attribute work to processes and run **per-task deadlines**:
+
+* a worker that *dies* (crash, OOM-kill) is detected by liveness checks;
+  its in-flight task is re-dispatched and a replacement worker is respawned
+  mid-batch;
+* a worker that *hangs* (stuck syscall, SIGSTOP, runaway loop) blows its
+  task's deadline; the parent **kills and replaces** it (quarantine) so one
+  unresponsive process never stalls the rest of the batch;
+* lost or failed tasks are retried with bounded **exponential backoff +
+  jitter** (:class:`~repro.reliability.resilience.RetryPolicy`); exhausted
+  tasks fall back to serial execution in the parent, so no caller ever
+  sees a crash;
+* a :class:`~repro.reliability.resilience.BatchBudget` caps one batch's
+  wall clock: when it expires the pool stops waiting and reports partial
+  results instead of hanging (the session raises
+  :class:`~repro.exceptions.PartialBatchError`).
+
+Every failure path is instrumented with the named fault points of
+:mod:`repro.reliability.faults` (``worker.crash``, ``worker.hang``,
+``queue.stall``, ``result.corrupt``, ``task.corrupt``, ``snapshot.skew``),
+so the chaos suite can fire each one deterministically and assert results
+stay byte-identical to serial execution.
 
 The snapshot is strictly read-only for the workers: anything a worker
 materialises lives in its own (copy-on-write or attached) memory and is
@@ -32,11 +55,15 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue as queue_module
+import signal
+import time
 import weakref
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import sanitize as _sanitize
 from repro.matching.match_result import MatchResult
+from repro.reliability import faults as _faults
+from repro.reliability.resilience import BatchBudget, RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.planner import QueryPlan
@@ -45,8 +72,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["fork_available", "WorkerPool", "AttachedExecutor", "DEFAULT_TASK_TIMEOUT"]
 
-#: Seconds the parent waits for one result before checking worker liveness.
+#: Seconds a dispatched task may run (queue wait, then execution after its
+#: ack) before the parent declares its worker hung and re-dispatches.
 DEFAULT_TASK_TIMEOUT = 60.0
+
+#: Ceiling on one blocking ``get`` on the result queue, so deadline sweeps
+#: run even while nothing arrives.
+_MAX_POLL = 1.0
 
 #: Session inherited by fork workers, published immediately before forking.
 _WORKER_SESSION: Optional["MatchSession"] = None
@@ -68,6 +100,11 @@ def _serve(executor, compiled, tasks, results, worker_id: int) -> None:
     *executor* answers ``execute(pattern, plan)`` and ``balls(bound,
     sources)``; *compiled* carries the pinned snapshot version the
     handshake compares against.  ``None`` on the task queue stops the loop.
+
+    Every task is acknowledged (``ack``) before execution so the parent can
+    attribute in-flight work to this process; worker-side fault points
+    (crash/hang/stall/corrupt) fire between the ack and the answer, exactly
+    where the real failures they model would strike.
     """
     while True:
         task = tasks.get()
@@ -75,19 +112,54 @@ def _serve(executor, compiled, tasks, results, worker_id: int) -> None:
             break
         if _sanitize.ENABLED:
             _sanitize.pool_task(task)
-        task_id, kind, expected_version, payload = task
+        try:
+            task_id, kind, expected_version, payload = task
+        except (TypeError, ValueError):
+            # A corrupted task cannot be answered by id; report it and move
+            # on — the parent's per-task deadline re-dispatches the lost
+            # unit.
+            try:
+                results.put((worker_id, -1, "malformed", None))
+                continue
+            except Exception:  # pragma: no cover - result queue gone
+                break
+        try:
+            results.put((worker_id, task_id, "ack", None))
+        except Exception:  # pragma: no cover - result queue gone
+            break
+        if _faults.ENABLED:
+            if _faults.should_fire("worker.crash"):
+                os.kill(os.getpid(), signal.SIGKILL)
+            if _faults.should_fire("worker.hang"):
+                try:
+                    results.put((worker_id, task_id, "fault", "worker.hang"))
+                except Exception:  # pragma: no cover - result queue gone
+                    pass
+                time.sleep(_faults.arg("worker.hang", 60.0))
         try:
             if compiled.version != expected_version:
                 results.put((worker_id, task_id, "stale", None))
                 continue
             if kind == "unit":
                 pattern, plan = payload
-                results.put((worker_id, task_id, "ok", executor.execute(pattern, plan)))
+                answer = executor.execute(pattern, plan)
             elif kind == "balls":
                 bound, sources = payload
-                results.put((worker_id, task_id, "ok", executor.balls(bound, sources)))
+                answer = executor.balls(bound, sources)
             else:
                 results.put((worker_id, task_id, "error", f"unknown task kind {kind!r}"))
+                continue
+            if _faults.ENABLED:
+                if _faults.should_fire("queue.stall"):
+                    # Simulated result-queue stall: the answer is computed
+                    # but never delivered.  The parent's deadline fires.
+                    results.put((worker_id, task_id, "fault", "queue.stall"))
+                    continue
+                if _faults.should_fire("result.corrupt"):
+                    results.put((worker_id, task_id, "fault", "result.corrupt"))
+                    results.put((worker_id, task_id, "ok", _faults.CORRUPT))
+                    continue
+            results.put((worker_id, task_id, "ok", answer))
         except Exception as exc:  # noqa: BLE001 - reported to the parent
             try:
                 results.put((worker_id, task_id, "error", repr(exc)))
@@ -118,6 +190,8 @@ class _ForkExecutor:
 
 def _fork_worker_main(worker_id: int, tasks, results) -> None:
     """Entry point of fork workers; the session arrives via copy-on-write."""
+    if _faults.ENABLED:
+        _faults.reseed(worker_id + 1)
     session = _WORKER_SESSION
     _serve(_ForkExecutor(session), session._compiled, tasks, results, worker_id)
 
@@ -222,7 +296,19 @@ def _spawn_worker_main(worker_id: int, descriptor, tasks, results) -> None:
     """Entry point of spawn workers: attach the exported snapshot, serve."""
     from repro.graph.compiled import CompiledGraph
 
-    compiled = CompiledGraph.attach_shared(descriptor)
+    if _faults.ENABLED:
+        _faults.reseed(worker_id + 1)
+    try:
+        compiled = CompiledGraph.attach_shared(descriptor)
+    except Exception:
+        # Attach failed mid-start (real shm error, or the ``attach.fail``
+        # fault point): report and exit — the parent observes the death and
+        # serves the batch serially.
+        try:
+            results.put((worker_id, -1, "fault", "attach.fail"))
+        except Exception:  # pragma: no cover - result queue gone
+            pass
+        return
     try:
         _serve(AttachedExecutor(compiled), compiled, tasks, results, worker_id)
     finally:
@@ -232,6 +318,22 @@ def _spawn_worker_main(worker_id: int, descriptor, tasks, results) -> None:
 # ----------------------------------------------------------------------
 # parent-side pool
 # ----------------------------------------------------------------------
+
+
+def _stop_process(process, *, join_timeout: float) -> None:
+    """Stop one worker with escalation: join → terminate → kill.
+
+    SIGTERM is not delivered to a SIGSTOP'd process until it is continued,
+    so ``terminate()`` alone can leave a stopped worker alive forever; the
+    final ``kill()`` (SIGKILL) reaps even those.
+    """
+    process.join(timeout=join_timeout)
+    if process.is_alive():
+        process.terminate()
+        process.join(timeout=join_timeout)
+    if process.is_alive():
+        process.kill()
+        process.join(timeout=join_timeout)
 
 
 def _reap(processes: List, task_queue) -> None:
@@ -246,9 +348,22 @@ def _reap(processes: List, task_queue) -> None:
         except Exception:
             break
     for process in processes:
-        process.join(timeout=1.0)
-        if process.is_alive():
-            process.terminate()
+        _stop_process(process, join_timeout=1.0)
+
+
+class _PendingTask:
+    """Parent-side record of one dispatched (or retry-dormant) task."""
+
+    __slots__ = ("slot", "kind", "payload", "attempts", "deadline", "owner", "not_before")
+
+    def __init__(self, slot: int, kind: str, payload) -> None:
+        self.slot = slot
+        self.kind = kind
+        self.payload = payload
+        self.attempts = 0
+        self.deadline = 0.0
+        self.owner: Optional[int] = None  # worker id after the ack
+        self.not_before: Optional[float] = None  # backoff gate while dormant
 
 
 class WorkerPool:
@@ -257,8 +372,8 @@ class WorkerPool:
     Created lazily by :meth:`MatchSession.match_many` (or explicitly via
     :meth:`MatchSession.worker_pool`); workers survive across batches, so
     the fork/attach cost is paid once per snapshot version instead of once
-    per call.  All scheduling is version-checked: see the module docstring
-    for the staleness and crash contracts.
+    per call.  All scheduling is version-checked and deadline-guarded: see
+    the module docstring for the staleness, crash and hang contracts.
     """
 
     def __init__(
@@ -268,15 +383,19 @@ class WorkerPool:
         max_workers: Optional[int] = None,
         start_method: Optional[str] = None,
         task_timeout: float = DEFAULT_TASK_TIMEOUT,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if start_method is None:
             start_method = "fork" if fork_available() else "spawn"
         if start_method not in multiprocessing.get_all_start_methods():
             raise ValueError(f"start method {start_method!r} not available")
+        if task_timeout <= 0:
+            raise ValueError(f"task_timeout must be positive, got {task_timeout}")
         self._session = session
         self._method = start_method
         self._max_workers = max_workers
         self._task_timeout = task_timeout
+        self._retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self._processes: List = []
         self._task_queue = None
         self._result_queue = None
@@ -285,6 +404,10 @@ class WorkerPool:
         self._next_task_id = 0
         self._broken = False
         self._finalizer = None
+        #: ``False`` when the last ``run_units`` batch needed any failure
+        #: handling (broken pool, serial fallback, exhausted retries) — the
+        #: signal the session's circuit breaker consumes.
+        self.last_batch_clean = True
         # observability
         self._workers_spawned = 0
         self._repin_count = 0
@@ -293,6 +416,18 @@ class WorkerPool:
         self._worker_crashes = 0
         self._serial_fallbacks = 0
         self._stale_tasks = 0
+        # reliability counters
+        self._retries = 0
+        self._deadline_kills = 0
+        self._quarantined = 0
+        self._respawns = 0
+        self._corrupt_results = 0
+        self._malformed_tasks = 0
+        self._worker_errors = 0
+        self._lost_tasks = 0
+        self._exhausted_tasks = 0
+        self._budget_stops = 0
+        self._fault_notes: Dict[str, int] = {}
 
     # -- lifecycle ------------------------------------------------------
 
@@ -350,41 +485,44 @@ class WorkerPool:
             return False
         return True
 
-    def _start_workers(self, version: int) -> None:
+    def _make_worker(self, context, worker_id: int):
+        """Start one worker process for *worker_id* on the live queues."""
         global _WORKER_SESSION
-        context = multiprocessing.get_context(self._method)
-        self._task_queue = context.SimpleQueue()
-        self._result_queue = context.Queue()
-        count = self.target_workers()
-        processes = []
         if self._method == "fork":
             _WORKER_SESSION = self._session
             try:
-                for worker_id in range(count):
-                    process = context.Process(
-                        target=_fork_worker_main,
-                        args=(worker_id, self._task_queue, self._result_queue),
-                        daemon=True,
-                    )
-                    process.start()
-                    processes.append(process)
-            finally:
-                _WORKER_SESSION = None
-        else:
-            self._shared_handle = self._session._compiled.export_shared()
-            for worker_id in range(count):
                 process = context.Process(
-                    target=_spawn_worker_main,
-                    args=(
-                        worker_id,
-                        self._shared_handle.descriptor,
-                        self._task_queue,
-                        self._result_queue,
-                    ),
+                    target=_fork_worker_main,
+                    args=(worker_id, self._task_queue, self._result_queue),
                     daemon=True,
                 )
                 process.start()
-                processes.append(process)
+            finally:
+                _WORKER_SESSION = None
+        else:
+            process = context.Process(
+                target=_spawn_worker_main,
+                args=(
+                    worker_id,
+                    self._shared_handle.descriptor,
+                    self._task_queue,
+                    self._result_queue,
+                ),
+                daemon=True,
+            )
+            process.start()
+        return process
+
+    def _start_workers(self, version: int) -> None:
+        context = multiprocessing.get_context(self._method)
+        self._task_queue = context.SimpleQueue()
+        self._result_queue = context.Queue()
+        if self._method != "fork":
+            self._shared_handle = self._session._compiled.export_shared()
+        count = self.target_workers()
+        processes = []
+        for worker_id in range(count):
+            processes.append(self._make_worker(context, worker_id))
         self._processes = processes
         self._pinned_version = version
         self._broken = False
@@ -392,6 +530,31 @@ class WorkerPool:
         self._finalizer = weakref.finalize(
             self, _reap, self._processes, self._task_queue
         )
+
+    def _respawn_worker(self, worker_id: int) -> bool:
+        """Replace the (dead or quarantined) worker at *worker_id* mid-batch."""
+        if not self._processes or self._task_queue is None:
+            return False
+        try:
+            context = multiprocessing.get_context(self._method)
+            process = self._make_worker(context, worker_id)
+        except Exception:  # pragma: no cover - fork/spawn failure
+            return False
+        self._processes[worker_id] = process
+        self._workers_spawned += 1
+        self._respawns += 1
+        return True
+
+    def _quarantine_worker(self, worker_id: int) -> None:
+        """SIGKILL the unresponsive worker at *worker_id* and replace it."""
+        if worker_id < 0 or worker_id >= len(self._processes):
+            return
+        process = self._processes[worker_id]
+        if process.is_alive():
+            process.kill()
+        process.join(timeout=1.0)
+        self._quarantined += 1
+        self._respawn_worker(worker_id)
 
     def _stop_workers(self) -> None:
         if self._finalizer is not None:
@@ -404,10 +567,7 @@ class WorkerPool:
                 except Exception:  # pragma: no cover - queue already broken
                     break
         for process in self._processes:
-            process.join(timeout=2.0)
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=1.0)
+            _stop_process(process, join_timeout=1.0)
         self._processes = []
         for q in (self._task_queue, self._result_queue):
             if q is not None:
@@ -436,80 +596,262 @@ class WorkerPool:
 
     # -- dispatch -------------------------------------------------------
 
-    def _submit(self, kind: str, payload) -> int:
+    def _dispatch(self, task: _PendingTask) -> int:
+        """Put *task* on the wire; returns the task id it travels under."""
         task_id = self._next_task_id
         self._next_task_id += 1
         # The expected version is the *session's* current one, not the
         # pool's pin: a snapshot patched after the workers were spawned must
         # make them answer ``stale``, never silently serve the old graph.
-        self._task_queue.put(
-            (task_id, kind, self._session._compiled.version, payload)
-        )
+        expected_version = self._session._compiled.version
+        wire = (task_id, task.kind, expected_version, task.payload)
+        if _faults.ENABLED:
+            if _faults.should_fire("snapshot.skew"):
+                # Simulated mid-batch snapshot skew: the task claims a
+                # version the workers cannot hold, so it comes back stale.
+                wire = (task_id, task.kind, expected_version + 1, task.payload)
+            if _faults.should_fire("task.corrupt"):
+                # Simulated wire corruption: the worker receives garbage and
+                # the real unit is lost until the deadline re-dispatches it.
+                self._task_queue.put((_faults.CORRUPT,))
+                task.attempts += 1
+                task.owner = None
+                task.not_before = None
+                task.deadline = time.monotonic() + self._task_timeout
+                return task_id
+        self._task_queue.put(wire)
+        task.attempts += 1
+        task.owner = None
+        task.not_before = None
+        task.deadline = time.monotonic() + self._task_timeout
         return task_id
 
-    def _collect(self, pending: Dict[int, int], sink: List[Optional[object]]) -> bool:
-        """Drain results for *pending* ``{task_id: slot}`` into *sink*.
+    def _valid_payload(self, kind: str, payload) -> bool:
+        """Parent-side shape check: corrupted results must not reach callers."""
+        if kind == "unit":
+            return isinstance(payload, MatchResult)
+        if kind == "balls":
+            return isinstance(payload, list)
+        return False
 
-        Returns ``False`` when the pool broke (dead worker / queue failure);
-        whatever arrived before the break is already in *sink*, the rest
-        stays ``None`` for the caller's serial fallback.  ``stale`` and
-        ``error`` statuses leave their slot ``None`` without breaking the
-        pool.
+    def _retry_or_fail(
+        self, task_id: int, task: _PendingTask, pending: Dict[int, _PendingTask], now: float
+    ) -> None:
+        """Schedule a backoff retry for *task*, or give it up to the fallback."""
+        pending.pop(task_id, None)
+        if task.attempts <= self._retry_policy.max_retries:
+            self._retries += 1
+            task.owner = None
+            task.not_before = now + self._retry_policy.backoff(task.attempts - 1)
+            # Dormant tasks wait under their old id; the sweep re-dispatches
+            # them (under a fresh id) once the backoff gate opens.
+            pending[task_id] = task
+        else:
+            self._exhausted_tasks += 1
+
+    def _check_liveness(self, pending: Dict[int, _PendingTask], now: float) -> bool:
+        """Detect dead workers, respawn them, re-deadline their orphans.
+
+        Returns ``False`` when no worker could be kept alive (pool broken).
+        """
+        any_alive = False
+        for worker_id, process in enumerate(self._processes):
+            if process.is_alive():
+                any_alive = True
+                continue
+            process.join(timeout=0)  # reap the zombie
+            self._worker_crashes += 1
+            # The crashed worker's acked tasks will never answer; pull their
+            # deadlines in so the sweep re-dispatches them immediately.
+            for task in pending.values():
+                if task.owner == worker_id and task.not_before is None:
+                    task.deadline = min(task.deadline, now)
+                    task.owner = None
+            if self._respawn_worker(worker_id):
+                any_alive = True
+        if not any_alive:
+            self._broken = True
+        return any_alive
+
+    def _sweep_deadlines(self, pending: Dict[int, _PendingTask], now: float) -> bool:
+        """Re-dispatch due retries; kill owners of expired tasks.
+
+        Returns ``False`` when the pool stopped making progress entirely
+        (every retry path exhausted without an ack — e.g. all workers
+        SIGSTOP'd): the caller breaks the pool and falls back serially.
+        """
+        for task_id, task in list(pending.items()):
+            if task.not_before is not None:
+                if now >= task.not_before:
+                    pending.pop(task_id, None)
+                    pending[self._dispatch(task)] = task
+                continue
+            if now <= task.deadline:
+                continue
+            # Expired.  Attribute it: a live owner is hung — quarantine it.
+            if task.owner is not None:
+                self._deadline_kills += 1
+                self._quarantine_worker(task.owner)
+            else:
+                self._lost_tasks += 1
+                if task.attempts > self._retry_policy.max_retries:
+                    # Never acked and out of retries: the queue (or every
+                    # worker) is stalled; stop feeding it.
+                    return False
+            self._retry_or_fail(task_id, task, pending, now)
+        return True
+
+    def _next_wakeup(self, pending: Dict[int, _PendingTask], now: float) -> float:
+        """Blocking-get timeout until the nearest deadline/backoff event."""
+        horizon = now + _MAX_POLL
+        for task in pending.values():
+            event = task.not_before if task.not_before is not None else task.deadline
+            if event < horizon:
+                horizon = event
+        return max(0.005, horizon - now)
+
+    def _collect(
+        self,
+        pending: Dict[int, _PendingTask],
+        sink: List[Optional[object]],
+        budget: Optional[BatchBudget] = None,
+    ) -> bool:
+        """Drain results for *pending* into *sink* (indexed by task slot).
+
+        Runs the full resilience loop: acks arm per-task deadlines, expired
+        deadlines kill hung owners and re-dispatch with backoff, dead
+        workers are respawned mid-batch, corrupted payloads are rejected
+        and retried.  Returns ``False`` when the pool broke or the *budget*
+        expired; whatever completed is already in *sink* and the rest stays
+        ``None`` for the caller (serial fallback, or a partial-batch
+        report).  ``stale`` answers leave their slot ``None`` without
+        breaking the pool.
         """
         while pending:
+            if budget is not None and budget.expired():
+                self._budget_stops += 1
+                return False
+            now = time.monotonic()
+            timeout = self._next_wakeup(pending, now)
+            if budget is not None:
+                remaining = budget.remaining()
+                if remaining is not None:
+                    timeout = min(timeout, max(0.005, remaining))
+            item = None
             try:
-                item = self._result_queue.get(timeout=self._task_timeout)
-                if _sanitize.ENABLED:
-                    _sanitize.pool_result(item)
-                worker_id, task_id, status, payload = item
+                item = self._result_queue.get(timeout=timeout)
             except queue_module.Empty:
-                dead = sum(1 for p in self._processes if not p.is_alive())
-                if dead:
-                    self._worker_crashes += dead
-                    self._broken = True
-                    return False
-                continue
+                pass
             except _sanitize.SanitizeError:
                 raise
             except Exception:  # pragma: no cover - queue torn down under us
                 self._broken = True
                 return False
-            slot = pending.pop(task_id, None)
-            if slot is None:
+            now = time.monotonic()
+            if item is not None:
+                if _sanitize.ENABLED:
+                    # A malformed tuple is an engine invariant violation:
+                    # raise it out of the retry loop, never swallow it.
+                    _sanitize.pool_result(item)
+                try:
+                    worker_id, task_id, status, payload = item
+                except (TypeError, ValueError):
+                    self._corrupt_results += 1
+                    continue
+                if status == "ack":
+                    task = pending.get(task_id)
+                    if task is not None and task.not_before is None:
+                        task.owner = worker_id
+                        task.deadline = now + self._task_timeout
+                    continue
+                if status == "fault":
+                    if isinstance(payload, str):
+                        self._fault_notes[payload] = (
+                            self._fault_notes.get(payload, 0) + 1
+                        )
+                    continue
+                if status == "malformed":
+                    self._malformed_tasks += 1
+                    continue
+                task = pending.get(task_id)
+                if task is None or task.not_before is not None:
+                    # Unknown id, or a dormant retry answered late by its
+                    # original worker: accept the late answer if it is one.
+                    if (
+                        task is not None
+                        and status == "ok"
+                        and self._valid_payload(task.kind, payload)
+                    ):
+                        pending.pop(task_id, None)
+                        sink[task.slot] = payload
+                    continue
+                if status == "ok":
+                    if self._valid_payload(task.kind, payload):
+                        pending.pop(task_id, None)
+                        sink[task.slot] = payload
+                        self._per_worker_executed[worker_id] = (
+                            self._per_worker_executed.get(worker_id, 0) + 1
+                        )
+                    else:
+                        self._corrupt_results += 1
+                        self._retry_or_fail(task_id, task, pending, now)
+                elif status == "stale":
+                    self._stale_tasks += 1
+                    pending.pop(task_id, None)
+                elif status == "error":
+                    self._worker_errors += 1
+                    self._retry_or_fail(task_id, task, pending, now)
                 continue
-            if status == "ok":
-                sink[slot] = payload
-                self._per_worker_executed[worker_id] = (
-                    self._per_worker_executed.get(worker_id, 0) + 1
-                )
-            elif status == "stale":
-                self._stale_tasks += 1
+            # Nothing arrived inside the window: liveness + deadline sweep.
+            if not self._check_liveness(pending, now):
+                return False
+            if not self._sweep_deadlines(pending, now):
+                self._broken = True
+                for worker_id in range(len(self._processes)):
+                    process = self._processes[worker_id]
+                    if process.is_alive():
+                        process.kill()
+                        process.join(timeout=1.0)
+                        self._quarantined += 1
+                return False
         return True
 
     def run_units(
-        self, units: Sequence[Tuple["Pattern", "QueryPlan"]]
-    ) -> List[MatchResult]:
+        self,
+        units: Sequence[Tuple["Pattern", "QueryPlan"]],
+        *,
+        budget: Optional[BatchBudget] = None,
+    ) -> List[Optional[MatchResult]]:
         """Execute the planned *units*, in order, with serial safety net.
 
         Every unit is answered: pooled when possible, serially in the
         parent for anything the pool could not deliver (pool down, stale
-        version, worker crash or error).
+        version, worker crash/hang, exhausted retries).  With a *budget*,
+        slots still unanswered at expiry stay ``None`` — the session turns
+        those into a :class:`~repro.exceptions.PartialBatchError` instead
+        of burning past the deadline.
         """
         results: List[Optional[MatchResult]] = [None] * len(units)
         if units and self.ensure():
-            pending: Dict[int, int] = {}
+            pending: Dict[int, _PendingTask] = {}
             try:
                 for slot, unit in enumerate(units):
-                    pending[self._submit("unit", unit)] = slot
+                    task = _PendingTask(slot, "unit", unit)
+                    pending[self._dispatch(task)] = task
             except Exception:  # pragma: no cover - submission failure
                 self._broken = True
             self._queue_depth_hwm = max(self._queue_depth_hwm, len(pending))
-            self._collect(pending, results)
+            self._collect(pending, results, budget)
         session = self._session
+        batch_fallbacks = 0
         for slot, (pattern, plan) in enumerate(units):
             if results[slot] is None:
+                if budget is not None and budget.expired():
+                    continue
                 results[slot] = session._execute(pattern, plan)
                 self._serial_fallbacks += 1
+                batch_fallbacks += 1
+        self.last_batch_clean = not self._broken and batch_fallbacks == 0
         return results
 
     def run_balls(
@@ -527,10 +869,11 @@ class WorkerPool:
         chunk = max(1, -(-len(sources) // (workers * chunks_per_worker)))
         parts = [sources[i : i + chunk] for i in range(0, len(sources), chunk)]
         sink: List[Optional[object]] = [None] * len(parts)
-        pending: Dict[int, int] = {}
+        pending: Dict[int, _PendingTask] = {}
         try:
             for slot, part in enumerate(parts):
-                pending[self._submit("balls", (bound, list(part)))] = slot
+                task = _PendingTask(slot, "balls", (bound, list(part)))
+                pending[self._dispatch(task)] = task
         except Exception:  # pragma: no cover - submission failure
             self._broken = True
             return None
@@ -559,6 +902,23 @@ class WorkerPool:
             "worker_crashes": self._worker_crashes,
             "serial_fallbacks": self._serial_fallbacks,
             "stale_tasks": self._stale_tasks,
+        }
+
+    def reliability_stats(self) -> Dict[str, object]:
+        """The resilience-layer counters (fed into ``session.stats()``)."""
+        return {
+            "retries": self._retries,
+            "deadline_kills": self._deadline_kills,
+            "quarantined": self._quarantined,
+            "respawns": self._respawns,
+            "worker_crashes": self._worker_crashes,
+            "corrupt_results": self._corrupt_results,
+            "malformed_tasks": self._malformed_tasks,
+            "worker_errors": self._worker_errors,
+            "lost_tasks": self._lost_tasks,
+            "exhausted_tasks": self._exhausted_tasks,
+            "budget_stops": self._budget_stops,
+            "worker_fault_notes": dict(self._fault_notes),
         }
 
     def __repr__(self) -> str:

@@ -51,6 +51,7 @@ from repro.distance.oracle import (
 )
 from repro.engine.cache import DEFAULT_RESULT_CACHE_SIZE, ResultCache
 from repro.engine.parallel import WorkerPool, fork_available
+from repro.exceptions import PartialBatchError
 from repro.engine.planner import (
     STRATEGY_BOUNDED,
     STRATEGY_INCREMENTAL,
@@ -66,6 +67,8 @@ from repro.matching.bounded import candidate_bits, refine_bits_to_fixpoint
 from repro.matching.incremental import IncrementalMatcher
 from repro.matching.match_result import MatchResult
 from repro.matching.simulation import ADJACENCY_ORACLE
+from repro.reliability import faults as _faults
+from repro.reliability.resilience import BatchBudget, CircuitBreaker, RetryPolicy
 
 __all__ = ["MatchSession"]
 
@@ -114,6 +117,16 @@ class MatchSession:
     result_cache_size, bits_cache_size, row_cache_size:
         Caps for the result cache, the shared ball-bitset LRU and the
         oracle's dense row LRU (``None`` where accepted = unbounded).
+    breaker:
+        The session's :class:`~repro.reliability.resilience.CircuitBreaker`
+        guarding the worker-pool path of :meth:`match_many` (default: trip
+        after 3 consecutive failed pooled batches, 30 s cool-down, one
+        half-open probe to recover).  While open, batches that would have
+        used the pool run serially and are counted as *degraded*.
+    retry_policy:
+        The :class:`~repro.reliability.resilience.RetryPolicy` the worker
+        pool applies to lost tasks (crash, hang, corruption); ``None``
+        uses the pool's default (2 retries, exponential backoff + jitter).
 
     Examples
     --------
@@ -134,6 +147,8 @@ class MatchSession:
         bits_cache_size: int = DEFAULT_BITS_CACHE_SIZE,
         row_cache_size: Optional[int] = DEFAULT_ROW_CACHE_SIZE,
         edge_cache_size: Optional[int] = DEFAULT_EDGE_CACHE_SIZE,
+        breaker: Optional[CircuitBreaker] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self._graph = graph
         self._on_cyclic = on_cyclic
@@ -156,6 +171,10 @@ class MatchSession:
         self._forked_queries = 0
         self._intra_queries = 0
         self._pool: Optional[WorkerPool] = None
+        self._breaker = breaker if breaker is not None else CircuitBreaker()
+        self._retry_policy = retry_policy
+        self._degraded_batches = 0
+        self._budget_exceeded = 0
         self._compiled: CompiledGraph = compile_graph(graph)
         self._compiled.add_patch_listener(self._on_snapshot_patched)
 
@@ -305,6 +324,7 @@ class MatchSession:
         *,
         parallel: Optional[bool] = None,
         max_workers: Optional[int] = None,
+        time_budget: Optional[float] = None,
     ) -> List[MatchResult]:
         """Match a whole pattern workload over the shared read-only snapshot.
 
@@ -313,6 +333,12 @@ class MatchSession:
         **persistent** :class:`~repro.engine.parallel.WorkerPool` — workers
         spawned once (fork copy-on-write, or shared-memory attach on spawn
         platforms) that keep their ball/seed memos warm across batches.
+
+        The pool path is guarded by the session's circuit breaker: after
+        repeated pool failures the breaker opens and batches degrade to
+        serial execution for a cool-down window (counted in
+        ``stats()["reliability"]["degraded_batches"]``), with a half-open
+        probe batch to recover.
 
         Parameters
         ----------
@@ -324,8 +350,14 @@ class MatchSession:
         max_workers:
             Pool size cap (default: CPU count); changing it across calls
             respawns the pool at the new size.
+        time_budget:
+            Wall-clock seconds this batch may take.  When the budget runs
+            out before every query completed, the batch stops and raises
+            :class:`~repro.exceptions.PartialBatchError` carrying the
+            partial result list instead of hanging.  ``None`` = unlimited.
         """
         patterns = list(patterns)
+        budget = BatchBudget(time_budget) if time_budget is not None else None
         results: List[Optional[MatchResult]] = [None] * len(patterns)
         pending: Dict[Tuple[str, int, str], List[int]] = {}
         pending_units: List[Tuple[Pattern, QueryPlan]] = []
@@ -355,37 +387,77 @@ class MatchSession:
                 )
             else:
                 use_pool = bool(parallel)
+            if use_pool and not self._breaker.allow():
+                use_pool = False
+                self._degraded_batches += 1
             if use_pool:
                 pool = self.worker_pool(max_workers=max_workers)
-                computed = pool.run_units(pending_units)
+                computed = pool.run_units(pending_units, budget=budget)
                 self._parallel_batches += 1
                 self._forked_queries += len(pending_units)
+                if pool.last_batch_clean:
+                    self._breaker.record_success()
+                else:
+                    self._breaker.record_failure()
             else:
-                computed = [
-                    self._execute(pattern, plan) for pattern, plan in pending_units
-                ]
+                computed = []
+                for pattern, plan in pending_units:
+                    if budget is not None and budget.expired():
+                        computed.append(None)
+                        continue
+                    computed.append(self._execute(pattern, plan))
             for (key, indices), result in zip(pending.items(), computed):
+                if result is None:
+                    continue
                 self._cache.put(key, result)
                 for index in indices:
                     results[index] = result
+        if budget is not None:
+            completed = sum(1 for result in results if result is not None)
+            if completed < len(results):
+                self._budget_exceeded += 1
+                raise PartialBatchError(
+                    f"batch time budget of {time_budget}s expired with "
+                    f"{completed}/{len(results)} queries complete",
+                    results=results,
+                    completed=completed,
+                )
         return results
 
-    def worker_pool(self, *, max_workers: Optional[int] = None) -> WorkerPool:
+    def worker_pool(
+        self,
+        *,
+        max_workers: Optional[int] = None,
+        task_timeout: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        start_method: Optional[str] = None,
+    ) -> WorkerPool:
         """The session's persistent worker pool (created on first use).
 
         Workers are not spawned here — that happens on the first dispatch —
-        so holding a pool object is free.  Passing a *max_workers* different
-        from the current pool's cap shuts the old pool down and builds a new
-        one at the requested size.
+        so holding a pool object is free.  Passing a *max_workers*,
+        *task_timeout* or *start_method* different from the current pool's
+        shuts the old pool down and builds a new one with the requested
+        configuration.
         """
         pool = self._pool
         if pool is not None and (
-            max_workers is not None and max_workers != pool._max_workers
+            (max_workers is not None and max_workers != pool._max_workers)
+            or (task_timeout is not None and task_timeout != pool._task_timeout)
+            or (start_method is not None and start_method != pool.start_method)
         ):
             pool.shutdown()
             pool = None
         if pool is None:
-            pool = WorkerPool(self, max_workers=max_workers)
+            kwargs = {}
+            if task_timeout is not None:
+                kwargs["task_timeout"] = task_timeout
+            if start_method is not None:
+                kwargs["start_method"] = start_method
+            policy = retry_policy if retry_policy is not None else self._retry_policy
+            if policy is not None:
+                kwargs["retry_policy"] = policy
+            pool = WorkerPool(self, max_workers=max_workers, **kwargs)
             self._pool = pool
         return pool
 
@@ -588,8 +660,24 @@ class MatchSession:
     # bookkeeping
     # ------------------------------------------------------------------
 
+    @property
+    def breaker(self) -> CircuitBreaker:
+        """The circuit breaker guarding this session's pool path."""
+        return self._breaker
+
     def stats(self) -> Dict[str, object]:
         """Counters for tests, benchmarks and the CLI report."""
+        plan = _faults.active_plan()
+        reliability: Dict[str, object] = {
+            "faults_armed": plan.to_env() if plan is not None else None,
+            "injections": _faults.counters(),
+            "breaker": self._breaker.stats(),
+            "degraded_batches": self._degraded_batches,
+            "budget_exceeded": self._budget_exceeded,
+            "cache_pressure_sheds": self._cache.pressure_sheds,
+        }
+        if self._pool is not None:
+            reliability.update(self._pool.reliability_stats())
         return {
             "snapshot_version": self._compiled.version,
             "cache_hits": self._cache.hits,
@@ -602,6 +690,7 @@ class MatchSession:
             "intra_queries": self._intra_queries,
             "incremental_matchers": len(self._matchers),
             "pool": self._pool.stats() if self._pool is not None else None,
+            "reliability": reliability,
         }
 
     def close(self) -> None:

@@ -52,6 +52,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Set, 
 
 from repro.analysis import sanitize as _sanitize
 from repro.exceptions import NodeNotFoundError
+from repro.reliability import faults as _faults
 from repro.graph.datagraph import DataGraph, NodeId
 from repro.graph.predicates import Predicate
 
@@ -829,6 +830,12 @@ class CompiledGraph:
         the mappings and makes the snapshot unusable.
         """
         from multiprocessing import shared_memory
+
+        if _faults.ENABLED and _faults.should_fire("attach.fail"):
+            raise OSError(
+                "injected fault: attach.fail — simulated shared-memory "
+                "attach failure"
+            )
 
         segments: List[object] = []
         views: Dict[str, memoryview] = {}

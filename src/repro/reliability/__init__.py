@@ -1,0 +1,73 @@
+"""Reliability engineering for the execution engine.
+
+Three layers, from the bottom up:
+
+* :mod:`repro.reliability.faults` — the deterministic, seeded
+  fault-injection harness (named fault points armed via ``REPRO_FAULTS`` or
+  the :class:`FaultPlan` API) the engine's failure paths are instrumented
+  with;
+* :mod:`repro.reliability.resilience` — the policy objects the execution
+  layer consults on those paths: :class:`RetryPolicy` (bounded retries,
+  exponential backoff + jitter), :class:`CircuitBreaker` (degrade to serial
+  after repeated pool failures, half-open probe to recover) and
+  :class:`BatchBudget` (partial-batch errors instead of hangs);
+* :mod:`repro.reliability.chaos` — the chaos runner replaying seeded fault
+  schedules over real workloads and asserting pooled results stay identical
+  to serial execution (``repro chaos`` on the command line).
+
+``faults`` and ``resilience`` are stdlib-only and safe to import from the
+engine's core; ``chaos`` imports the engine and is therefore loaded lazily.
+"""
+
+from __future__ import annotations
+
+from repro.reliability.faults import (
+    CORRUPT,
+    FAULT_POINTS,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    active_plan,
+    arm,
+    disarm,
+)
+from repro.reliability.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    BatchBudget,
+    CircuitBreaker,
+    RetryPolicy,
+)
+
+__all__ = [
+    "FAULT_POINTS",
+    "CORRUPT",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "arm",
+    "disarm",
+    "active_plan",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "BatchBudget",
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
+    "ChaosReport",
+    "DEFAULT_CHAOS_PLAN",
+    "run_chaos",
+]
+
+_LAZY = {"ChaosReport", "DEFAULT_CHAOS_PLAN", "run_chaos"}
+
+
+def __getattr__(name: str):
+    # chaos imports the engine (which imports this package): load it on
+    # first use instead of at import time to keep the core dependency-free.
+    if name in _LAZY:
+        from repro.reliability import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,219 @@
+"""The chaos runner: seeded fault schedules over real workloads.
+
+A chaos run is the dynamic counterpart of the static sanitizer: it arms a
+seeded :class:`~repro.reliability.faults.FaultPlan`, drives a pooled
+``match_many`` workload (optionally mutating the graph between rounds so
+the staleness/repin machinery is exercised too), and asserts the **ground
+truth** — pooled results under arbitrary injected failures must be
+*identical* to serial execution with no faults armed.  Any divergence is a
+correctness bug in the resilience layer, not a flake.
+
+:func:`run_chaos` is the library entry point (the ``repro chaos`` CLI
+subcommand and the chaos test suite both call it); it returns a
+:class:`ChaosReport` with the equivalence verdict and every reliability
+counter the run produced.
+
+Determinism: the parent's fault schedule is a pure function of the plan
+seed (plus the round index, mixed in as the RNG salt).  Worker-side fires
+additionally depend on which worker picked up which task — scheduling the
+OS controls — so *which* fault fires *where* can vary across runs, but the
+equivalence invariant must hold for every interleaving; that is the point.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.engine.session import MatchSession
+from repro.graph.datagraph import DataGraph
+from repro.graph.pattern import Pattern
+from repro.matching.bounded import match
+from repro.reliability import faults as _faults
+from repro.reliability.faults import FaultPlan
+from repro.reliability.resilience import CircuitBreaker, RetryPolicy
+
+__all__ = ["DEFAULT_CHAOS_PLAN", "ChaosReport", "run_chaos"]
+
+#: The default chaos schedule: every engine-level fault point at a low
+#: per-evaluation rate with hard fire caps, so a round injects a handful of
+#: failures without degenerating into all-serial execution.  ``worker.hang``
+#: sleeps 2 s — comfortably past the chaos pool's 0.5 s task deadline, so a
+#: hang always exercises the deadline-kill + quarantine path.
+DEFAULT_CHAOS_PLAN = (
+    "worker.crash@0.04#2,"
+    "worker.hang@0.04#2~2,"
+    "queue.stall@0.04#2,"
+    "result.corrupt@0.06#2,"
+    "task.corrupt@0.06#2,"
+    "snapshot.skew@0.08#3,"
+    "cache.pressure@0.2"
+)
+
+
+class ChaosReport:
+    """The outcome of one :func:`run_chaos` invocation."""
+
+    __slots__ = (
+        "seed",
+        "plan",
+        "rounds",
+        "queries",
+        "mismatches",
+        "injections",
+        "reliability",
+        "pool",
+    )
+
+    def __init__(
+        self,
+        seed: int,
+        plan: str,
+        rounds: int,
+        queries: int,
+        mismatches: List[Dict[str, int]],
+        injections: Dict[str, int],
+        reliability: Dict[str, object],
+        pool: Optional[Dict[str, object]],
+    ) -> None:
+        self.seed = seed
+        self.plan = plan
+        self.rounds = rounds
+        self.queries = queries
+        self.mismatches = mismatches
+        self.injections = injections
+        self.reliability = reliability
+        self.pool = pool
+
+    @property
+    def survived(self) -> bool:
+        """``True`` when every pooled result matched its serial baseline."""
+        return not self.mismatches
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "plan": self.plan,
+            "rounds": self.rounds,
+            "queries": self.queries,
+            "survived": self.survived,
+            "mismatches": list(self.mismatches),
+            "injections": dict(self.injections),
+            "reliability": self.reliability,
+            "pool": self.pool,
+        }
+
+    def __repr__(self) -> str:
+        verdict = "survived" if self.survived else f"{len(self.mismatches)} MISMATCHES"
+        return f"<ChaosReport seed={self.seed} rounds={self.rounds} {verdict}>"
+
+
+def _mutate(session: MatchSession, graph: DataGraph, rng: random.Random, ops: int = 2) -> int:
+    """Apply *ops* random edge patches through the session (seeded)."""
+    nodes = list(graph.nodes())
+    applied = 0
+    if len(nodes) < 2:
+        return applied
+    for _ in range(ops):
+        if rng.random() < 0.5:
+            edges = graph.edge_list()
+            if edges:
+                source, target = edges[rng.randrange(len(edges))]
+                if session.patch_edge_delete(source, target):
+                    applied += 1
+                continue
+        source = nodes[rng.randrange(len(nodes))]
+        target = nodes[rng.randrange(len(nodes))]
+        if source != target and not graph.has_edge(source, target):
+            if session.patch_edge_insert(source, target):
+                applied += 1
+    return applied
+
+
+def run_chaos(
+    graph: DataGraph,
+    patterns: Iterable[Pattern],
+    *,
+    seed: int,
+    plan: Union[str, FaultPlan] = DEFAULT_CHAOS_PLAN,
+    rounds: int = 3,
+    workers: int = 2,
+    task_timeout: float = 0.5,
+    start_method: Optional[str] = None,
+    mutate: bool = True,
+    breaker: Optional[CircuitBreaker] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+) -> ChaosReport:
+    """Replay a seeded fault schedule over a pooled workload; verify vs serial.
+
+    Each round arms the plan (the round index salts the RNG streams so
+    rounds diverge deterministically), runs ``match_many(parallel=True)``
+    on a session-owned pool sized *workers* with a tight *task_timeout*,
+    disarms, recomputes every query serially on a throwaway session, and
+    records any result divergence.  With *mutate* (default) the graph is
+    patched between rounds so version-skew and repin paths run under fire.
+
+    *start_method* selects the pool's process start method (``"spawn"``
+    additionally exports the plan through ``REPRO_FAULTS`` so freshly
+    spawned workers arm themselves — fork workers inherit the armed state
+    by copy-on-write).  The default *breaker* never trips, keeping the pool
+    path exercised through every round; pass a real one to study
+    degradation instead.
+    """
+    parsed = plan if isinstance(plan, FaultPlan) else FaultPlan.parse(plan, seed=seed)
+    patterns = list(patterns)
+    rng = random.Random(seed ^ 0x5EED5EED)
+    mismatches: List[Dict[str, int]] = []
+    injections: Dict[str, int] = {}
+    if breaker is None:
+        # Survival runs measure equivalence, not degradation policy: a trip
+        # mid-matrix would silently stop exercising the pool.
+        breaker = CircuitBreaker(failure_threshold=1_000_000_000)
+    session = MatchSession(graph, breaker=breaker, retry_policy=retry_policy)
+    saved_env = os.environ.get("REPRO_FAULTS")
+    try:
+        session.worker_pool(
+            max_workers=workers,
+            task_timeout=task_timeout,
+            start_method=start_method,
+        )
+        for round_index in range(rounds):
+            if mutate and round_index:
+                _mutate(session, graph, rng)
+            _faults.arm(parsed, salt=round_index)
+            os.environ["REPRO_FAULTS"] = parsed.to_env()
+            try:
+                pooled = session.match_many(
+                    patterns, parallel=True, max_workers=workers
+                )
+                for point, fired in _faults.counters().items():
+                    if fired:
+                        injections[point] = injections.get(point, 0) + fired
+            finally:
+                _faults.disarm()
+                if saved_env is None:
+                    os.environ.pop("REPRO_FAULTS", None)
+                else:
+                    os.environ["REPRO_FAULTS"] = saved_env
+            serial = [match(pattern, graph) for pattern in patterns]
+            for query_index, (got, want) in enumerate(zip(pooled, serial)):
+                if got.as_dict() != want.as_dict():
+                    mismatches.append(
+                        {"round": round_index, "query": query_index}
+                    )
+        stats = session.stats()
+        reliability = stats["reliability"]
+        pool_stats = stats["pool"]
+    finally:
+        session.close()
+    return ChaosReport(
+        seed=seed,
+        plan=parsed.to_env(),
+        rounds=rounds,
+        queries=len(patterns),
+        mismatches=mismatches,
+        injections=injections,
+        reliability=reliability,
+        pool=pool_stats,
+    )

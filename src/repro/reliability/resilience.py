@@ -1,0 +1,243 @@
+"""Resilient-execution primitives: retry policy, circuit breaker, budgets.
+
+These are the policy objects the execution layer
+(:mod:`repro.engine.parallel` / :mod:`repro.engine.session`) consults on
+its failure paths:
+
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  deterministic jitter, for tasks a worker lost (crash, hang, corruption);
+* :class:`CircuitBreaker` — a per-session breaker that trips after repeated
+  pool failures and degrades batches to serial execution for a cool-down
+  window, with a half-open probe to recover;
+* :class:`BatchBudget` — a wall-clock budget for one batch, so a batch
+  returns a :class:`~repro.exceptions.PartialBatchError` instead of
+  hanging.
+
+Everything takes an injectable ``clock`` / ``rng`` so the state machines
+are unit-testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Dict, Optional
+
+__all__ = [
+    "RetryPolicy",
+    "CircuitBreaker",
+    "BatchBudget",
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
+]
+
+
+class RetryPolicy:
+    """Bounded retries with exponential backoff and jitter.
+
+    ``max_retries`` counts *re*-dispatches: a task is attempted at most
+    ``1 + max_retries`` times before the caller falls back (serially, in
+    the worker pool's case).  The backoff before retry *n* (0-based) is
+    ``base_delay * 2**n`` capped at ``max_delay``, stretched by up to
+    ``jitter`` (a fraction) of itself so retry storms decorrelate.
+    """
+
+    __slots__ = ("max_retries", "base_delay", "max_delay", "jitter", "_rng")
+
+    def __init__(
+        self,
+        max_retries: int = 2,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        jitter: float = 0.5,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if base_delay < 0 or max_delay < base_delay:
+            raise ValueError(
+                f"need 0 <= base_delay <= max_delay, got {base_delay}/{max_delay}"
+            )
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+        self.max_retries = max_retries
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self._rng = rng if rng is not None else random.Random()
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to wait before retry *attempt* (0-based)."""
+        delay = min(self.max_delay, self.base_delay * (2 ** max(0, attempt)))
+        if self.jitter:
+            delay *= 1.0 + self.jitter * self._rng.random()
+        return delay
+
+    def __repr__(self) -> str:
+        return (
+            f"<RetryPolicy max_retries={self.max_retries} "
+            f"base={self.base_delay}s cap={self.max_delay}s jitter={self.jitter}>"
+        )
+
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Trip after repeated failures; degrade, cool down, probe, recover.
+
+    States:
+
+    * **closed** — normal operation; ``failure_threshold`` *consecutive*
+      failures trip the breaker open;
+    * **open** — :meth:`allow` answers ``False`` (the session degrades the
+      pool path to serial) until ``cooldown`` seconds have passed;
+    * **half-open** — after the cool-down, exactly one probe is allowed
+      through; its success closes the breaker, its failure re-opens it
+      (with a fresh cool-down).
+
+    The ``clock`` is injectable so the whole state machine is testable
+    without sleeping.
+    """
+
+    __slots__ = (
+        "failure_threshold",
+        "cooldown",
+        "_clock",
+        "_state",
+        "_consecutive_failures",
+        "_opened_at",
+        "_probe_inflight",
+        "trips",
+        "probes",
+        "failures",
+        "successes",
+    )
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._state = BREAKER_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_inflight = False
+        self.trips = 0
+        self.probes = 0
+        self.failures = 0
+        self.successes = 0
+
+    @property
+    def state(self) -> str:
+        """The current state (transitions open → half-open on read)."""
+        if self._state == BREAKER_OPEN and self._cooled_down():
+            self._state = BREAKER_HALF_OPEN
+            self._probe_inflight = False
+        return self._state
+
+    def _cooled_down(self) -> bool:
+        return (
+            self._opened_at is not None
+            and self._clock() - self._opened_at >= self.cooldown
+        )
+
+    def allow(self) -> bool:
+        """May the protected path (the worker pool) be used right now?
+
+        In the half-open state only the first caller gets ``True`` (the
+        probe); everyone else stays degraded until the probe reports back.
+        """
+        state = self.state
+        if state == BREAKER_CLOSED:
+            return True
+        if state == BREAKER_HALF_OPEN and not self._probe_inflight:
+            self._probe_inflight = True
+            self.probes += 1
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """The protected path served cleanly: close (from any state)."""
+        self.successes += 1
+        self._consecutive_failures = 0
+        self._state = BREAKER_CLOSED
+        self._opened_at = None
+        self._probe_inflight = False
+
+    def record_failure(self) -> None:
+        """The protected path failed: count, trip when the threshold is hit."""
+        self.failures += 1
+        self._consecutive_failures += 1
+        state = self.state
+        if state == BREAKER_HALF_OPEN or (
+            state == BREAKER_CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._state = BREAKER_OPEN
+            self._opened_at = self._clock()
+            self._probe_inflight = False
+            self.trips += 1
+
+    def stats(self) -> Dict[str, object]:
+        """Counters + state for ``session.stats()["reliability"]["breaker"]``."""
+        return {
+            "state": self.state,
+            "trips": self.trips,
+            "failures": self.failures,
+            "successes": self.successes,
+            "probes": self.probes,
+            "consecutive_failures": self._consecutive_failures,
+        }
+
+    def __repr__(self) -> str:
+        return f"<CircuitBreaker {self.state} trips={self.trips}>"
+
+
+class BatchBudget:
+    """A wall-clock budget for one batch of work.
+
+    ``None`` seconds means unlimited (never expires); the engine treats an
+    expired budget as "stop waiting, report what completed" via
+    :class:`~repro.exceptions.PartialBatchError`.
+    """
+
+    __slots__ = ("seconds", "_clock", "_deadline")
+
+    def __init__(
+        self,
+        seconds: Optional[float],
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if seconds is not None and seconds <= 0:
+            raise ValueError(f"budget seconds must be positive, got {seconds}")
+        self.seconds = seconds
+        self._clock = clock
+        self._deadline = None if seconds is None else clock() + seconds
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left (``None`` = unlimited; never negative)."""
+        if self._deadline is None:
+            return None
+        return max(0.0, self._deadline - self._clock())
+
+    def expired(self) -> bool:
+        return self._deadline is not None and self._clock() >= self._deadline
+
+    def __repr__(self) -> str:
+        if self._deadline is None:
+            return "<BatchBudget unlimited>"
+        return f"<BatchBudget {self.remaining():.3f}s of {self.seconds}s left>"

@@ -260,3 +260,50 @@ class TestQueryCommand:
             assert code == 0
             payload = json.loads(capsys.readouterr().out)
             assert payload["patterns"][0]["match_pairs"] == 2
+
+
+class TestChaosCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.command == "chaos"
+        assert args.seeds == 1 and args.rounds == 2
+        assert args.plan is None and args.graph is None
+
+    def test_chaos_text_report(self, capsys):
+        code = main(
+            [
+                "chaos",
+                "--nodes", "60", "--edges", "180",
+                "--queries", "3",
+                "--rounds", "1",
+                "--plan", "snapshot.skew@0.5#1,cache.pressure@0.5#1",
+                "--no-mutate",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all survived" in out
+        assert "parent injections" in out
+
+    def test_chaos_json_matrix(self, capsys):
+        code = main(
+            [
+                "chaos",
+                "--nodes", "60", "--edges", "180",
+                "--queries", "2",
+                "--rounds", "1",
+                "--seeds", "2",
+                "--plan", "task.corrupt@0.5#1",
+                "--no-mutate",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["survived"] is True
+        assert [run["seed"] for run in payload["runs"]] == [101, 202]
+        assert all(run["survived"] for run in payload["runs"])
+
+    def test_chaos_rejects_bad_plan(self, capsys):
+        with pytest.raises(SystemExit, match="unknown fault point"):
+            main(["chaos", "--plan", "bogus.point", "--rounds", "1"])

@@ -24,7 +24,7 @@ import time
 import pytest
 
 from repro.engine import MatchSession, WorkerPool, fork_available
-from repro.engine.parallel import AttachedExecutor
+from repro.engine.parallel import AttachedExecutor, _PendingTask
 from repro.graph.compiled import CompiledGraph, compile_graph
 from repro.graph.generators import random_data_graph
 from repro.graph.pattern import Pattern
@@ -146,7 +146,10 @@ class TestStaleness:
             assert session._compiled.version != pinned
             units = units_for(session, workload)
             results = [None] * len(units)
-            pending = {pool._submit("unit", unit): slot for slot, unit in enumerate(units)}
+            pending = {}
+            for slot, unit in enumerate(units):
+                task = _PendingTask(slot, "unit", unit)
+                pending[pool._dispatch(task)] = task
             assert pool._collect(pending, results)
             assert results == [None] * len(units)
             assert pool.stats()["stale_tasks"] == len(units)
@@ -236,7 +239,7 @@ class TestLifecycle:
 
 
 class TestCrashSafety:
-    def test_killed_worker_falls_back_to_serial(self, pool_graph, workload):
+    def test_killed_workers_never_surface_to_the_caller(self, pool_graph, workload):
         serial = [match(pattern, pool_graph) for pattern in workload]
         with MatchSession(pool_graph) as session:
             pool = WorkerPool(session, max_workers=2, task_timeout=0.5)
@@ -248,11 +251,100 @@ class TestCrashSafety:
                 assert as_dicts(results) == as_dicts(serial)
                 stats = pool.stats()
                 assert stats["worker_crashes"] >= 1
-                assert stats["serial_fallbacks"] >= 1
-                # The broken pool respawns transparently on the next batch.
+                # The crash was healed — a pre-batch pool restart, a
+                # mid-batch respawn + re-dispatch, or serial fallback;
+                # either way the batch is complete and extra workers were
+                # spawned (or the parent computed) to cover it.
+                reliability = pool.reliability_stats()
+                assert (
+                    stats["workers_spawned"] > 2
+                    or reliability["respawns"] >= 1
+                    or stats["serial_fallbacks"] >= 1
+                )
+                # The pool serves (and is fully staffed) on the next batch.
                 again = pool.run_units(units_for(session, workload))
                 assert as_dicts(again) == as_dicts(serial)
                 assert pool.workers == 2
+
+    def test_stopped_sibling_does_not_stall_the_batch(self, pool_graph, workload):
+        serial = [match(pattern, pool_graph) for pattern in workload]
+        with MatchSession(pool_graph) as session:
+            pool = WorkerPool(session, max_workers=2, task_timeout=0.5)
+            with pool:
+                assert pool.ensure()
+                # SIGSTOP one worker: alive for is_alive(), but unresponsive.
+                victim = pool._processes[0]
+                os.kill(victim.pid, signal.SIGSTOP)
+                try:
+                    start = time.monotonic()
+                    results = pool.run_units(units_for(session, workload))
+                    elapsed = time.monotonic() - start
+                finally:
+                    try:
+                        os.kill(victim.pid, signal.SIGCONT)
+                    except ProcessLookupError:
+                        pass
+                # The live sibling (or the deadline machinery) must carry
+                # the whole batch; the stopped worker must cost at most a
+                # few deadline windows, never a 60 s DEFAULT_TASK_TIMEOUT
+                # stall per task.
+                assert as_dicts(results) == as_dicts(serial)
+                assert elapsed < 30.0
+
+    def test_unresponsive_sole_worker_is_detected_and_bypassed(
+        self, pool_graph, workload
+    ):
+        serial = [match(pattern, pool_graph) for pattern in workload]
+        with MatchSession(pool_graph) as session:
+            pool = WorkerPool(session, max_workers=1, task_timeout=0.5)
+            with pool:
+                assert pool.ensure()
+                # The *only* worker is stopped before dispatch, so every
+                # task is stranded on the queue: the old code looped on
+                # ``_result_queue.get`` forever (worker alive, nothing
+                # arriving).  The deadline path must re-dispatch, exhaust
+                # retries, break the pool and finish the batch serially.
+                victim = pool._processes[0]
+                os.kill(victim.pid, signal.SIGSTOP)
+                start = time.monotonic()
+                results = pool.run_units(units_for(session, workload))
+                elapsed = time.monotonic() - start
+                assert as_dicts(results) == as_dicts(serial)
+                assert elapsed < 30.0
+                reliability = pool.reliability_stats()
+                stats = pool.stats()
+                assert reliability["lost_tasks"] >= 1
+                assert stats["serial_fallbacks"] >= 1
+                assert not pool.last_batch_clean
+                # Breaking the pool SIGKILLed the stopped worker (SIGTERM
+                # would have stayed queued behind the SIGSTOP).
+                victim.join(timeout=5.0)
+                assert not victim.is_alive()
+                # The pool heals on the next batch.
+                again = pool.run_units(units_for(session, workload))
+                assert as_dicts(again) == as_dicts(serial)
+
+    def test_all_workers_stopped_escalated_shutdown_reaps_them(
+        self, pool_graph, workload
+    ):
+        serial = [match(pattern, pool_graph) for pattern in workload]
+        with MatchSession(pool_graph) as session:
+            pool = WorkerPool(session, max_workers=2, task_timeout=0.5)
+            assert pool.ensure()
+            processes = list(pool._processes)
+            for process in processes:
+                os.kill(process.pid, signal.SIGSTOP)
+            # Every worker unresponsive: the batch must still complete
+            # (quarantine kills + respawn, or serial fallback) ...
+            results = pool.run_units(units_for(session, workload))
+            assert as_dicts(results) == as_dicts(serial)
+            # ... and shutdown's join → terminate → kill escalation must
+            # reap even SIGSTOP'd processes (SIGTERM stays queued for a
+            # stopped process; SIGKILL does not).
+            pool.shutdown()
+            for process in processes:
+                process.join(timeout=5.0)
+                assert not process.is_alive()
 
 
 # ----------------------------------------------------------------------
@@ -304,3 +396,95 @@ class TestSharedSnapshot:
                     attached.intern_node("brand-new-node", {"label": "X"})
             finally:
                 attached.shared_handle.close()
+
+
+# ----------------------------------------------------------------------
+# reliability: zombies, attach failure, sanitizer propagation
+# ----------------------------------------------------------------------
+
+
+class TestReliability:
+    def test_no_zombie_children_after_close(self, pool_graph, workload):
+        import multiprocessing
+
+        session = MatchSession(pool_graph)
+        session.match_many(workload, parallel=True, max_workers=2)
+        pool = session._pool
+        processes = list(pool._processes)
+        session.close()
+        # active_children() joins finished processes: none of the pool's
+        # workers may linger there (running or zombie) after close().
+        remaining = {p.pid for p in multiprocessing.active_children()}
+        for process in processes:
+            assert not process.is_alive()
+            assert process.pid not in remaining
+
+    def test_no_zombie_children_after_gc_reap(self, pool_graph, workload):
+        import gc
+        import multiprocessing
+
+        session = MatchSession(pool_graph)
+        pool = WorkerPool(session, max_workers=2)
+        pool.run_units(units_for(session, workload[:2]))
+        processes = list(pool._processes)
+        del pool  # no shutdown(): the finalizer must kill-escalate too
+        gc.collect()
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if not any(p.is_alive() for p in processes):
+                break
+            time.sleep(0.05)
+        remaining = {p.pid for p in multiprocessing.active_children()}
+        for process in processes:
+            assert not process.is_alive()
+            assert process.pid not in remaining
+        session.close()
+
+    def test_attach_failure_mid_start_on_spawn_degrades_to_serial(
+        self, pool_graph, workload, monkeypatch
+    ):
+        from repro.reliability.resilience import RetryPolicy
+
+        serial = [match(pattern, pool_graph) for pattern in workload[:3]]
+        # Spawn workers re-import repro and arm from the environment, so
+        # the attach.fail point fires inside CompiledGraph.attach_shared
+        # during worker startup — the parent must finish the batch serially.
+        monkeypatch.setenv("REPRO_FAULTS", "7:attach.fail")
+        with MatchSession(pool_graph) as session:
+            pool = WorkerPool(
+                session,
+                max_workers=2,
+                start_method="spawn",
+                task_timeout=1.0,
+                retry_policy=RetryPolicy(max_retries=0),
+            )
+            with pool:
+                results = pool.run_units(units_for(session, workload[:3]))
+                assert as_dicts(results) == as_dicts(serial)
+                stats = pool.stats()
+                reliability = pool.reliability_stats()
+                assert stats["serial_fallbacks"] >= 1
+                # The failed attach is observable: either the worker's
+                # fault note arrived before it exited, or its death was
+                # counted as a crash.
+                assert (
+                    reliability["worker_fault_notes"].get("attach.fail", 0) >= 1
+                    or reliability["worker_crashes"] >= 1
+                )
+
+    def test_sanitize_error_propagates_unswallowed(
+        self, pool_graph, workload, monkeypatch
+    ):
+        from repro.analysis import sanitize
+
+        with MatchSession(pool_graph) as session:
+            pool = WorkerPool(session, max_workers=2, task_timeout=5.0)
+            with pool:
+                assert pool.ensure()
+                monkeypatch.setattr(sanitize, "ENABLED", True)
+                # A malformed result on the wire is an engine invariant
+                # violation: the armed sanitizer must raise out of the
+                # retry/deadline loop, not be treated as a retryable fault.
+                pool._result_queue.put((0, 0, "bogus-status", None))
+                with pytest.raises(sanitize.SanitizeError):
+                    pool.run_units(units_for(session, workload[:2]))

@@ -1,0 +1,130 @@
+"""Selectivity-ordered refinement vs seed-ordered refinement.
+
+The cost-based planner (:mod:`repro.engine.planner`) estimates per-node
+candidate cardinalities from the attribute index's popcounts and hands the
+fixpoint kernel an edge order that resolves sink sub-patterns first —
+smallest candidate sets seed the worklist, leaf edges are checked once,
+count-free, in the cheaper direction (reverse ancestor balls when the rare
+side is the child).  None of that matters on a uniform-label graph, where
+every order costs the same; it matters on a **skewed** one, where candidate
+sets differ by orders of magnitude.
+
+The workload here is built to be exactly that regime:
+
+* data — :func:`repro.graph.generators.skewed_label_graph`, a Zipf label
+  distribution (a few dominant labels, a long rare tail);
+* queries — :func:`repro.workloads.patterns.skewed_chain_workload`, chains
+  of *common*-label nodes ending in stars of *rare*-label leaves, so the
+  native ("seed") edge order refines huge sets against each other before
+  the rare leaves ever prune them.
+
+Both sides run the same serial engine on a fresh session (cold caches) —
+the only difference is ``selectivity_order``.  Answers are asserted
+identical first (chaotic iteration converges to the same greatest fixpoint
+in any order).  **Gate: >= 1.3x** (the PR's acceptance bar).
+
+The ratio lands in ``BENCH_planner.json`` at the repo root (see
+``benchmarks/README.md`` for the schema) and in pytest-benchmark's
+``extra_info``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from conftest import best_of
+
+from repro.engine import MatchSession
+from repro.graph.generators import skewed_label_graph
+from repro.workloads.patterns import skewed_chain_workload
+
+NUM_NODES = 20_000
+NUM_EDGES = 60_000
+NUM_LABELS = 40
+SKEW = 1.3
+NUM_PATTERNS = 8
+CHAIN_LENGTH = 3
+STAR_LEAVES = 2
+BOUND = 2
+SEED = 37
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_planner.json"
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = skewed_label_graph(
+        NUM_NODES, NUM_EDGES, num_labels=NUM_LABELS, skew=SKEW, seed=SEED
+    )
+    patterns = skewed_chain_workload(
+        graph,
+        num_patterns=NUM_PATTERNS,
+        chain_length=CHAIN_LENGTH,
+        star_leaves=STAR_LEAVES,
+        bound=BOUND,
+        seed=SEED,
+    )
+    return graph, patterns
+
+
+def _record(benchmark, name: str, seed_s: float, ordered_s: float) -> float:
+    """Attach the ratio to extra_info and write BENCH_planner.json."""
+    speedup = seed_s / ordered_s if ordered_s else float("inf")
+    benchmark.extra_info[f"{name}_seed_order_s"] = round(seed_s, 6)
+    benchmark.extra_info[f"{name}_selectivity_order_s"] = round(ordered_s, 6)
+    benchmark.extra_info[f"{name}_speedup_ordered_over_seed"] = round(speedup, 2)
+
+    payload = {}
+    if RESULTS_PATH.exists():
+        try:
+            payload = json.loads(RESULTS_PATH.read_text())
+        except (ValueError, OSError):
+            payload = {}
+    payload["workload"] = {
+        "num_nodes": NUM_NODES,
+        "num_edges": NUM_EDGES,
+        "num_labels": NUM_LABELS,
+        "skew": SKEW,
+        "num_patterns": NUM_PATTERNS,
+        "chain_length": CHAIN_LENGTH,
+        "star_leaves": STAR_LEAVES,
+        "bound": BOUND,
+        "seed": SEED,
+    }
+    payload.setdefault("ratios", {})[name] = {
+        "seed_order_s": round(seed_s, 6),
+        "selectivity_order_s": round(ordered_s, 6),
+        "speedup_ordered_over_seed": round(speedup, 2),
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return speedup
+
+
+def test_bench_planner_selectivity_order_vs_seed_order(benchmark, setup):
+    """The acceptance gate: ordered refinement >= 1.3x on the skewed workload."""
+    graph, patterns = setup
+
+    def seed_run():
+        with MatchSession(graph, selectivity_order=False) as session:
+            return session.match_many(patterns, parallel=False)
+
+    def ordered_run():
+        with MatchSession(graph) as session:
+            return session.match_many(patterns, parallel=False)
+
+    expected = seed_run()
+    got = ordered_run()
+    # Same greatest fixpoint whatever the order — the plan only changes cost.
+    assert [r.as_dict() for r in got] == [r.as_dict() for r in expected]
+
+    benchmark.pedantic(ordered_run, rounds=1, iterations=1)
+    seed_s = best_of(seed_run, repeats=2)
+    ordered_s = best_of(ordered_run, repeats=2)
+    speedup = _record(benchmark, "skewed_refinement", seed_s, ordered_s)
+    assert speedup >= 1.3, (
+        f"selectivity-ordered refinement only {speedup:.2f}x over seed order "
+        "on the skewed-label workload"
+    )

@@ -74,6 +74,7 @@ from repro.graph import (
 )
 from repro.api import (
     API_VERSION,
+    FactorisedView,
     GraphHandle,
     NodeProjection,
     PreparedQuery,
@@ -111,6 +112,7 @@ __all__ = [
     "to_dsl",
     "ResultView",
     "NodeProjection",
+    "FactorisedView",
     "QuerySyntaxError",
     # graphs & patterns
     "DataGraph",

@@ -58,17 +58,22 @@ def cache_put(cache_name: str, key: object, value: object) -> None:
 
 
 def result_cache_put(key: object, result: object) -> None:
-    """ResultCache keys are ``(fingerprint, snapshot version, strategy)``."""
+    """ResultCache keys are ``(fingerprint, version, strategy[, order])``.
+
+    The trailing order digest was added by the cost-based planner; legacy
+    3-tuple keys (no digest) remain valid.  The snapshot version must stay
+    at index 1 — stale-entry eviction reads it positionally.
+    """
     if (
         not isinstance(key, tuple)
-        or len(key) != 3
+        or len(key) not in (3, 4)
         or not isinstance(key[0], str)
         or not isinstance(key[1], int)
-        or not isinstance(key[2], str)
+        or not all(isinstance(part, str) for part in key[2:])
     ):
         fail(
             f"ResultCache.put: malformed key {key!r}; expected "
-            "(fingerprint: str, version: int, strategy: str)"
+            "(fingerprint: str, version: int, strategy: str[, order: str])"
         )
     from repro.matching.match_result import MatchResult
 
@@ -105,7 +110,9 @@ def edge_memo_hit(entry) -> None:
 
     Entries are ``(parent_static, child_static, survivors, counts)``:
     survivors are a subset of the parent candidates, and exactly the
-    candidates with a positive support count.
+    candidates with a positive support count.  ``counts`` is ``None`` for a
+    count-free entry recorded by a *final* edge check (selectivity-ordered
+    refinement); such entries carry no per-candidate supports to validate.
     """
     if not isinstance(entry, tuple) or len(entry) != 4:
         fail(f"edge memo entry has shape {type(entry).__name__}; expected 4-tuple")
@@ -115,7 +122,7 @@ def edge_memo_hit(entry) -> None:
             "edge memo entry's survivors are not a subset of its parent "
             "candidate bits"
         )
-    if survivors.bit_count() != len(counts):
+    if counts is not None and survivors.bit_count() != len(counts):
         fail(
             f"edge memo entry records {len(counts)} supported candidates "
             f"but {survivors.bit_count()} survivors"

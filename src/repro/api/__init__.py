@@ -9,6 +9,8 @@ This package is the single documented entry point for querying:
   query through the engine session (planner, caches, IncMatch);
 * :class:`ResultView` / :class:`NodeProjection` — lazy result surfaces over
   the kernel's :class:`~repro.matching.match_result.MatchResult`;
+* :class:`FactorisedView` — the factorised (columns + edge certificates)
+  representation of a result, via :meth:`ResultView.factorised`;
 * :class:`QuerySyntaxError` — parser diagnostics with position and hint.
 
 The kernel layers (``repro.graph``, ``repro.matching``, ``repro.engine``)
@@ -29,11 +31,12 @@ deprecated shim for one release.
 from repro.api.builder import Q, QueryLike, as_pattern
 from repro.api.dsl import parse_query, to_dsl
 from repro.api.errors import QuerySyntaxError
+from repro.api.factorised import FactorisedView
 from repro.api.handle import GraphHandle, PreparedQuery, wrap
 from repro.api.results import NodeProjection, ResultView
 
 #: The public API contract version (major, minor).
-API_VERSION = (1, 0)
+API_VERSION = (1, 1)
 
 __all__ = [
     "API_VERSION",
@@ -48,4 +51,5 @@ __all__ = [
     "wrap",
     "ResultView",
     "NodeProjection",
+    "FactorisedView",
 ]

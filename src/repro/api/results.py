@@ -191,6 +191,23 @@ class ResultView:
         """The mapping of :meth:`to_mapping` as a JSON document."""
         return json.dumps(self.to_mapping(), indent=indent, sort_keys=True)
 
+    # -- factorised representation ----------------------------------------
+
+    def factorised(self) -> "FactorisedView":
+        """This result as a :class:`~repro.api.factorised.FactorisedView`.
+
+        Per-node candidate columns plus on-demand edge certificates instead
+        of materialised assignment tuples: ``count_factorised()`` is an
+        ``O(|V_p|)`` product and ``to_rows()`` streams the cross product
+        lazily — the representation of choice when the tuple count is
+        combinatorial (see the module docs of :mod:`repro.api.factorised`).
+        """
+        from repro.api.factorised import FactorisedView
+
+        return FactorisedView(
+            self._pattern, self._result, graph=self._graph, oracle=self._oracle
+        )
+
     # -- result graph ------------------------------------------------------
 
     def graph(self, *, strict: bool = True) -> ResultGraph:

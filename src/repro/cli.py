@@ -130,6 +130,12 @@ def build_parser() -> argparse.ArgumentParser:
     match_parser.add_argument(
         "--result-graph", action="store_true", help="also print the result-graph summary"
     )
+    match_parser.add_argument(
+        "--factorised",
+        action="store_true",
+        help="report the result factorised (per-node columns + O(|Vp|) tuple "
+        "count) instead of enumerating pairs",
+    )
 
     query_parser = subparsers.add_parser(
         "query", help="serve a batch of patterns from one MatchSession"
@@ -346,6 +352,19 @@ def _command_match(args: argparse.Namespace) -> int:
 
     if args.json:
         print(view.to_json(indent=2))
+    elif args.factorised:
+        factorised = view.factorised()
+        if view.is_empty:
+            print("no match: the pattern is not matched by the graph")
+        else:
+            columns = factorised.columns()
+            sizes = " x ".join(str(len(column)) for column in columns.values())
+            print(
+                f"factorised match: {factorised.count_factorised()} "
+                f"assignment tuple(s) ({sizes or '1'})"
+            )
+            for pattern_node, column in columns.items():
+                print(f"  {pattern_node}: {len(column)} candidate(s)")
     elif view.is_empty:
         print("no match: the pattern is not matched by the graph")
     else:

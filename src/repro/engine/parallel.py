@@ -279,6 +279,7 @@ class AttachedExecutor:
             stop_when_empty=True,
             edge_memo=self._edge_memo,
             memo_tag=plan.strategy,
+            edge_order=plan.edge_order or None,
         )
         if any(not bits for bits in mat_bits.values()):
             return MatchResult.empty(pattern_nodes)

@@ -15,19 +15,34 @@ one of three execution strategies, recording *why* in an explainable
 * ``incremental`` — an update stream is attached, so the session maintains
   the match with ``IncMatch`` instead of recomputing it after the updates.
 
+On top of the strategy, the planner is *cost-based*: given the session's
+compiled snapshot it estimates each pattern node's candidate cardinality
+from the popcounts of the ``(attribute, value) -> bitset`` index
+(:meth:`~repro.graph.compiled.CompiledGraph.cardinality` — zero graph
+scans) and orders pattern-edge refinement by selectivity.  Edges whose
+endpoint candidate sets are smallest are refined first, and the order walks
+the strongly connected components of the pattern sinks-first so leaf /
+chain suffixes are resolved once and never re-entered by the fixpoint
+worklist.  The chosen order and the estimates behind it are recorded on
+the plan (`cardinalities`, `edge_order`) and surface in ``explain()``.
+
 The plan also carries the query's cache key: the pattern's canonical
 :meth:`~repro.graph.pattern.Pattern.fingerprint` plus the snapshot version
 the plan was made against, which is what makes the session's result cache
 safe under mutation (a patched or recompiled snapshot has a new version, so
-stale entries can never be served).
+stale entries can never be served).  Plans refined in different edge orders
+are keyed by an order digest as well, so an order-sensitive plan can never
+collide with a seed-ordered one.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.graph.pattern import Pattern
+from repro.graph.statistics import strongly_connected_components
 
 __all__ = [
     "QueryPlan",
@@ -44,6 +59,18 @@ STRATEGY_BOUNDED = "bounded"
 #: IncMatch maintenance of a standing match under an update stream.
 STRATEGY_INCREMENTAL = "incremental"
 
+#: Order digest of a plan refined in the pattern's native edge order.
+SEED_ORDER = "seed"
+
+#: Minimum estimated-cardinality spread (max/min over the pattern's nodes)
+#: before selectivity ordering is applied.  Ordering pays when candidate
+#: sets differ — rare leaves prune huge parents before they are refined
+#: against each other.  On near-uniform estimates it buys nothing, and the
+#: final-edge fast path would check edges against *live* (shrunk) child
+#: sets, making the cross-query edge-seed memo unshareable — exactly the
+#: reuse a batch session/worker pool lives on — so the seed order is kept.
+ORDER_MIN_SKEW = 1.5
+
 
 @dataclass(frozen=True)
 class QueryPlan:
@@ -58,17 +85,26 @@ class QueryPlan:
     max_bound: Optional[int]
     has_unbounded: bool
     reasons: Tuple[str, ...] = field(default_factory=tuple)
+    #: ``(pattern node, estimated candidate count)`` pairs, refinement order.
+    cardinalities: Tuple[Tuple[Any, int], ...] = ()
+    #: The pattern edges in the order the fixpoint kernel seeds them.
+    edge_order: Tuple[Tuple[Any, Any], ...] = ()
+    #: ``"seed"`` or ``"sel:<digest>"`` — part of the cache key.
+    order_digest: str = SEED_ORDER
 
     @property
-    def cache_key(self) -> Tuple[str, int, str]:
-        """``(pattern fingerprint, snapshot version, strategy)``.
+    def cache_key(self) -> Tuple[str, int, str, str]:
+        """``(fingerprint, snapshot version, strategy, order digest)``.
 
         Including the snapshot version means a mutated graph can never be
         answered from a result computed against an older snapshot; including
         the strategy keeps forced graph simulation (which ignores bounds)
-        from colliding with bounded matching of the same pattern.
+        from colliding with bounded matching of the same pattern; including
+        the order digest keeps selectivity-ordered plans from colliding with
+        seed-ordered ones.  (The version stays at index 1 — the result
+        cache's stale-entry eviction reads it positionally.)
         """
-        return (self.fingerprint, self.snapshot_version, self.strategy)
+        return (self.fingerprint, self.snapshot_version, self.strategy, self.order_digest)
 
     def explain(self) -> str:
         """A human-readable account of the planning decision."""
@@ -79,11 +115,67 @@ class QueryPlan:
             f"max bound={bound})",
             f"  strategy: {self.strategy}",
             f"  snapshot version: {self.snapshot_version}",
-            f"  cache key: {self.fingerprint[:12]}…/v{self.snapshot_version}",
+            f"  cache key: {self.fingerprint[:12]}…/v{self.snapshot_version}"
+            f"/{self.order_digest}",
         ]
+        if self.cardinalities:
+            estimates = ", ".join(f"{node}~{count}" for node, count in self.cardinalities)
+            lines.append(f"  estimated candidates (index popcounts): {estimates}")
+        if self.edge_order:
+            order = ", ".join(f"{u}->{v}" for u, v in self.edge_order)
+            lines.append(f"  refinement order: {order}")
         for reason in self.reasons:
             lines.append(f"  - {reason}")
         return "\n".join(lines)
+
+
+def _selectivity_edge_order(
+    pattern: Pattern, estimates: Dict[Any, int]
+) -> Tuple[Tuple[Any, Any], ...]:
+    """Pattern edges ordered for selectivity-first, sinks-first refinement.
+
+    Components of the pattern come out of Tarjan sinks-first (reverse
+    topological order of the condensation), so when the kernel seeds the
+    edges in this order every child that lives in an earlier component is
+    already fully refined — the edge is *final* and is checked once, never
+    re-entered.  Within a component, parents are visited by ascending
+    candidate estimate (smallest sets seed the worklist first) and each
+    parent emits its cross-component edges before its intra-component ones,
+    again sorted by the child's estimate.
+    """
+    component_of: Dict[Any, int] = {}
+    for rank, component in enumerate(strongly_connected_components(pattern)):
+        for node in component:
+            component_of[node] = rank
+
+    def node_key(node: Any) -> Tuple[int, str, str]:
+        return (estimates.get(node, 0), str(node), repr(node))
+
+    order: List[Tuple[Any, Any]] = []
+    seen_components: List[List[Any]] = []
+    # Rebuild components in rank order (Tarjan already emitted them so).
+    by_rank: Dict[int, List[Any]] = {}
+    for node, rank in component_of.items():
+        by_rank.setdefault(rank, []).append(node)
+    for rank in sorted(by_rank):
+        seen_components.append(by_rank[rank])
+    for component in seen_components:
+        members = set(component)
+        for parent in sorted(component, key=node_key):
+            cross = [v for v in pattern.successors(parent) if v not in members]
+            intra = [v for v in pattern.successors(parent) if v in members]
+            for child in sorted(cross, key=node_key):
+                order.append((parent, child))
+            for child in sorted(intra, key=node_key):
+                order.append((parent, child))
+    return tuple(order)
+
+
+def _order_digest(edge_order: Tuple[Tuple[Any, Any], ...]) -> str:
+    if not edge_order:
+        return SEED_ORDER
+    blob = "|".join(f"{u!r}->{v!r}" for u, v in edge_order)
+    return "sel:" + hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]
 
 
 def plan_query(
@@ -93,6 +185,8 @@ def plan_query(
     updates: Optional[Sequence] = None,
     custom_oracle: bool = False,
     force_simulation: bool = False,
+    compiled=None,
+    selectivity_order: bool = True,
 ) -> QueryPlan:
     """Plan one query against a snapshot at *snapshot_version*.
 
@@ -114,6 +208,19 @@ def plan_query(
     force_simulation:
         Plan a graph-simulation query (bounds ignored by definition);
         used by :meth:`MatchSession.simulate`.
+    compiled:
+        The session's :class:`~repro.graph.compiled.CompiledGraph`; when
+        given (and *selectivity_order* is true) the planner estimates
+        per-node candidate cardinalities from the attribute index and
+        orders edge refinement by selectivity — but only when the
+        estimates are actually skewed (spread >= :data:`ORDER_MIN_SKEW`);
+        near-uniform estimates keep the pattern's native ("seed") edge
+        order, which preserves cross-query edge-memo sharing.  Without a
+        snapshot the plan always keeps the seed order.
+    selectivity_order:
+        Disable to plan without cost-based edge ordering even when a
+        compiled snapshot is available (used by the equivalence tests and
+        as an escape hatch).
     """
     reasons = []
     bounds = [pattern.bound(u, v) for u, v in pattern.edges()]
@@ -164,6 +271,42 @@ def plan_query(
                 f"largest finite bound k={max_bound}: bounded balls come from "
                 "the compiled distance oracle (lazy flat BFS, memoised bitsets)"
             )
+
+    cardinalities: Tuple[Tuple[Any, int], ...] = ()
+    edge_order: Tuple[Tuple[Any, Any], ...] = ()
+    if (
+        compiled is not None
+        and selectivity_order
+        and bounds
+        and strategy in (STRATEGY_SIMULATION, STRATEGY_BOUNDED)
+    ):
+        estimates = {
+            node: compiled.cardinality(pattern.predicate(node))
+            for node in pattern.nodes()
+        }
+        lo, hi = min(estimates.values()), max(estimates.values())
+        if lo == 0 or hi >= ORDER_MIN_SKEW * lo:
+            edge_order = _selectivity_edge_order(pattern, estimates)
+            reasons.append(
+                "edge refinement ordered by estimated selectivity (index "
+                "popcounts), sink sub-patterns first: leaves are resolved "
+                "once and never re-entered"
+            )
+        else:
+            reasons.append(
+                "estimated cardinalities are near-uniform "
+                f"(spread {hi}/{lo} < {ORDER_MIN_SKEW}x): seed order kept so "
+                "the cross-query edge-seed memo stays shareable"
+            )
+        ordered_nodes: List[Any] = []
+        for u, v in edge_order:
+            for node in (u, v):
+                if node not in ordered_nodes:
+                    ordered_nodes.append(node)
+        for node in pattern.nodes():
+            if node not in ordered_nodes:
+                ordered_nodes.append(node)
+        cardinalities = tuple((node, estimates[node]) for node in ordered_nodes)
     return QueryPlan(
         strategy=strategy,
         fingerprint=pattern.fingerprint(),
@@ -174,4 +317,7 @@ def plan_query(
         max_bound=max_bound,
         has_unbounded=has_unbounded,
         reasons=tuple(reasons),
+        cardinalities=cardinalities,
+        edge_order=edge_order,
+        order_digest=_order_digest(edge_order),
     )

@@ -16,7 +16,8 @@ it across an entire query workload:
 * lazily, one :class:`~repro.distance.matrix.InternedDistanceStore` for the
   IncMatch machinery;
 * a result cache keyed by ``(pattern fingerprint, snapshot version,
-  strategy)``, with eviction wired into the snapshot's patch layer so
+  strategy, refinement-order digest)``, with eviction wired into the
+  snapshot's patch layer so
   :meth:`patch_edge_insert`/:meth:`patch_edge_delete` (and the update
   streams of the incremental matcher) invalidate exactly the entries they
   made stale.
@@ -85,6 +86,11 @@ AUTO_FORK_MIN_QUERIES = AUTO_POOL_MIN_QUERIES
 #: ``match_parallel`` precomputes balls on the pool only when at least this
 #: many uncached ball sources exist (fewer are faster inline).
 INTRA_QUERY_MIN_SOURCES = 256
+#: ``match_parallel`` also requires this much *estimated* ball work per
+#: worker (sources x estimated ball size) before it pays for pool dispatch;
+#: below it, partitioning overhead beats the parallel speedup and the query
+#: falls back to inline ball computation.
+INTRA_QUERY_MIN_WORK_PER_WORKER = 250_000
 #: Cap on standing IncrementalMatchers kept per session (each pins a full
 #: interned distance store); least recently used patterns are dropped.
 DEFAULT_MAX_MATCHERS = 16
@@ -127,6 +133,13 @@ class MatchSession:
         The :class:`~repro.reliability.resilience.RetryPolicy` the worker
         pool applies to lost tasks (crash, hang, corruption); ``None``
         uses the pool's default (2 retries, exponential backoff + jitter).
+    selectivity_order:
+        When true (default), plans carry a cost-based edge refinement order
+        estimated from the snapshot's attribute-index popcounts and the
+        fixpoint seeds edges in that order (see
+        :mod:`repro.engine.planner`).  Disable to refine in the pattern's
+        native edge order (the pre-planner behaviour); results are
+        identical either way.
 
     Examples
     --------
@@ -149,6 +162,7 @@ class MatchSession:
         edge_cache_size: Optional[int] = DEFAULT_EDGE_CACHE_SIZE,
         breaker: Optional[CircuitBreaker] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        selectivity_order: bool = True,
     ) -> None:
         self._graph = graph
         self._on_cyclic = on_cyclic
@@ -170,9 +184,13 @@ class MatchSession:
         self._parallel_batches = 0
         self._forked_queries = 0
         self._intra_queries = 0
+        self._intra_fallbacks = 0
         self._pool: Optional[WorkerPool] = None
-        self._breaker = breaker if breaker is not None else CircuitBreaker()
+        # Built lazily: single-shot sessions that never touch the pool path
+        # should not pay for breaker construction on the cold path.
+        self._breaker = breaker
         self._retry_policy = retry_policy
+        self._selectivity_order = selectivity_order
         self._degraded_batches = 0
         self._budget_exceeded = 0
         self._compiled: CompiledGraph = compile_graph(graph)
@@ -271,6 +289,8 @@ class MatchSession:
             updates=updates,
             custom_oracle=self._custom_oracle,
             force_simulation=force_simulation,
+            compiled=compiled,
+            selectivity_order=self._selectivity_order,
         )
         self._plan_counts[plan.strategy] = self._plan_counts.get(plan.strategy, 0) + 1
         return plan
@@ -359,7 +379,7 @@ class MatchSession:
         patterns = list(patterns)
         budget = BatchBudget(time_budget) if time_budget is not None else None
         results: List[Optional[MatchResult]] = [None] * len(patterns)
-        pending: Dict[Tuple[str, int, str], List[int]] = {}
+        pending: Dict[Tuple[str, int, str, str], List[int]] = {}
         pending_units: List[Tuple[Pattern, QueryPlan]] = []
         for index, pattern in enumerate(patterns):
             plan = self.plan(pattern)
@@ -387,7 +407,7 @@ class MatchSession:
                 )
             else:
                 use_pool = bool(parallel)
-            if use_pool and not self._breaker.allow():
+            if use_pool and not self.breaker.allow():
                 use_pool = False
                 self._degraded_batches += 1
             if use_pool:
@@ -396,9 +416,9 @@ class MatchSession:
                 self._parallel_batches += 1
                 self._forked_queries += len(pending_units)
                 if pool.last_batch_clean:
-                    self._breaker.record_success()
+                    self.breaker.record_success()
                 else:
-                    self._breaker.record_failure()
+                    self.breaker.record_failure()
             else:
                 computed = []
                 for pattern, plan in pending_units:
@@ -514,6 +534,16 @@ class MatchSession:
         total = sum(len(sources) for sources in needed.values())
         if total < INTRA_QUERY_MIN_SOURCES:
             return
+        workers = min(workers, os.cpu_count() or 1)
+        estimated_work = sum(
+            len(sources) * self._estimate_ball_size(compiled, bound)
+            for bound, sources in needed.items()
+        )
+        if estimated_work / workers < INTRA_QUERY_MIN_WORK_PER_WORKER:
+            # Small candidate sets never pay partitioning overhead: compute
+            # the balls inline during the fixpoint instead.
+            self._intra_fallbacks += 1
+            return
         oracle = self.oracle
         prime = getattr(oracle, "prime_ball", None)
         if prime is None:
@@ -529,6 +559,31 @@ class MatchSession:
             primed = True
         if primed:
             self._intra_queries += 1
+
+    @staticmethod
+    def _estimate_ball_size(compiled: CompiledGraph, bound: Optional[int]) -> int:
+        """Rough size of one bounded ball: a degree-``d`` geometric series.
+
+        ``d`` is the snapshot's average out-degree; the series is capped at
+        ``|V|`` (a ball can never exceed the graph) and an unbounded edge
+        estimates the full graph.  Only used to decide whether intra-query
+        pool dispatch is worth paying for, so being off by a small factor is
+        fine — the threshold separates workloads by orders of magnitude.
+        """
+        num_nodes = compiled.num_nodes
+        if not num_nodes:
+            return 0
+        if bound is None:
+            return num_nodes
+        avg_degree = compiled.num_edges / num_nodes
+        size = 0.0
+        step = 1.0
+        for _ in range(bound):
+            step *= avg_degree
+            size += step
+            if size >= num_nodes:
+                return num_nodes
+        return max(1, int(size))
 
     def _execute(self, pattern: Pattern, plan: QueryPlan) -> MatchResult:
         """Run the planned fixpoint against the pinned snapshot.
@@ -558,6 +613,7 @@ class MatchSession:
             # work, and an arbitrary oracle need not be pure per snapshot.
             edge_memo=None if self._custom_oracle else self._edge_cache,
             memo_tag=plan.strategy,
+            edge_order=plan.edge_order or None,
         )
         if any(not bits for bits in mat_bits.values()):
             return MatchResult.empty(pattern_nodes)
@@ -605,10 +661,15 @@ class MatchSession:
         matcher = self.incremental_matcher(pattern)
         area = matcher.apply(list(updates))
         result = matcher.match
+        compiled = self._sync()
         followup = plan_query(
             pattern,
-            snapshot_version=self._sync().version,
+            snapshot_version=compiled.version,
             custom_oracle=self._custom_oracle,
+            # Keyed like a later session.match() plan of the same pattern
+            # (same order digest), so the seeded result is actually found.
+            compiled=compiled,
+            selectivity_order=self._selectivity_order,
         )
         self._cache.put(followup.cache_key, result)
         return result, area
@@ -662,7 +723,9 @@ class MatchSession:
 
     @property
     def breaker(self) -> CircuitBreaker:
-        """The circuit breaker guarding this session's pool path."""
+        """The circuit breaker guarding this session's pool path (lazy)."""
+        if self._breaker is None:
+            self._breaker = CircuitBreaker()
         return self._breaker
 
     def stats(self) -> Dict[str, object]:
@@ -671,7 +734,7 @@ class MatchSession:
         reliability: Dict[str, object] = {
             "faults_armed": plan.to_env() if plan is not None else None,
             "injections": _faults.counters(),
-            "breaker": self._breaker.stats(),
+            "breaker": self.breaker.stats(),
             "degraded_batches": self._degraded_batches,
             "budget_exceeded": self._budget_exceeded,
             "cache_pressure_sheds": self._cache.pressure_sheds,
@@ -688,6 +751,7 @@ class MatchSession:
             "parallel_batches": self._parallel_batches,
             "forked_queries": self._forked_queries,
             "intra_queries": self._intra_queries,
+            "intra_fallbacks": self._intra_fallbacks,
             "incremental_matchers": len(self._matchers),
             "pool": self._pool.stats() if self._pool is not None else None,
             "reliability": reliability,

@@ -243,6 +243,7 @@ class CompiledGraph:
         "_graph_ref",
         "_patch_listeners",
         "_shared_handle",
+        "_card_cache",
     )
 
     def __init__(self) -> None:
@@ -321,6 +322,8 @@ class CompiledGraph:
         # add_patch_listener); the engine's result caches subscribe here.
         self._patch_listeners: List[weakref.ReferenceType] = []
         self._shared_handle = None
+        # Predicate -> (version, estimate) cardinality memo (see cardinality()).
+        self._card_cache: Dict[Predicate, Tuple[int, int]] = {}
         return self
 
     @property
@@ -708,6 +711,43 @@ class CompiledGraph:
             bits = narrowed
         return bits
 
+    def cardinality(self, predicate: Predicate) -> int:
+        """Estimated candidate cardinality of *predicate* (index popcounts).
+
+        The estimate is the popcount of the AND of the indexed equality
+        masks — a dict probe and a ``bit_count()`` per equality atom, never
+        a node scan.  Residual atoms (orderings, inequalities, unindexed
+        attributes) are ignored, so the estimate is an **upper bound** on
+        :meth:`candidate_bits`; a predicate with no indexable atom estimates
+        as ``num_nodes``.  The planner ranks pattern nodes by these numbers
+        to pick a refinement order, where only the relative order matters.
+
+        Estimates are memoised per predicate and pinned to the snapshot
+        :attr:`version`, so a patched or extended snapshot re-derives them
+        instead of serving stale counts.
+        """
+        cached = self._card_cache.get(predicate)
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        if predicate.is_wildcard:
+            estimate = self.num_nodes
+        else:
+            bits = self.all_bits
+            indexed = False
+            for atom in predicate.atoms:
+                if atom.op == "=" and atom.attribute not in self._unindexed_attrs:
+                    try:
+                        mask = self._eq_index.get((atom.attribute, atom.value), 0)
+                    except TypeError:
+                        continue
+                    bits &= mask
+                    indexed = True
+                    if not bits:
+                        break
+            estimate = bits.bit_count() if indexed else self.num_nodes
+        self._card_cache[predicate] = (self.version, estimate)
+        return estimate
+
     def attributes(self, index: int) -> Mapping[str, Any]:
         """The attribute mapping of the node interned at *index*."""
         return self._attrs[index]
@@ -884,6 +924,7 @@ class CompiledGraph:
         self._flat_kernel = None
         self._graph_ref = _collected_graph_ref
         self._patch_listeners = []
+        self._card_cache = {}
         self._shared_handle = SharedGraphHandle(
             segments, dict(descriptor), owner=False, views=list(views.values())
         )

@@ -91,7 +91,16 @@ class Pattern:
         p.add_edge("DM", "A", "*")
     """
 
-    __slots__ = ("name", "_succ", "_pred", "_predicates", "_bounds", "_colors", "_num_edges")
+    __slots__ = (
+        "name",
+        "_succ",
+        "_pred",
+        "_predicates",
+        "_bounds",
+        "_colors",
+        "_num_edges",
+        "_fingerprint",
+    )
 
     def __init__(self, name: str = "") -> None:
         self.name = name
@@ -102,6 +111,8 @@ class Pattern:
         # Optional edge colours (relationship types) — Remark (4) of the paper.
         self._colors: Dict[Tuple[PatternNodeId, PatternNodeId], Any] = {}
         self._num_edges = 0
+        # Memoised fingerprint() digest, dropped by every structural mutator.
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # nodes
@@ -118,6 +129,7 @@ class Pattern:
         self._succ[node] = set()
         self._pred[node] = set()
         self._predicates[node] = parse_predicate(predicate)
+        self._fingerprint = None
 
     def has_node(self, node: PatternNodeId) -> bool:
         """Return ``True`` when *node* is a pattern node."""
@@ -133,6 +145,7 @@ class Pattern:
         del self._succ[node]
         del self._pred[node]
         del self._predicates[node]
+        self._fingerprint = None
 
     def nodes(self) -> Iterator[PatternNodeId]:
         """Iterate over pattern node ids."""
@@ -151,6 +164,7 @@ class Pattern:
         """Replace the predicate of *node*."""
         self._require_node(node)
         self._predicates[node] = parse_predicate(predicate)
+        self._fingerprint = None
 
     def number_of_nodes(self) -> int:
         """``|V_p|``."""
@@ -205,6 +219,7 @@ class Pattern:
         if color is not None:
             self._colors[(source, target)] = color
         self._num_edges += 1
+        self._fingerprint = None
 
     def remove_edge(self, source: PatternNodeId, target: PatternNodeId) -> None:
         """Remove the pattern edge ``(source, target)``."""
@@ -217,6 +232,7 @@ class Pattern:
         del self._bounds[(source, target)]
         self._colors.pop((source, target), None)
         self._num_edges -= 1
+        self._fingerprint = None
 
     def has_edge(self, source: PatternNodeId, target: PatternNodeId) -> bool:
         """Return ``True`` when the pattern edge exists."""
@@ -245,6 +261,7 @@ class Pattern:
         if (source, target) not in self._bounds:
             raise EdgeNotFoundError(source, target)
         self._bounds[(source, target)] = normalize_bound(bound)
+        self._fingerprint = None
 
     def color(self, source: PatternNodeId, target: PatternNodeId) -> Any:
         """The colour of an existing pattern edge (``None`` when uncoloured)."""
@@ -351,7 +368,14 @@ class Pattern:
 
         The engine layer (:mod:`repro.engine`) uses this as its result-cache
         key together with the snapshot version.
+
+        The digest is memoised and recomputed only after a structural
+        mutation, so repeated planning of the same pattern object (the
+        session cold path) hashes once.
         """
+        if self._fingerprint is not None:
+            return self._fingerprint
+
         def _token(value: Any) -> str:
             # Type-tagged repr so e.g. 1, 1.0, True and "1" stay distinct.
             return f"{type(value).__name__}:{value!r}"
@@ -374,7 +398,8 @@ class Pattern:
             for (source, target), bound in self._bounds.items()
         )
         canonical = "\n".join(node_tokens + edge_tokens)
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        self._fingerprint = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        return self._fingerprint
 
     def max_bound(self) -> Optional[int]:
         """The largest finite bound, or ``None`` when the pattern has no finite bound."""

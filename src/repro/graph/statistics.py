@@ -1,19 +1,30 @@
-"""Descriptive statistics over data graphs.
+"""Descriptive statistics over data graphs and compiled snapshots.
 
 Used by the experiment harness to report the dataset-size table of Section 5
 and by the dataset substitutes to verify that generated graphs have the
-intended size and degree shape.
+intended size and degree shape.  The compiled-snapshot statistics
+(:func:`index_statistics`, :func:`estimate_cardinality`) expose the inverted
+attribute index's bucket popcounts — the zero-cost cardinality surface the
+cost-based planner (:mod:`repro.engine.planner`) ranks pattern nodes with.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.graph.datagraph import DataGraph
 
-__all__ = ["GraphStatistics", "compute_statistics", "degree_histogram"]
+__all__ = [
+    "GraphStatistics",
+    "IndexStatistics",
+    "compute_statistics",
+    "degree_histogram",
+    "index_statistics",
+    "estimate_cardinality",
+    "strongly_connected_components",
+]
 
 
 @dataclass(frozen=True)
@@ -58,6 +69,19 @@ def degree_histogram(graph: DataGraph, *, direction: str = "out") -> Dict[int, i
         degree = graph.out_degree(node) if direction == "out" else graph.in_degree(node)
         counter[degree] += 1
     return dict(counter)
+
+
+def strongly_connected_components(graph) -> List[List]:
+    """The strongly connected components of *graph*, sinks first.
+
+    *graph* is anything exposing ``nodes()`` and ``successors(node)`` — a
+    :class:`DataGraph` or a :class:`~repro.graph.pattern.Pattern`.  Tarjan
+    emits a component only once every component reachable from it has been
+    emitted, so the returned list is a reverse topological order of the
+    condensation: the planner walks it to refine sink sub-patterns before
+    the nodes that depend on them.
+    """
+    return _strongly_connected_components(graph)
 
 
 def _strongly_connected_components(graph: DataGraph) -> List[List]:
@@ -141,3 +165,61 @@ def compute_statistics(graph: DataGraph) -> GraphStatistics:
         num_attribute_values=len(attribute_values),
         largest_scc_size=max((len(c) for c in components), default=0),
     )
+
+
+@dataclass(frozen=True)
+class IndexStatistics:
+    """Bucket statistics of a compiled snapshot's inverted attribute index.
+
+    The popcount of a bucket is exactly the candidate cardinality of the
+    corresponding equality atom, so this table is also a selectivity
+    profile: ``top_pairs`` are the least selective predicates (largest
+    candidate sets), the ones the planner refines *last*.
+    """
+
+    num_nodes: int
+    num_edges: int
+    indexed_pairs: int            #: distinct indexed (attribute, value) buckets
+    unindexed_attributes: Tuple[str, ...]  #: attributes with unhashable values
+    max_bucket: int               #: largest bucket popcount
+    avg_bucket: float             #: mean bucket popcount
+    top_pairs: Tuple[Tuple[Tuple[str, Any], int], ...]  #: largest buckets
+
+    def as_row(self) -> Dict[str, object]:
+        """The statistics as a flat dict for tabular reporting."""
+        return {
+            "|V|": self.num_nodes,
+            "|E|": self.num_edges,
+            "indexed pairs": self.indexed_pairs,
+            "unindexed attrs": len(self.unindexed_attributes),
+            "max bucket": self.max_bucket,
+            "avg bucket": round(self.avg_bucket, 2),
+        }
+
+
+def index_statistics(compiled, *, top: int = 5) -> IndexStatistics:
+    """Summarise the ``(attribute, value) -> bitset`` index of *compiled*.
+
+    One ``bit_count()`` per bucket — no node scan; *top* controls how many
+    of the largest buckets are reported in ``top_pairs``.
+    """
+    sizes = {pair: bits.bit_count() for pair, bits in compiled._eq_index.items()}
+    largest = sorted(sizes.items(), key=lambda item: (-item[1], str(item[0])))[:top]
+    return IndexStatistics(
+        num_nodes=compiled.num_nodes,
+        num_edges=compiled.num_edges,
+        indexed_pairs=len(sizes),
+        unindexed_attributes=tuple(sorted(compiled._unindexed_attrs)),
+        max_bucket=max(sizes.values(), default=0),
+        avg_bucket=(sum(sizes.values()) / len(sizes)) if sizes else 0.0,
+        top_pairs=tuple(largest),
+    )
+
+
+def estimate_cardinality(compiled, predicate) -> int:
+    """Estimated candidate cardinality of *predicate* against *compiled*.
+
+    Thin alias of :meth:`~repro.graph.compiled.CompiledGraph.cardinality`
+    so statistics consumers need not reach into the snapshot class.
+    """
+    return compiled.cardinality(predicate)

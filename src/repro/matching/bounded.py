@@ -237,6 +237,7 @@ def refine_bits_to_fixpoint(
     stop_when_empty: bool = False,
     edge_memo=None,
     memo_tag=None,
+    edge_order=None,
 ) -> Set[Tuple[PatternNodeId, int]]:
     """Bitset counterpart of :func:`refine_to_fixpoint` over interned node ids.
 
@@ -283,6 +284,26 @@ def refine_bits_to_fixpoint(
     returned removals are **partial** (not the greatest fixpoint); callers
     that consume the refined sets themselves (the incremental matcher) must
     keep the default.
+
+    *edge_order* (from :attr:`~repro.engine.planner.QueryPlan.edge_order`)
+    switches the seed phase to the planner's selectivity order.  Chaotic
+    iteration of the monotone refinement operator converges to the same
+    greatest fixpoint in any order, so the result is identical to the
+    default ("seed") order — but the planner's sinks-first order makes most
+    edges *final* when they are seeded: the child's candidate set is already
+    fully refined (its own out-edges have all been checked finally, or it
+    is a leaf), so the edge is checked **count-free** against the *live*
+    child set — an existence test per candidate, or a reverse sweep that
+    unions ancestor balls of the live child when the child set is the
+    smaller side — and never re-entered by the propagation worklist.  Leaf
+    (star/chain) sub-patterns are thereby resolved exactly once.  Only
+    edges inside pattern cycles keep the counting path.  Non-final edges
+    still count against the child's *initial* set, so the cross-query
+    *edge_memo* stays shareable; final edges use or populate the memo only
+    when both live sets are pristine (a final check against shrunk sets has
+    no propagation step to reconcile a stale entry).  An *edge_order* that
+    does not cover the pattern's edges exactly (a stale plan for a mutated
+    pattern) is ignored and the seed order is used.
     """
     removed: Set[Tuple[PatternNodeId, int]] = set()
     edges = pattern.edge_list()
@@ -300,8 +321,12 @@ def refine_bits_to_fixpoint(
     balls: Dict[Tuple[int, Optional[int]], object] = {}
     # support_count[(u, u')][v]: |descendants of v within the bound ∩ mat(u')|
     # at the time edge (u, u') was last checked.  Candidates whose initial
-    # support is zero are removed immediately and never get an entry.
-    support_count: Dict[Tuple[PatternNodeId, PatternNodeId], Dict[int, int]] = {}
+    # support is zero are removed immediately and never get an entry.  A
+    # ``None`` value marks a *final* edge (ordered mode): the child set was
+    # already fully refined when the edge was checked, so no counts are kept.
+    support_count: Dict[
+        Tuple[PatternNodeId, PatternNodeId], Optional[Dict[int, int]]
+    ] = {}
     # mat(u') as of the last time the edge (u, u') was checked.
     checked_child_bits: Dict[Tuple[PatternNodeId, PatternNodeId], int] = {}
     # Edges to recheck when mat(u) shrinks: all pattern edges *into* u.
@@ -314,14 +339,46 @@ def refine_bits_to_fixpoint(
     # sets (not the partially refined ones) so the answer is a function of
     # the edge type alone and can be shared through *edge_memo*.  Removals
     # discovered here are reconciled by the propagation phase below.
+    #
+    # In ordered mode (a planner edge_order) the loop additionally tracks
+    # which pattern nodes are *settled* — their candidate set can never
+    # shrink again because every one of their out-edges has been checked
+    # against a settled child.  Leaves are settled from the start; an edge
+    # whose child is settled is *final* and is evaluated count-free against
+    # the live sets.
     # ------------------------------------------------------------------
+    use_order = False
+    if edge_order:
+        ordered_edges = list(edge_order)
+        if len(ordered_edges) == len(edges) and set(ordered_edges) == set(edges):
+            use_order = True
+    if use_order:
+        seed_edges = ordered_edges
+        out_remaining: Dict[PatternNodeId, int] = {}
+        all_final: Dict[PatternNodeId, bool] = {}
+        settled: Set[PatternNodeId] = set()
+        for node in pattern.nodes():
+            degree = pattern.out_degree(node)
+            out_remaining[node] = degree
+            all_final[node] = True
+            if degree == 0:
+                settled.add(node)
+        ancestors = getattr(oracle, "ancestors_within_bits", None)
+        # Reverse (ancestor) balls memoised separately from forward balls.
+        rballs: Dict[Tuple[int, Optional[int]], int] = {}
+    else:
+        seed_edges = edges
+
     static_bits = dict(mat_bits)
     shrunk_nodes: Set[PatternNodeId] = set()
-    for edge in edges:
+    for edge in seed_edges:
         u, u_child = edge
         bound = pattern.bound(u, u_child)
+        final_edge = use_order and u_child in settled
         parent_static = static_bits[u]
         child_static = static_bits[u_child]
+        parent_live = mat_bits[u]
+        child_live = mat_bits[u_child]
         memo_key = None
         entry = None
         if edge_memo is not None:
@@ -341,39 +398,97 @@ def refine_bits_to_fixpoint(
                 entry[0] != parent_static or entry[1] != child_static
             ):
                 entry = None
+            if entry is not None and final_edge and (
+                parent_live != parent_static or child_live != child_static
+            ):
+                # A final check against shrunk live sets has no propagation
+                # step to reconcile a memo entry recorded for larger sets.
+                entry = None
+            if entry is not None and not final_edge and entry[3] is None:
+                # Count-free entries carry no supports for propagation.
+                entry = None
         if entry is None:
-            counts: Dict[int, int] = {}
-            survivors = parent_static
-            for v in bits_to_indices(parent_static):
-                key = (v, bound)
-                ball = balls.get(key)
-                if ball is None:
-                    ball = descendants(compiled, v, bound)
-                    balls[key] = ball
-                if type(ball) is int:
-                    count = (ball & child_static).bit_count()
+            if final_edge:
+                counts = None
+                if (
+                    ancestors is not None
+                    and child_live.bit_count() < parent_live.bit_count()
+                ):
+                    # The live child set is the smaller side: union its
+                    # ancestor balls and intersect once, instead of one
+                    # forward ball per live parent candidate.
+                    mask = 0
+                    for j in bits_to_indices(child_live):
+                        rkey = (j, bound)
+                        aball = rballs.get(rkey)
+                        if aball is None:
+                            aball = ancestors(compiled, j, bound)
+                            rballs[rkey] = aball
+                        mask |= aball
+                    survivors = parent_live & mask
                 else:
-                    count = 0
-                    for j in ball:
-                        count += child_static >> j & 1
-                if count:
-                    counts[v] = count
-                else:
-                    survivors &= ~(1 << v)
-            if edge_memo is not None:
-                edge_memo.put(
-                    memo_key, (parent_static, child_static, survivors, counts)
-                )
-                # The propagation phase mutates its counts in place; the
-                # memoised dict must stay pristine for the next query.
-                counts = dict(counts)
+                    survivors = parent_live
+                    for v in bits_to_indices(parent_live):
+                        key = (v, bound)
+                        ball = balls.get(key)
+                        if ball is None:
+                            ball = descendants(compiled, v, bound)
+                            balls[key] = ball
+                        if type(ball) is int:
+                            alive = bool(ball & child_live)
+                        else:
+                            alive = False
+                            for j in ball:
+                                if child_live >> j & 1:
+                                    alive = True
+                                    break
+                        if not alive:
+                            survivors &= ~(1 << v)
+                if (
+                    edge_memo is not None
+                    and parent_live == parent_static
+                    and child_live == child_static
+                ):
+                    edge_memo.put(
+                        memo_key, (parent_static, child_static, survivors, None)
+                    )
+            else:
+                # Ordered mode iterates only the live parents (dead
+                # candidates cannot resurrect) but still counts against the
+                # child's initial set so the memo entry stays shareable.
+                count_parent = parent_live if use_order else parent_static
+                counts = {}
+                survivors = count_parent
+                for v in bits_to_indices(count_parent):
+                    key = (v, bound)
+                    ball = balls.get(key)
+                    if ball is None:
+                        ball = descendants(compiled, v, bound)
+                        balls[key] = ball
+                    if type(ball) is int:
+                        count = (ball & child_static).bit_count()
+                    else:
+                        count = 0
+                        for j in ball:
+                            count += child_static >> j & 1
+                    if count:
+                        counts[v] = count
+                    else:
+                        survivors &= ~(1 << v)
+                if edge_memo is not None and count_parent == parent_static:
+                    edge_memo.put(
+                        memo_key, (parent_static, child_static, survivors, counts)
+                    )
+                    # The propagation phase mutates its counts in place; the
+                    # memoised dict must stay pristine for the next query.
+                    counts = dict(counts)
         else:
             if _sanitize.ENABLED:
                 _sanitize.edge_memo_hit(entry)
             survivors = entry[2]
-            counts = dict(entry[3])
+            counts = None if final_edge else dict(entry[3])
         support_count[edge] = counts
-        checked_child_bits[edge] = child_static
+        checked_child_bits[edge] = child_live if final_edge else child_static
         dead = mat_bits[u] & ~survivors
         if dead:
             mat_bits[u] &= survivors
@@ -382,6 +497,12 @@ def refine_bits_to_fixpoint(
             shrunk_nodes.add(u)
             if stop_when_empty and not mat_bits[u]:
                 return removed
+        if use_order:
+            out_remaining[u] -= 1
+            if not final_edge:
+                all_final[u] = False
+            if out_remaining[u] == 0 and all_final[u]:
+                settled.add(u)
 
     # ------------------------------------------------------------------
     # Propagation phase: recheck edges whose child set moved since their
@@ -399,29 +520,48 @@ def refine_bits_to_fixpoint(
         queued.discard(edge)
         u, u_child = edge
         child_bits = mat_bits[u_child]
-        counts = support_count[edge]
         shrunk = False
         delta = checked_child_bits[edge] & ~child_bits
         if delta:
             bound = pattern.bound(u, u_child)
-            for v in bits_to_indices(mat_bits[u]):
-                count = counts[v]
-                if count:
+            counts = support_count[edge]
+            if counts is None:
+                # Defensive only: a final edge's child is settled and cannot
+                # shrink after the check, so its delta is always empty.  If
+                # it ever fires, recheck the edge count-free.
+                for v in bits_to_indices(mat_bits[u]):
                     key = (v, bound)
                     ball = balls.get(key)
                     if ball is None:
                         ball = descendants(compiled, v, bound)
                         balls[key] = ball
                     if type(ball) is int:
-                        count -= (ball & delta).bit_count()
+                        alive = bool(ball & child_bits)
                     else:
-                        for j in ball:
-                            count -= delta >> j & 1
-                    counts[v] = count
-                    if count == 0:
+                        alive = any(child_bits >> j & 1 for j in ball)
+                    if not alive:
                         mat_bits[u] &= ~(1 << v)
                         removed.add((u, v))
                         shrunk = True
+            else:
+                for v in bits_to_indices(mat_bits[u]):
+                    count = counts[v]
+                    if count:
+                        key = (v, bound)
+                        ball = balls.get(key)
+                        if ball is None:
+                            ball = descendants(compiled, v, bound)
+                            balls[key] = ball
+                        if type(ball) is int:
+                            count -= (ball & delta).bit_count()
+                        else:
+                            for j in ball:
+                                count -= delta >> j & 1
+                        counts[v] = count
+                        if count == 0:
+                            mat_bits[u] &= ~(1 << v)
+                            removed.add((u, v))
+                            shrunk = True
         checked_child_bits[edge] = child_bits
         if shrunk:
             if stop_when_empty and not mat_bits[u]:

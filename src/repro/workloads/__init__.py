@@ -3,6 +3,8 @@
 from repro.workloads.patterns import (
     engine_batch_workload,
     pattern_suite,
+    pooled_label_workload,
+    skewed_chain_workload,
     youtube_example_pattern,
     youtube_fig6a_pattern_p1,
     youtube_fig6a_pattern_p2,
@@ -22,6 +24,8 @@ __all__ = [
     "split_batches",
     "pattern_suite",
     "engine_batch_workload",
+    "pooled_label_workload",
+    "skewed_chain_workload",
     "youtube_example_pattern",
     "youtube_fig6a_pattern_p1",
     "youtube_fig6a_pattern_p2",

@@ -28,6 +28,7 @@ __all__ = [
     "pattern_suite",
     "engine_batch_workload",
     "pooled_label_workload",
+    "skewed_chain_workload",
 ]
 
 #: Example 2.3's pattern ``P'`` in query-DSL form.
@@ -156,6 +157,55 @@ def pooled_label_workload(
             pattern.add_node(f"u{node}", {attribute: rng.choice(pool)})
         for source, target in shape:
             pattern.add_edge(f"u{source}", f"u{target}", bound)
+        patterns.append(pattern)
+    return patterns
+
+
+def skewed_chain_workload(
+    graph: DataGraph,
+    *,
+    num_patterns: int = 12,
+    chain_length: int = 3,
+    star_leaves: int = 2,
+    bound: int = 2,
+    common_labels: int = 2,
+    rare_labels: int = 4,
+    seed: RandomLike = 13,
+    attribute: str = "label",
+) -> List[Pattern]:
+    """Chain+star patterns that pair common parents with rare leaves.
+
+    Each pattern is a chain ``u0 -> u1 -> ... `` whose interior nodes carry
+    the graph's *most frequent* labels, ending in a star of *star_leaves*
+    leaves that carry its *rarest* labels.  On a Zipf-labelled graph
+    (:func:`repro.graph.generators.skewed_label_graph`) this is the
+    worst case for native-order refinement — huge candidate sets are
+    refined against each other before the rare leaves ever prune them —
+    and the best case for the cost-based planner, which resolves the rare
+    leaves first and checks each chain edge exactly once, in the cheap
+    direction.
+    """
+    rng = make_rng(seed)
+    frequency: Dict[object, int] = {}
+    for node in graph.nodes():
+        value = graph.attributes(node).get(attribute)
+        if value is not None:
+            frequency[value] = frequency.get(value, 0) + 1
+    if not frequency:
+        raise ValueError(f"graph has no {attribute!r} attribute to build patterns on")
+    by_count = sorted(frequency, key=lambda value: (-frequency[value], str(value)))
+    common = by_count[: max(1, common_labels)]
+    rare = by_count[-max(1, rare_labels):]
+    patterns: List[Pattern] = []
+    for index in range(num_patterns):
+        pattern = Pattern(name=f"skewed-{index}(k={bound})")
+        for node in range(chain_length):
+            pattern.add_node(f"u{node}", {attribute: rng.choice(common)})
+        for node in range(1, chain_length):
+            pattern.add_edge(f"u{node - 1}", f"u{node}", bound)
+        for leaf in range(star_leaves):
+            pattern.add_node(f"leaf{leaf}", {attribute: rng.choice(rare)})
+            pattern.add_edge(f"u{chain_length - 1}", f"leaf{leaf}", bound)
         patterns.append(pattern)
     return patterns
 

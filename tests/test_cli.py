@@ -73,6 +73,29 @@ class TestMatchCommand:
         payload = json.loads(capsys.readouterr().out)
         assert payload == {"A": ["a"], "D": ["d"]}
 
+    def test_factorised_output(self, graph_file, pattern_file, capsys):
+        exit_code = main(
+            ["match", "--graph", str(graph_file), "--pattern", str(pattern_file), "--factorised"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "factorised match: 1 assignment tuple(s) (1 x 1)" in captured
+        assert "A: 1 candidate(s)" in captured
+
+    def test_factorised_no_match(self, graph_file, failing_pattern_file, capsys):
+        exit_code = main(
+            [
+                "match",
+                "--graph",
+                str(graph_file),
+                "--pattern",
+                str(failing_pattern_file),
+                "--factorised",
+            ]
+        )
+        assert exit_code == 1
+        assert "no match" in capsys.readouterr().out
+
     def test_no_match_exit_code(self, graph_file, failing_pattern_file, capsys):
         exit_code = main(
             ["match", "--graph", str(graph_file), "--pattern", str(failing_pattern_file)]

@@ -20,6 +20,7 @@ from repro.engine.parallel import AttachedExecutor
 from repro.graph.compiled import CompiledGraph, compile_graph
 from repro.graph.generators import random_data_graph
 from repro.graph.pattern_generator import PatternGenerator
+from repro.matching.match_result import MatchResult
 
 
 @pytest.fixture
@@ -70,6 +71,15 @@ class TestCacheHooks:
         with pytest.raises(SanitizeError):
             sanitize.result_cache_put(("fp", 0, "compiled"), object())
 
+    def test_result_cache_accepts_order_digest_keys(self):
+        # The planner's 4-tuple key: (fingerprint, version, strategy, digest).
+        with pytest.raises(SanitizeError):
+            sanitize.result_cache_put(("fp", 0, "bounded", "sel:abc"), object())
+        with pytest.raises(SanitizeError):
+            sanitize.result_cache_put(("fp", 0, "bounded", 7), MatchResult.empty())
+        sanitize.result_cache_put(("fp", 0, "bounded", "seed"), MatchResult.empty())
+        sanitize.result_cache_put(("fp", 0, "bounded", "sel:abc"), MatchResult.empty())
+
     def test_bits_cache_put_enforced_when_armed(self, armed):
         cache = BoundedBitsCache(8)
         with pytest.raises(SanitizeError):
@@ -96,6 +106,10 @@ class TestEdgeMemoHook:
     def test_count_cardinality_mismatch(self):
         with pytest.raises(SanitizeError):
             sanitize.edge_memo_hit((0b1011, 0b0110, 0b0011, {0: 1}))
+
+    def test_count_free_final_edge_entry_passes(self):
+        # Ordered-kernel final edges store counts=None (no support counts).
+        sanitize.edge_memo_hit((0b1011, 0b0110, 0b0011, None))
 
     def test_wrong_shape(self):
         with pytest.raises(SanitizeError):
